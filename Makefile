@@ -1,0 +1,30 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python3
+
+.PHONY: install test bench bench-quick examples lint clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || \
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_SUITE=c432,c880 REPRO_BENCH_VECTORS=64 \
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran"
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

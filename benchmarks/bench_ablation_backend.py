@@ -1,0 +1,78 @@
+"""Ablation — Python-exec backend vs gcc backend.
+
+The paper's techniques are *compiled* simulation; a Python-hosted
+reproduction risks flattening the compiled-vs-interpreted ratios (the
+generated straight-line code pays the same interpreter tax as the
+baseline).  This ablation runs identical generated programs on both
+backends so EXPERIMENTS.md can quantify the gap and justify using the
+C backend for the headline tables.
+"""
+
+import pytest
+
+from _common import NUM_VECTORS, SUITE, circuit, write_report
+from repro.codegen.runtime import have_c_compiler
+from repro.harness.runner import run_technique
+from repro.harness.tables import format_table
+from repro.harness.vectors import vectors_for
+
+NEED_CC = pytest.mark.skipif(
+    have_c_compiler() is None, reason="no C compiler available"
+)
+
+NAMES = SUITE[:3]
+TECHNIQUES = ("pcset", "parallel", "parallel-best")
+
+_results: dict[tuple[str, str, str], float] = {}
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_python_backend(benchmark, name, technique):
+    target = circuit(name)
+    vectors = vectors_for(target, NUM_VECTORS, seed=12)
+    run = run_technique(target, technique, vectors, backend="python")
+    benchmark.group = f"backend:{name}:{technique}"
+    benchmark(run)
+    _results[(name, technique, "python")] = benchmark.stats.stats.mean
+
+
+@NEED_CC
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_c_backend(benchmark, name, technique):
+    target = circuit(name)
+    vectors = vectors_for(target, NUM_VECTORS, seed=12)
+    run = run_technique(target, technique, vectors, backend="c")
+    benchmark.group = f"backend:{name}:{technique}"
+    benchmark(run)
+    _results[(name, technique, "c")] = benchmark.stats.stats.mean
+
+
+def test_backend_report(benchmark):
+    def build_rows():
+        rows = []
+        for name in NAMES:
+            for technique in TECHNIQUES:
+                py = _results.get((name, technique, "python"))
+                cc = _results.get((name, technique, "c"))
+                if py is None or cc is None:
+                    continue
+                rows.append([
+                    f"{name}/{technique}", py, cc,
+                    py / max(cc, 1e-12),
+                ])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    if not rows:
+        pytest.skip("need both backends")
+    table = format_table(
+        ["circuit/technique", "python s", "gcc s", "gcc speedup"],
+        rows,
+        title=f"Ablation — backends, {NUM_VECTORS} vectors",
+        float_format="{:.6f}",
+    )
+    write_report("ablation_backend", table)
+    for row in rows:
+        assert row[3] > 1.0, row[0]  # native code always wins

@@ -1,0 +1,119 @@
+"""Ablation — machine word width and the 32->33 bit cliff.
+
+§4 motivates bit-field trimming with: "if the width of the bit-field
+expanded from 32 bits to 33, the amount of simulation time could more
+than double."  Two experiments:
+
+1. The parallel technique on one deep circuit at word widths 8/16/32/64
+   — fewer, wider words mean fewer operations per gate.
+2. Two circuits straddling a word boundary (depth 30 vs depth 34 at
+   W=32): the extra word roughly doubles the per-gate work even though
+   the circuit is barely deeper.
+"""
+
+import pytest
+
+from _common import BACKEND, NUM_VECTORS, write_report
+from repro.harness.tables import format_table
+from repro.harness.vectors import vectors_for
+from repro.netlist.random_circuits import layered_circuit
+from repro.parallel.codegen import generate_parallel_program
+from repro.parallel.simulator import ParallelSimulator
+
+_width_results: dict[int, float] = {}
+_cliff_results: dict[int, float] = {}
+
+_DEEP = dict(num_inputs=12, num_gates=500, depth=60, num_outputs=6)
+
+
+def _deep_circuit():
+    return layered_circuit(77, **_DEEP)
+
+
+@pytest.mark.parametrize("word_width", (8, 16, 32, 64))
+def test_word_width(benchmark, word_width):
+    target = _deep_circuit()
+    vectors = vectors_for(target, NUM_VECTORS, seed=3)
+    sim = ParallelSimulator(
+        target, word_width=word_width, backend=BACKEND,
+        with_outputs=False,
+    )
+    sim.reset()
+    prepared = sim.prepare_batch(vectors)
+
+    benchmark.group = "word-width"
+    benchmark(lambda: sim.run_prepared(prepared))
+    _width_results[word_width] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("depth", (30, 34))
+def test_word_boundary_cliff(benchmark, depth):
+    target = layered_circuit(
+        91, num_inputs=12, num_gates=400, depth=depth, num_outputs=6
+    )
+    vectors = vectors_for(target, NUM_VECTORS, seed=5)
+    sim = ParallelSimulator(
+        target, word_width=32, backend=BACKEND, with_outputs=False
+    )
+    sim.reset()
+    prepared = sim.prepare_batch(vectors)
+
+    benchmark.group = "word-boundary"
+    benchmark(lambda: sim.run_prepared(prepared))
+    _cliff_results[depth] = benchmark.stats.stats.mean
+
+
+def test_word_width_report(benchmark):
+    def build():
+        target = _deep_circuit()
+        rows = []
+        for width in (8, 16, 32, 64):
+            if width not in _width_results:
+                continue
+            program, _ = generate_parallel_program(
+                target, word_width=width
+            )
+            rows.append([
+                width,
+                program.stats().total_ops,
+                _width_results[width],
+            ])
+        cliff = []
+        for depth in (30, 34):
+            if depth in _cliff_results:
+                subject = layered_circuit(
+                    91, num_inputs=12, num_gates=400, depth=depth,
+                    num_outputs=6,
+                )
+                program, _ = generate_parallel_program(
+                    subject, word_width=32
+                )
+                cliff.append([
+                    depth, program.stats().total_ops,
+                    _cliff_results[depth],
+                ])
+        return rows, cliff
+
+    rows, cliff = benchmark.pedantic(build, rounds=1, iterations=1)
+    if not rows:
+        pytest.skip("no timing results collected")
+    table = format_table(
+        ["word width", "generated ops", "time s"],
+        rows,
+        title=(f"Ablation — word width (depth-60 circuit, "
+               f"backend={BACKEND})"),
+        float_format="{:.6f}",
+    )
+    table2 = format_table(
+        ["circuit depth", "generated ops", "time s"],
+        cliff,
+        title="Ablation — the 32/33-bit word boundary (W=32)",
+        float_format="{:.6f}",
+    )
+    write_report("ablation_word_width", table + "\n\n" + table2)
+    # Wider words -> fewer generated operations, monotonically.
+    ops = [row[1] for row in rows]
+    assert ops == sorted(ops, reverse=True)
+    if len(cliff) == 2:
+        # Crossing the boundary roughly doubles the static work.
+        assert cliff[1][1] > cliff[0][1] * 1.6

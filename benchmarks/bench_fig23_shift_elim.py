@@ -1,0 +1,96 @@
+"""Fig. 23 — run time of the two shift-elimination algorithms.
+
+Paper's table: unoptimized parallel vs path tracing (24-84% faster,
+average 43%) vs cycle breaking (worse than unoptimized for every
+non-trivial circuit, because the bit-field expansion of Fig. 22
+outweighs the eliminated shifts; c6288/c7552 were not even runnable).
+
+Expected shape here: path tracing's generated code carries
+substantially fewer shift operations and beats the unoptimized
+technique; cycle breaking's wider fields push its operation counts —
+and, on the larger circuits, its run time — back up.
+"""
+
+import pytest
+
+from _common import (
+    BACKEND,
+    NUM_VECTORS,
+    SUITE,
+    circuit,
+    full_circuit,
+    write_report,
+)
+from repro.harness.runner import run_technique
+from repro.harness.tables import format_table, improvement_percent
+from repro.harness.vectors import vectors_for
+
+TECHNIQUES = ("parallel", "parallel-pathtrace", "parallel-cyclebreak")
+
+_results: dict[tuple[str, str], float] = {}
+
+
+@pytest.mark.parametrize("name", SUITE)
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_fig23(benchmark, name, technique):
+    # Full published size: only compiled parallel variants run here,
+    # so the timing signal is strong and matches the static op counts.
+    target = full_circuit(name)
+    vectors = vectors_for(target, NUM_VECTORS, seed=85)
+    run = run_technique(target, technique, vectors, backend=BACKEND)
+    benchmark.group = f"fig23:{name}"
+    benchmark(run)
+    _results[(name, technique)] = benchmark.stats.stats.mean
+
+
+def _op_counts(name: str) -> tuple[int, int, int]:
+    from repro.parallel.aligned_codegen import generate_aligned_program
+    from repro.parallel.codegen import generate_parallel_program
+    from repro.parallel.cyclebreak import cycle_breaking_alignment
+    from repro.parallel.pathtrace import path_tracing_alignment
+
+    full = full_circuit(name)
+    plain, _ = generate_parallel_program(full)
+    path, _ = generate_aligned_program(full, path_tracing_alignment(full))
+    cycle, _ = generate_aligned_program(
+        full, cycle_breaking_alignment(full)
+    )
+    return (plain.stats().total_ops, path.stats().total_ops,
+            cycle.stats().total_ops)
+
+
+def test_fig23_report(benchmark):
+    def build_rows():
+        rows = []
+        for name in SUITE:
+            if (name, "parallel") not in _results:
+                continue
+            ops = _op_counts(name)
+            plain = _results[(name, "parallel")]
+            path = _results[(name, "parallel-pathtrace")]
+            cycle = _results[(name, "parallel-cyclebreak")]
+            rows.append([
+                name, ops[0], ops[1], ops[2],
+                plain, path, cycle,
+                improvement_percent(plain, path),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    if not rows:
+        pytest.skip("no timing results collected")
+    table = format_table(
+        ["circuit", "ops unopt", "ops path", "ops cycle",
+         "unopt s", "path s", "cycle s", "path gain %"],
+        rows,
+        title=(f"Fig. 23 analog — shift elimination, {NUM_VECTORS} "
+               f"vectors, backend={BACKEND} (op counts at full size)"),
+        float_format="{:.6f}",
+    )
+    write_report("fig23", table)
+    for row in rows:
+        name, ops_unopt, ops_path, ops_cycle = row[:4]
+        # Path tracing always reduces the static work; cycle breaking's
+        # field expansion keeps its op count above path tracing's.
+        assert ops_path < ops_unopt, name
+        assert ops_cycle > ops_path, name

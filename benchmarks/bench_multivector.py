@@ -1,0 +1,94 @@
+"""§3's multi-vector point — PC-set supports bit-parallel vector streams.
+
+"the PC-set method is amenable to bit-parallel simulation of multiple
+input vectors, while the parallel technique is not."
+
+This benchmark compares scalar PC-set simulation against the
+multi-vector mode (one vector stream per bit of the word) on the same
+batch.  Expected shape: multi-vector throughput per vector improves by
+a large factor that grows with the lane count (bounded by per-step
+fixed costs on the Python backend).
+"""
+
+import pytest
+
+from _common import BACKEND, SUITE, circuit, write_report
+from repro.harness.tables import format_table
+from repro.harness.vectors import vectors_for
+from repro.pcset.multivector import MultiVectorPCSetSimulator
+from repro.pcset.simulator import PCSetSimulator
+
+#: Enough vectors that every lane gets a useful stream and per-call
+#: overheads amortize.
+BATCH = 1024
+
+_results: dict[tuple[str, str], float] = {}
+
+NAMES = SUITE[:4]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_scalar_pcset(benchmark, name):
+    target = circuit(name)
+    vectors = vectors_for(target, BATCH, seed=21)
+    sim = PCSetSimulator(target, backend=BACKEND, with_outputs=False)
+    sim.reset()
+    prepared = sim.prepare_batch(vectors)
+
+    benchmark.group = f"multivector:{name}"
+    benchmark(lambda: sim.run_prepared(prepared))
+    _results[(name, "scalar")] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("lanes", (8, 32))
+def test_multivector_pcset(benchmark, name, lanes):
+    target = circuit(name)
+    vectors = vectors_for(target, BATCH, seed=21)
+    sim = MultiVectorPCSetSimulator(
+        target, lanes=lanes, backend=BACKEND, with_outputs=False
+    )
+    sim.reset()
+    prepared = sim.prepare_streams(vectors)
+
+    benchmark.group = f"multivector:{name}"
+    benchmark(lambda: sim.run_prepared(prepared))
+    _results[(name, f"mv{lanes}")] = benchmark.stats.stats.mean
+
+
+def test_multivector_report(benchmark):
+    def build_rows():
+        rows = []
+        for name in NAMES:
+            if (name, "scalar") not in _results:
+                continue
+            scalar = _results[(name, "scalar")]
+            mv8 = _results[(name, "mv8")]
+            mv32 = _results[(name, "mv32")]
+            rows.append([
+                name, scalar, mv8, mv32,
+                scalar / max(mv8, 1e-12),
+                scalar / max(mv32, 1e-12),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    if not rows:
+        pytest.skip("no timing results collected")
+    table = format_table(
+        ["circuit", "scalar s", "8-lane s", "32-lane s",
+         "speedup x8", "speedup x32"],
+        rows,
+        title=(f"Multi-vector PC-set — {BATCH} vectors, "
+               f"backend={BACKEND}"),
+        float_format="{:.6f}",
+    )
+    write_report("multivector", table)
+    from repro.harness.tables import geometric_mean
+
+    x8 = [row[4] for row in rows]
+    x32 = [row[5] for row in rows]
+    # Lanes pay off across the suite; tiny circuits may be bounded by
+    # per-batch call overhead, so the gate is on the aggregate.
+    assert geometric_mean(x8) > 1.5
+    assert geometric_mean(x32) > geometric_mean(x8) * 0.9

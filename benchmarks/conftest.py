@@ -1,0 +1,6 @@
+"""Make the benchmark helper importable and register session reporting."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""A five-minute tour of the paper's evaluation on one circuit.
+
+Reproduces, on the c880 analog, miniature versions of the paper's
+tables: Fig. 19 (technique comparison), Fig. 21/22 (retained shifts
+and bit-field widths), and Fig. 23/24 (optimization timing), printing
+paper-shaped tables.  The full per-figure benchmarks live under
+``benchmarks/``; this is the quick interactive version.
+
+Run:  python examples/benchmark_tour.py [circuit] [num_vectors]
+"""
+
+import sys
+
+from repro import (
+    circuit_report,
+    make_circuit,
+    random_vectors,
+)
+from repro.codegen.runtime import have_c_compiler
+from repro.harness.runner import run_technique
+from repro.harness.tables import format_table, improvement_percent
+from repro.harness.timing import time_run
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "c880"
+    num_vectors = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+    backend = "c" if have_c_compiler() else "python"
+    circuit = make_circuit(name, scale_factor=0.5)
+    print(f"Circuit: {circuit} (analog of {name} at half scale)")
+    print(f"Backend for compiled techniques: {backend}\n")
+
+    # --- static analysis (Figs. 20-22 quantities) --------------------
+    report = circuit_report(circuit)
+    rows = [[key, value] for key, value in report.items()]
+    print(format_table(["quantity", "value"], rows,
+                       title="Static report"))
+
+    # --- Fig. 19-style timing ----------------------------------------
+    vectors = random_vectors(num_vectors, len(circuit.inputs), seed=42)
+    techniques = [
+        ("interp3", {}),
+        ("interp2", {}),
+        ("pcset", {"backend": backend}),
+        ("parallel", {"backend": backend}),
+        ("parallel-trim", {"backend": backend}),
+        ("parallel-pathtrace", {"backend": backend}),
+        ("parallel-best", {"backend": backend}),
+    ]
+    timings = {}
+    for technique, options in techniques:
+        run = run_technique(circuit, technique, vectors, **options)
+        timings[technique] = time_run(
+            run, label=technique, num_vectors=num_vectors, repeat=3
+        ).best
+
+    base = timings["interp3"]
+    rows = [
+        [technique, seconds, base / seconds if seconds else float("inf")]
+        for technique, seconds in timings.items()
+    ]
+    print()
+    print(format_table(
+        ["technique", "best s", "speedup vs interp3"],
+        rows,
+        title=f"Technique comparison — {num_vectors} vectors",
+        float_format="{:.5f}",
+    ))
+
+    gain = improvement_percent(
+        timings["parallel"], timings["parallel-best"]
+    )
+    print(f"\npath tracing + trimming vs unoptimized parallel: "
+          f"{gain:+.1f}% (paper's Fig. 24 average: 47%)")
+
+
+if __name__ == "__main__":
+    main()

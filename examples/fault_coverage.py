@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Parallel stuck-at fault simulation — the classic application of
+bit-parallel compiled simulation.
+
+The PC-set method's generated code is purely bit-wise, so one run can
+carry 31 faulty machines alongside the fault-free one (one per bit
+lane).  This example grades a random test set against every stuck-at
+fault of a 4-bit ripple adder, cross-checks the lane-parallel engine
+against one-fault-at-a-time serial simulation, and shows a provably
+undetectable (redundant) fault.
+
+Run:  python examples/fault_coverage.py
+"""
+
+from repro import (
+    CircuitBuilder,
+    Fault,
+    full_fault_list,
+    random_vectors,
+    run_fault_simulation,
+    serial_fault_simulation,
+)
+from repro.netlist.generators import ripple_carry_adder
+
+
+def main():
+    circuit = ripple_carry_adder(4)
+    faults = full_fault_list(circuit)
+    vectors = random_vectors(60, len(circuit.inputs), seed=11)
+    print(f"Circuit: {circuit}")
+    print(f"Fault universe: {len(faults)} stuck-at faults")
+
+    report = run_fault_simulation(circuit, vectors, faults,
+                                  word_width=32)
+    print(f"\nParallel fault simulation over {len(vectors)} random "
+          f"vectors: coverage {report.coverage:.1%} "
+          f"({len(report.detected)}/{report.num_faults})")
+    if report.undetected:
+        print("undetected:",
+              ", ".join(str(f) for f in report.undetected))
+
+    # Detection-latency profile: when was each fault first caught?
+    latencies = sorted(report.detected.values())
+    half = latencies[len(latencies) // 2]
+    print(f"median first-detection vector index: {half} "
+          f"(random patterns catch most adder faults very fast)")
+
+    # Cross-check against the brute-force serial engine.
+    serial = serial_fault_simulation(circuit, vectors, faults)
+    assert serial.detected == report.detected
+    assert set(serial.undetected) == set(report.undetected)
+    print("serial reference agrees fault-for-fault  [verified]")
+
+    # --- a provably undetectable fault ------------------------------
+    b = CircuitBuilder("mux_rc")
+    a, bb, s = b.inputs("A", "B", "S")
+    sn = b.not_("SN", s)
+    b.outputs(b.or_(
+        "OUT",
+        b.and_("P", a, s),
+        b.and_("Q", bb, sn),
+        b.and_("R", a, bb),     # redundant consensus term
+    ))
+    mux = b.build()
+    exhaustive = [[(v >> i) & 1 for i in range(3)] for v in range(8)]
+    redundant = run_fault_simulation(
+        mux, exhaustive, [Fault("R", 0)], word_width=8
+    )
+    print(f"\nConsensus-mux R/sa0 under exhaustive vectors: "
+          f"coverage {redundant.coverage:.0%} — the fault is redundant "
+          f"(that is precisely why the consensus term kills the "
+          f"hazard but costs testability)")
+
+
+if __name__ == "__main__":
+    main()

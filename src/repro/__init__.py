@@ -1,0 +1,185 @@
+"""repro — unit-delay compiled logic simulation.
+
+A from-scratch reproduction of Peter M. Maurer, *Two New Techniques for
+Unit-Delay Compiled Simulation* (DAC 1990): the PC-set method, the
+bit-parallel "parallel technique", bit-field trimming, and both
+shift-elimination algorithms (path tracing and cycle breaking), together
+with every substrate the evaluation needs — a gate-level netlist model
+with ISCAS85 ``.bench`` I/O, levelization/PC-set/network-graph analyses,
+interpreted event-driven and zero-delay baselines, a zero-delay LCC
+compiler, and a benchmark harness reproducing every table of the paper.
+
+Quickstart::
+
+    from repro import CircuitBuilder, ParallelSimulator
+
+    b = CircuitBuilder("demo")
+    a, x, c = b.inputs("A", "B", "C")
+    d = b.and_("D", a, x)
+    b.outputs(b.and_("E", d, c))
+    circuit = b.build()
+
+    sim = ParallelSimulator(circuit, optimization="pathtrace")
+    sim.reset([0, 0, 0])
+    history = sim.apply_vector_history([1, 1, 1])
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced tables.
+"""
+
+from repro.errors import (
+    AlignmentError,
+    BackendError,
+    BenchFormatError,
+    CodegenError,
+    CyclicCircuitError,
+    NetlistError,
+    ReproError,
+    SimulationError,
+    VectorError,
+)
+from repro.logic import GateType, X
+from repro.netlist import (
+    Circuit,
+    CircuitBuilder,
+    Gate,
+    Net,
+    SequentialCircuit,
+    break_at_flipflops,
+    fanin_cone,
+    parse_bench,
+    parse_bench_file,
+    propagate_constants,
+    prune_dead_logic,
+    write_bench,
+)
+from repro.netlist.bench import parse_bench_sequential
+from repro.netlist.iscas85 import ISCAS85_SPECS, load_circuit, make_circuit, make_suite
+from repro.analysis import (
+    Levelization,
+    PCSets,
+    UndirectedNetworkGraph,
+    can_eliminate_all_shifts,
+    compute_pc_sets,
+    levelize,
+)
+from repro.analysis.stats import circuit_report
+from repro.eventsim import EventDrivenSimulator, ZeroDelaySimulator, steady_state
+from repro.eventsim.multidelay import MultiDelaySimulator
+from repro.lcc import LCCSimulator, generate_lcc_program
+from repro.pcset import (
+    MultiVectorPCSetSimulator,
+    PCSetSimulator,
+    generate_pcset_program,
+)
+from repro.parallel import (
+    Alignment,
+    ParallelSimulator,
+    cycle_breaking_alignment,
+    generate_aligned_program,
+    generate_parallel_program,
+    path_tracing_alignment,
+)
+from repro.hazards import HazardKind, classify_field, find_hazards
+from repro.seqsim import CompiledSequentialSimulator
+from repro.verify import EquivalenceResult, check_equivalence
+from repro.waveform import VCDWriter, write_vcd
+from repro.activity import ActivityCollector, ActivityReport, collect_activity
+from repro.faults import (
+    Fault,
+    FaultReport,
+    ParallelFaultSimulator,
+    TestSet,
+    compact_tests,
+    full_fault_list,
+    generate_tests,
+    inject_stuck_at,
+    run_fault_simulation,
+    serial_fault_simulation,
+)
+from repro.harness import build_simulator, cross_validate, random_vectors
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "NetlistError",
+    "CyclicCircuitError",
+    "BenchFormatError",
+    "SimulationError",
+    "VectorError",
+    "CodegenError",
+    "BackendError",
+    "AlignmentError",
+    # logic & netlist
+    "GateType",
+    "X",
+    "Circuit",
+    "CircuitBuilder",
+    "Gate",
+    "Net",
+    "SequentialCircuit",
+    "CompiledSequentialSimulator",
+    "break_at_flipflops",
+    "fanin_cone",
+    "propagate_constants",
+    "prune_dead_logic",
+    "parse_bench",
+    "parse_bench_file",
+    "parse_bench_sequential",
+    "write_bench",
+    "ISCAS85_SPECS",
+    "make_circuit",
+    "make_suite",
+    "load_circuit",
+    # analysis
+    "Levelization",
+    "levelize",
+    "PCSets",
+    "compute_pc_sets",
+    "UndirectedNetworkGraph",
+    "can_eliminate_all_shifts",
+    "circuit_report",
+    # simulators
+    "EventDrivenSimulator",
+    "MultiDelaySimulator",
+    "ZeroDelaySimulator",
+    "steady_state",
+    "LCCSimulator",
+    "generate_lcc_program",
+    "PCSetSimulator",
+    "MultiVectorPCSetSimulator",
+    "generate_pcset_program",
+    "ParallelSimulator",
+    "generate_parallel_program",
+    "generate_aligned_program",
+    "Alignment",
+    "path_tracing_alignment",
+    "cycle_breaking_alignment",
+    # hazards & harness
+    "HazardKind",
+    "classify_field",
+    "find_hazards",
+    "build_simulator",
+    "cross_validate",
+    "random_vectors",
+    "VCDWriter",
+    "write_vcd",
+    "ActivityCollector",
+    "ActivityReport",
+    "collect_activity",
+    "Fault",
+    "FaultReport",
+    "ParallelFaultSimulator",
+    "full_fault_list",
+    "inject_stuck_at",
+    "run_fault_simulation",
+    "serial_fault_simulation",
+    "TestSet",
+    "compact_tests",
+    "generate_tests",
+    "EquivalenceResult",
+    "check_equivalence",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""``python -m repro`` entry point — dispatches to :mod:`repro.cli`.
+
+Equivalent to the installed ``repro-sim`` console script.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Static circuit analyses used by the code generators.
+
+- :mod:`repro.analysis.levelize` — level / minlevel assignment (§1, §2).
+- :mod:`repro.analysis.pcsets` — the PC-set algorithm and zero insertion
+  (§2).
+- :mod:`repro.analysis.graph` — the undirected network graph, cycles and
+  cycle weights (§4, Figs. 13-16).
+- :mod:`repro.analysis.stats` — aggregate reports over a circuit.
+"""
+
+from repro.analysis.levelize import Levelization, levelize
+from repro.analysis.pcsets import PCSets, compute_pc_sets
+from repro.analysis.graph import (
+    UndirectedNetworkGraph,
+    can_eliminate_all_shifts,
+    cycle_weight,
+    fundamental_cycles,
+)
+
+__all__ = [
+    "Levelization",
+    "levelize",
+    "PCSets",
+    "compute_pc_sets",
+    "UndirectedNetworkGraph",
+    "can_eliminate_all_shifts",
+    "cycle_weight",
+    "fundamental_cycles",
+]

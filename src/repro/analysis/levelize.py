@@ -1,0 +1,96 @@
+"""Levelization: the foundation of every algorithm in the paper.
+
+Every net and gate gets two numbers:
+
+- ``level`` — length of the *longest* path from the primary inputs
+  (the latest time, in gate delays, at which the net may change);
+- ``minlevel`` — length of the *shortest* such path (the earliest time
+  at which a change can arrive).
+
+Primary inputs and constant signals are level 0 / minlevel 0.  A gate's
+level is ``max(input levels) + 1`` and its minlevel is
+``min(input minlevels) + 1``; its output nets inherit both.  (§1, §2.)
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+
+__all__ = ["Levelization", "levelize"]
+
+
+class Levelization:
+    """Levels and minlevels for one circuit.
+
+    Attributes
+    ----------
+    net_levels / net_minlevels:
+        Mapping net name -> level / minlevel.
+    gate_levels / gate_minlevels:
+        Mapping gate name -> level / minlevel.
+    depth:
+        Maximum net level (the circuit depth ``d``; the parallel
+        technique uses bit-fields of ``d + 1`` bits).
+    """
+
+    def __init__(
+        self,
+        net_levels: dict[str, int],
+        net_minlevels: dict[str, int],
+        gate_levels: dict[str, int],
+        gate_minlevels: dict[str, int],
+    ) -> None:
+        self.net_levels = net_levels
+        self.net_minlevels = net_minlevels
+        self.gate_levels = gate_levels
+        self.gate_minlevels = gate_minlevels
+        self.depth = max(net_levels.values(), default=0)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of distinct time points 0..depth (= depth + 1).
+
+        This is the ``n`` of §3: the bit-field width before optimization.
+        """
+        return self.depth + 1
+
+    def gates_by_level(self, circuit: Circuit) -> list[list[str]]:
+        """Gate names grouped by level, ascending (level 1 first)."""
+        buckets: dict[int, list[str]] = {}
+        for gate_name, level in self.gate_levels.items():
+            buckets.setdefault(level, []).append(gate_name)
+        return [buckets[k] for k in sorted(buckets)]
+
+    def __repr__(self) -> str:
+        return f"Levelization(depth={self.depth}, nets={len(self.net_levels)})"
+
+
+def levelize(circuit: Circuit) -> Levelization:
+    """Compute levels and minlevels for every net and gate.
+
+    Raises :class:`repro.errors.CyclicCircuitError` via the topological
+    sort if the circuit has a combinational cycle.
+    """
+    net_levels: dict[str, int] = {}
+    net_minlevels: dict[str, int] = {}
+    gate_levels: dict[str, int] = {}
+    gate_minlevels: dict[str, int] = {}
+
+    for net_name, net in circuit.nets.items():
+        if net.driver is None:
+            net_levels[net_name] = 0
+            net_minlevels[net_name] = 0
+
+    for gate in circuit.topological_gates():
+        if gate.fan_in == 0:
+            # Constant signals sit at level zero with the primary inputs.
+            level = minlevel = 0
+        else:
+            level = max(net_levels[i] for i in gate.inputs) + 1
+            minlevel = min(net_minlevels[i] for i in gate.inputs) + 1
+        gate_levels[gate.name] = level
+        gate_minlevels[gate.name] = minlevel
+        net_levels[gate.output] = level
+        net_minlevels[gate.output] = minlevel
+
+    return Levelization(net_levels, net_minlevels, gate_levels, gate_minlevels)

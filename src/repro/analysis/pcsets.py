@@ -1,0 +1,248 @@
+"""PC-sets: the set of Potential Change times of every net (§2).
+
+By Lemma 1 of the paper, a net may change value at time ``t`` iff there
+is a path of length ``t`` from the primary inputs to the net.  The
+PC-set of a net is exactly that set of path lengths; it always contains
+the net's minlevel and level, and its size is bounded by
+``level - minlevel + 1``.
+
+:func:`compute_pc_sets` implements the queue-driven algorithm of §2
+verbatim (counts on gates and nets, a processing queue, set unions and
+increments).  :func:`zero_insertion` implements the rule of Fig. 3:
+whenever the inputs of a gate do not share the same minlevel, every
+input whose minlevel is not minimal must retain its previous-vector
+value, which is modelled by adding ``0`` to its PC-set.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.analysis.levelize import Levelization, levelize
+from repro.netlist.circuit import Circuit
+
+__all__ = ["PCSets", "compute_pc_sets", "zero_insertion_targets"]
+
+
+class PCSets:
+    """PC-sets for every net and gate of one circuit.
+
+    PC-sets are stored as sorted tuples of ints.  After
+    :meth:`apply_zero_insertion` the net PC-sets may additionally
+    contain 0 for nets that must retain their previous-vector value;
+    the original (pre-insertion) sets remain available via
+    :attr:`raw_net_pc_sets`.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        net_pc_sets: dict[str, tuple[int, ...]],
+        gate_pc_sets: dict[str, tuple[int, ...]],
+        levels: Levelization,
+    ) -> None:
+        self.circuit = circuit
+        self.net_pc_sets = net_pc_sets
+        self.raw_net_pc_sets = dict(net_pc_sets)
+        self.gate_pc_sets = gate_pc_sets
+        self.levels = levels
+        #: Nets that had 0 added by zero insertion.
+        self.zero_added: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def net_pc_set(self, net_name: str) -> tuple[int, ...]:
+        return self.net_pc_sets[net_name]
+
+    def gate_pc_set(self, gate_name: str) -> tuple[int, ...]:
+        return self.gate_pc_sets[gate_name]
+
+    def latest_change_before(self, net_name: str, time: int) -> int:
+        """Largest PC element of ``net_name`` strictly smaller than ``time``.
+
+        This is the operand-selection rule of §2: the value of a net at
+        time ``time - 1`` lives in the variable of its latest potential
+        change at or before that moment.  Zero insertion guarantees the
+        element exists; a :class:`KeyError`-like failure here indicates
+        the caller skipped :meth:`apply_zero_insertion`.
+        """
+        pc = self.net_pc_sets[net_name]
+        idx = bisect_left(pc, time)
+        if idx == 0:
+            raise ValueError(
+                f"net {net_name!r} has no PC element before t={time} "
+                f"(PC-set {pc}); zero insertion missing?"
+            )
+        return pc[idx - 1]
+
+    def latest_change_at_or_before(self, net_name: str, time: int) -> int:
+        """Largest PC element of ``net_name`` that is <= ``time``.
+
+        Used by the output routine: a print at time ``t`` shows the value
+        the net holds *at* ``t``, i.e. its latest potential change not
+        after ``t``.
+        """
+        pc = self.net_pc_sets[net_name]
+        idx = bisect_left(pc, time + 1)
+        if idx == 0:
+            raise ValueError(
+                f"net {net_name!r} has no PC element at or before t={time} "
+                f"(PC-set {pc}); zero insertion missing?"
+            )
+        return pc[idx - 1]
+
+    # ------------------------------------------------------------------
+    def apply_zero_insertion(
+        self, monitored: Optional[Iterable[str]] = None
+    ) -> set[str]:
+        """Add 0 to the PC-set of every net that must retain its value.
+
+        ``monitored`` nets (default: the circuit's primary outputs) are
+        treated as the inputs of a pseudo-gate of type PRINT, exactly as
+        §2 prescribes for the output routine.
+
+        Returns the set of nets that received a zero.  Idempotent.
+        """
+        targets = zero_insertion_targets(
+            self.circuit, self.levels, monitored=monitored
+        )
+        for net_name in targets:
+            pc = self.net_pc_sets[net_name]
+            if not pc or pc[0] != 0:
+                self.net_pc_sets[net_name] = (0,) + pc
+        self.zero_added |= targets
+        return targets
+
+    def output_pc_set(
+        self, monitored: Optional[Iterable[str]] = None
+    ) -> tuple[int, ...]:
+        """PC-set of the PRINT pseudo-gate: union over monitored nets.
+
+        Uses the raw (pre-insertion) PC-sets; one output vector is
+        printed per element.
+        """
+        if monitored is None:
+            monitored = self.circuit.outputs
+        union: set[int] = set()
+        for net_name in monitored:
+            union.update(self.raw_net_pc_sets[net_name])
+        if not union:
+            union = {0}
+        return tuple(sorted(union))
+
+    # ------------------------------------------------------------------
+    def total_elements(self) -> int:
+        """Total PC-set elements over all nets (drives PC-set code size)."""
+        return sum(len(pc) for pc in self.net_pc_sets.values())
+
+    def max_size(self) -> int:
+        return max((len(pc) for pc in self.net_pc_sets.values()), default=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"PCSets({self.circuit.name!r}: {len(self.net_pc_sets)} nets, "
+            f"{self.total_elements()} elements)"
+        )
+
+
+def compute_pc_sets(
+    circuit: Circuit, levels: Optional[Levelization] = None
+) -> PCSets:
+    """Run the PC-set algorithm of §2.
+
+    The implementation follows the paper's six steps literally: counts
+    are attached to every net and gate, zero-count nets seed a processing
+    queue, and sets are propagated by union (nets) and union-then-
+    increment (gates).
+    """
+    if levels is None:
+        levels = levelize(circuit)
+
+    net_counts: dict[str, int] = {}
+    gate_counts: dict[str, int] = {}
+    net_pc: dict[str, tuple[int, ...]] = {}
+    gate_pc: dict[str, tuple[int, ...]] = {}
+
+    # Step 1: assign counts.
+    for net_name, net in circuit.nets.items():
+        net_counts[net_name] = 0 if net.driver is None else 1
+    for gate_name, gate in circuit.gates.items():
+        gate_counts[gate_name] = gate.fan_in
+
+    # Step 2: seed the queue with zero-count items (primary inputs,
+    # constants, and zero-input gates).
+    queue: deque[tuple[str, str]] = deque()
+    for net_name, count in net_counts.items():
+        if count == 0:
+            queue.append(("net", net_name))
+    for gate_name, count in gate_counts.items():
+        if count == 0:
+            queue.append(("gate", gate_name))
+
+    # Steps 3-6: drain the queue.
+    while queue:
+        kind, name = queue.popleft()
+        if kind == "net":
+            net = circuit.nets[name]
+            if net.driver is None:
+                union: set[int] = set()
+            else:
+                union = set(gate_pc[net.driver])
+            if not union:
+                union = {0}
+            net_pc[name] = tuple(sorted(union))
+            for reader in net.fanout:
+                gate_counts[reader] -= 1
+                if gate_counts[reader] == 0:
+                    queue.append(("gate", reader))
+        else:
+            gate = circuit.gates[name]
+            union = set()
+            for in_name in gate.inputs:
+                union.update(net_pc[in_name])
+            incremented = {t + 1 for t in union}
+            if not incremented:
+                # Constant signals: treated as changing at time 0 only.
+                incremented = {0}
+            gate_pc[name] = tuple(sorted(incremented))
+            out_name = gate.output
+            net_counts[out_name] -= 1
+            if net_counts[out_name] == 0:
+                queue.append(("net", out_name))
+
+    if len(net_pc) != len(circuit.nets):
+        # Counts never reached zero somewhere: a cycle. Let the
+        # topological sort produce the canonical error with a witness.
+        circuit.topological_gates()
+
+    return PCSets(circuit, net_pc, gate_pc, levels)
+
+
+def zero_insertion_targets(
+    circuit: Circuit,
+    levels: Levelization,
+    monitored: Optional[Iterable[str]] = None,
+) -> set[str]:
+    """Nets that must retain their previous-vector value (Figs. 2-3).
+
+    For every gate (and for the PRINT pseudo-gate over ``monitored``),
+    compare input minlevels; every input whose minlevel exceeds the
+    gate's minimum gets a zero.
+    """
+    targets: set[str] = set()
+    minlevel = levels.net_minlevels
+
+    def mark(input_nets: list[str]) -> None:
+        if len(input_nets) < 2:
+            return
+        lowest = min(minlevel[n] for n in input_nets)
+        for n in input_nets:
+            if minlevel[n] > lowest:
+                targets.add(n)
+
+    for gate in circuit.gates.values():
+        mark(gate.inputs)
+    monitored_list = list(monitored) if monitored is not None else circuit.outputs
+    mark(monitored_list)
+    return targets

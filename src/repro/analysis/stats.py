@@ -1,0 +1,60 @@
+"""Aggregate static reports over a circuit.
+
+:func:`circuit_report` gathers, in one dictionary, every static
+quantity the paper's tables key on: size statistics, level/word counts
+(Fig. 20), PC-set totals (the §3 code-size comparison), retained shift
+counts for both shift-elimination algorithms (Fig. 21) and their
+bit-field widths (Fig. 22).  The CLI and the benchmark reports print
+straight from this.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.levelize import levelize
+from repro.analysis.pcsets import compute_pc_sets
+from repro.netlist.circuit import Circuit
+
+__all__ = ["circuit_report"]
+
+
+def circuit_report(
+    circuit: Circuit,
+    *,
+    word_width: int = 32,
+    include_alignments: bool = True,
+) -> dict[str, object]:
+    """Compute the full static report of a circuit."""
+    from repro.parallel.alignment import unoptimized_shift_count
+
+    levels = levelize(circuit)
+    pc = compute_pc_sets(circuit, levels)
+    depth = levels.depth
+    report: dict[str, object] = {
+        "name": circuit.name,
+        "inputs": len(circuit.inputs),
+        "outputs": len(circuit.outputs),
+        "gates": circuit.num_gates,
+        "nets": circuit.num_nets,
+        "depth": depth,
+        "levels": depth + 1,
+        "words": -(-(depth + 1) // word_width),
+        "pc_elements": pc.total_elements(),
+        "pc_max_size": pc.max_size(),
+        "shifts_unoptimized": unoptimized_shift_count(circuit),
+    }
+    if include_alignments:
+        from repro.parallel.cyclebreak import cycle_breaking_alignment
+        from repro.parallel.pathtrace import path_tracing_alignment
+
+        pathtrace = path_tracing_alignment(circuit, levels)
+        cyclebreak = cycle_breaking_alignment(circuit, levels)
+        report.update(
+            {
+                "shifts_pathtrace": pathtrace.retained_shifts(),
+                "shifts_cyclebreak": cyclebreak.retained_shifts(),
+                "width_unoptimized": depth + 1,
+                "width_pathtrace": pathtrace.max_width(),
+                "width_cyclebreak": cyclebreak.max_width(),
+            }
+        )
+    return report

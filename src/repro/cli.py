@@ -1,0 +1,380 @@
+"""Command-line interface: ``repro-sim`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-sim stats   <circuit>            static report (Figs. 20-22 data)
+    repro-sim compile <circuit> [...]      print generated code
+    repro-sim simulate <circuit> [...]     run random vectors, print outputs
+    repro-sim bench   <circuit> [...]      quick technique comparison
+
+``<circuit>`` is either a path to an ISCAS85 ``.bench`` file or the
+name of a built-in synthetic benchmark (c432..c7552, or generator
+specs like ``rca16``, ``mul8``, ``parity32``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.stats import circuit_report
+from repro.harness.runner import TECHNIQUES, build_simulator, run_technique
+from repro.harness.tables import format_table
+from repro.harness.timing import time_run
+from repro.harness.vectors import vectors_for
+from repro.netlist.bench import parse_bench_file
+from repro.netlist.circuit import Circuit
+from repro.netlist.iscas85 import ISCAS85_SPECS, make_circuit
+
+__all__ = ["main", "resolve_circuit"]
+
+
+def resolve_circuit(spec: str, scale: float = 1.0) -> Circuit:
+    """Interpret a circuit spec: file path, ISCAS85 name, or generator."""
+    path = Path(spec)
+    if path.suffix == ".bench" or path.exists():
+        return parse_bench_file(path)
+    if spec in ISCAS85_SPECS:
+        return make_circuit(spec, scale_factor=scale)
+    for prefix, builder in _GENERATORS.items():
+        if spec.startswith(prefix) and spec[len(prefix):].isdigit():
+            return builder(int(spec[len(prefix):]))
+    raise SystemExit(
+        f"unknown circuit {spec!r}: not a .bench file, ISCAS85 name "
+        f"({', '.join(ISCAS85_SPECS)}), or generator spec "
+        f"({', '.join(_GENERATORS)}<n>)"
+    )
+
+
+def _generators():
+    from repro.netlist import generators as g
+
+    return {
+        "rca": g.ripple_carry_adder,
+        "cla": g.carry_lookahead_adder,
+        "mul": g.array_multiplier,
+        "parity": g.parity_tree,
+        "eq": g.equality_comparator,
+        "mux": g.mux_tree,
+        "dec": g.decoder,
+    }
+
+
+_GENERATORS = _generators()
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit, args.scale)
+    report = circuit_report(circuit, include_alignments=not args.fast)
+    width = max(len(k) for k in report)
+    for key, value in report.items():
+        print(f"{key.ljust(width)}  {value}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit, args.scale)
+    sim = build_simulator(
+        circuit,
+        args.technique,
+        word_width=args.word_width,
+        backend="python",
+    )
+    if args.language == "c":
+        source = sim.program.c_source()
+    else:
+        source = sim.program.python_source()
+    if args.output:
+        Path(args.output).write_text(source)
+        stats = sim.program.stats()
+        print(f"wrote {args.output}: {stats}")
+    else:
+        print(source)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit, args.scale)
+    vectors = vectors_for(circuit, args.vectors, args.seed)
+    sim = build_simulator(
+        circuit,
+        args.technique,
+        word_width=args.word_width,
+        backend=args.backend,
+    )
+    zeros = [0] * len(circuit.inputs)
+    if args.technique in ("interp2", "interp3"):
+        sim.reset(zeros)
+        for vector in vectors:
+            sim.apply_vector(vector)
+            print(" ".join(
+                f"{k}={v}" for k, v in sim.output_values().items()
+            ))
+        return 0
+    if args.technique in ("zero-interp", "zero-lcc"):
+        for vector in vectors:
+            out = sim.evaluate(vector)
+            print(" ".join(f"{k}={v}" for k, v in out.items()))
+        return 0
+    sim.reset(zeros)
+    for vector in vectors:
+        sim.apply_vector(vector)
+        print(" ".join(
+            f"{k}={v}" for k, v in sim.final_values().items()
+        ))
+    return 0
+
+
+def _cmd_activity(args: argparse.Namespace) -> int:
+    from repro.activity import collect_activity
+
+    circuit = resolve_circuit(args.circuit, args.scale)
+    vectors = vectors_for(circuit, args.vectors, args.seed)
+    if args.technique.startswith("interp"):
+        sim = build_simulator(circuit, args.technique)
+    else:
+        sim = build_simulator(
+            circuit, args.technique,
+            word_width=args.word_width, backend=args.backend,
+        )
+    report = collect_activity(
+        sim, vectors, initial=[0] * len(circuit.inputs)
+    )
+    rows = [
+        [net_name, count, report.functional[net_name],
+         report.glitch_toggles(net_name),
+         report.activity_factor(net_name)]
+        for net_name, count in report.hottest(args.top)
+    ]
+    print(format_table(
+        ["net", "toggles", "functional", "glitch", "per vector"],
+        rows,
+        title=(f"{circuit.name}: switching activity over "
+               f"{report.vectors} vectors "
+               f"(total {report.total_toggles()}, "
+               f"{report.total_glitch_toggles()} from glitches)"),
+    ))
+    return 0
+
+
+def _cmd_vcd(args: argparse.Namespace) -> int:
+    from repro.analysis.levelize import levelize
+    from repro.waveform import VCDWriter
+
+    circuit = resolve_circuit(args.circuit, args.scale)
+    vectors = vectors_for(circuit, args.vectors, args.seed)
+    sim = build_simulator(
+        circuit, args.technique,
+        word_width=args.word_width, backend=args.backend,
+    )
+    sim.reset([0] * len(circuit.inputs))
+    nets = None if args.all_nets else circuit.inputs + circuit.outputs
+    writer = VCDWriter(levelize(circuit).depth, nets)
+    for vector in vectors:
+        writer.add_vector(sim.apply_vector_history(vector))
+    with open(args.output, "w") as stream:
+        writer.write(stream)
+    print(f"wrote {writer.num_vectors} vectors to {args.output}")
+    return 0
+
+
+def _cmd_equiv(args: argparse.Namespace) -> int:
+    from repro.verify import check_equivalence
+
+    golden = resolve_circuit(args.golden, args.scale)
+    candidate = resolve_circuit(args.candidate, args.scale)
+    result = check_equivalence(
+        golden, candidate,
+        max_exhaustive_inputs=args.max_exhaustive,
+        random_vectors=args.vectors,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    print(repr(result))
+    return 0 if result.equivalent else 1
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.simulator import run_fault_simulation
+
+    circuit = resolve_circuit(args.circuit, args.scale)
+    vectors = vectors_for(circuit, args.vectors, args.seed)
+    report = run_fault_simulation(
+        circuit, vectors,
+        word_width=args.word_width, backend=args.backend,
+    )
+    print(f"{circuit.name}: {report.num_faults} stuck-at faults, "
+          f"{len(report.detected)} detected by {args.vectors} random "
+          f"vectors (coverage {report.coverage:.1%})")
+    if report.undetected and args.show_undetected:
+        shown = ", ".join(str(f) for f in report.undetected[:20])
+        more = ("..." if len(report.undetected) > 20 else "")
+        print(f"undetected: {shown}{more}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit, args.scale)
+    vectors = vectors_for(circuit, args.vectors, args.seed)
+    rows = []
+    baseline: Optional[float] = None
+    for technique in args.techniques:
+        run = run_technique(
+            circuit, technique, vectors,
+            backend=args.backend, word_width=args.word_width,
+        )
+        result = time_run(
+            run, label=technique, num_vectors=len(vectors),
+            repeat=args.repeat,
+        )
+        if baseline is None:
+            baseline = result.mean
+        rows.append([
+            technique,
+            result.mean,
+            result.best,
+            baseline / result.mean if result.mean else float("inf"),
+        ])
+    print(format_table(
+        ["technique", "mean s", "best s", "speedup vs first"],
+        rows,
+        title=(f"{circuit.name}: {len(vectors)} vectors, "
+               f"backend={args.backend}"),
+    ))
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Unit-delay compiled simulation (Maurer, DAC 1990)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor for synthetic ISCAS85 analogs (default 1.0)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="static circuit report")
+    p_stats.add_argument("circuit")
+    p_stats.add_argument(
+        "--fast", action="store_true",
+        help="skip the alignment analyses (large circuits)",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_compile = sub.add_parser("compile", help="print generated code")
+    p_compile.add_argument("circuit")
+    p_compile.add_argument(
+        "-t", "--technique", default="parallel",
+        choices=[t for t in TECHNIQUES if t not in
+                 ("interp2", "interp3", "zero-interp")],
+    )
+    p_compile.add_argument("-l", "--language", default="c",
+                           choices=["c", "python"])
+    p_compile.add_argument("-w", "--word-width", type=int, default=32,
+                           choices=[8, 16, 32, 64])
+    p_compile.add_argument("-o", "--output", default=None)
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_sim = sub.add_parser("simulate", help="simulate random vectors")
+    p_sim.add_argument("circuit")
+    p_sim.add_argument("-t", "--technique", default="parallel",
+                       choices=[t for t in TECHNIQUES
+                                if t != "pcset-mv"])
+    p_sim.add_argument("-n", "--vectors", type=int, default=10)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("-b", "--backend", default="python",
+                       choices=["python", "c"])
+    p_sim.add_argument("-w", "--word-width", type=int, default=32,
+                       choices=[8, 16, 32, 64])
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    history_techniques = [
+        t for t in TECHNIQUES
+        if t.startswith("parallel") or t == "pcset"
+    ]
+    p_act = sub.add_parser(
+        "activity", help="switching-activity (toggle) report"
+    )
+    p_act.add_argument("circuit")
+    p_act.add_argument("-t", "--technique", default="parallel-best",
+                       choices=history_techniques + ["interp2",
+                                                     "interp3"])
+    p_act.add_argument("-n", "--vectors", type=int, default=100)
+    p_act.add_argument("--seed", type=int, default=0)
+    p_act.add_argument("--top", type=int, default=15,
+                       help="show the N most active nets")
+    p_act.add_argument("-b", "--backend", default="python",
+                       choices=["python", "c"])
+    p_act.add_argument("-w", "--word-width", type=int, default=32,
+                       choices=[8, 16, 32, 64])
+    p_act.set_defaults(func=_cmd_activity)
+
+    p_vcd = sub.add_parser("vcd", help="dump unit-delay waveforms")
+    p_vcd.add_argument("circuit")
+    p_vcd.add_argument("-o", "--output", default="trace.vcd")
+    p_vcd.add_argument("-t", "--technique", default="parallel-best",
+                       choices=history_techniques)
+    p_vcd.add_argument("-n", "--vectors", type=int, default=20)
+    p_vcd.add_argument("--seed", type=int, default=0)
+    p_vcd.add_argument("--all-nets", action="store_true",
+                       help="include internal nets, not just I/O")
+    p_vcd.add_argument("-b", "--backend", default="python",
+                       choices=["python", "c"])
+    p_vcd.add_argument("-w", "--word-width", type=int, default=32,
+                       choices=[8, 16, 32, 64])
+    p_vcd.set_defaults(func=_cmd_vcd)
+
+    p_equiv = sub.add_parser(
+        "equiv", help="check two circuits for functional equivalence"
+    )
+    p_equiv.add_argument("golden")
+    p_equiv.add_argument("candidate")
+    p_equiv.add_argument("--max-exhaustive", type=int, default=20,
+                         help="input count up to which the check is "
+                              "exhaustive")
+    p_equiv.add_argument("-n", "--vectors", type=int, default=2048,
+                         help="random vectors in sampled mode")
+    p_equiv.add_argument("--seed", type=int, default=0)
+    p_equiv.add_argument("-b", "--backend", default="python",
+                         choices=["python", "c"])
+    p_equiv.set_defaults(func=_cmd_equiv)
+
+    p_faults = sub.add_parser(
+        "faults", help="stuck-at fault coverage of random vectors"
+    )
+    p_faults.add_argument("circuit")
+    p_faults.add_argument("-n", "--vectors", type=int, default=100)
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument("--show-undetected", action="store_true")
+    p_faults.add_argument("-b", "--backend", default="python",
+                          choices=["python", "c"])
+    p_faults.add_argument("-w", "--word-width", type=int, default=32,
+                          choices=[8, 16, 32, 64])
+    p_faults.set_defaults(func=_cmd_faults)
+
+    p_bench = sub.add_parser("bench", help="quick technique comparison")
+    p_bench.add_argument("circuit")
+    p_bench.add_argument(
+        "-t", "--techniques", nargs="+",
+        default=["interp2", "pcset", "parallel", "parallel-best"],
+        choices=list(TECHNIQUES),
+    )
+    p_bench.add_argument("-n", "--vectors", type=int, default=100)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--repeat", type=int, default=3)
+    p_bench.add_argument("-b", "--backend", default="python",
+                         choices=["python", "c"])
+    p_bench.add_argument("-w", "--word-width", type=int, default=32,
+                         choices=[8, 16, 32, 64])
+    p_bench.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Straight-line generated programs and their execution backends.
+
+All of the paper's code generators (zero-delay LCC, the PC-set method,
+the parallel technique and its optimized variants) produce the same
+thing: a *straight-line* program over fixed-width unsigned words with no
+tests or branches.  :mod:`repro.codegen.program` defines a small typed
+IR for such programs; :mod:`repro.codegen.python_emitter` and
+:mod:`repro.codegen.c_emitter` render it to Python or C source; and
+:mod:`repro.codegen.runtime` compiles and runs either form behind one
+:class:`~repro.codegen.runtime.Machine` interface (the C path uses the
+system ``gcc`` plus ``ctypes``, restoring the genuinely *compiled*
+character of the original work).
+"""
+
+from repro.codegen.program import (
+    Assign,
+    Bin,
+    Comment,
+    Const,
+    Emit,
+    Expr,
+    Program,
+    ProgramStats,
+    Un,
+    Var,
+)
+from repro.codegen.runtime import (
+    Machine,
+    PythonMachine,
+    CMachine,
+    compile_program,
+    have_c_compiler,
+)
+
+__all__ = [
+    "Assign",
+    "Bin",
+    "Comment",
+    "Const",
+    "Emit",
+    "Expr",
+    "Program",
+    "ProgramStats",
+    "Un",
+    "Var",
+    "Machine",
+    "PythonMachine",
+    "CMachine",
+    "compile_program",
+    "have_c_compiler",
+]

@@ -1,0 +1,52 @@
+"""Gate functions as IR expression trees.
+
+Shared by every code generator: renders AND/OR/... over operand
+expressions using only bit-wise operators, so the same builder serves
+scalar simulation, bit-parallel multi-vector simulation, and the
+parallel technique's bit-field simulation.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.codegen.program import Bin, Const, Expr, Un
+from repro.errors import CodegenError
+from repro.logic import GateType
+
+__all__ = ["gate_expression"]
+
+
+def _fold(op: str, operands: list[Expr]) -> Expr:
+    return reduce(lambda a, b: Bin(op, a, b), operands)
+
+
+def gate_expression(gate_type: GateType, operands: list[Expr]) -> Expr:
+    """Expression computing ``gate_type`` over ``operands`` bit-wise."""
+    n = len(operands)
+    if n < gate_type.min_inputs:
+        raise CodegenError(
+            f"{gate_type.value} needs {gate_type.min_inputs}+ operands, "
+            f"got {n}"
+        )
+    if gate_type is GateType.AND:
+        return _fold("&", operands)
+    if gate_type is GateType.NAND:
+        return Un("~", _fold("&", operands))
+    if gate_type is GateType.OR:
+        return _fold("|", operands)
+    if gate_type is GateType.NOR:
+        return Un("~", _fold("|", operands))
+    if gate_type is GateType.XOR:
+        return _fold("^", operands)
+    if gate_type is GateType.XNOR:
+        return Un("~", _fold("^", operands))
+    if gate_type is GateType.NOT:
+        return Un("~", operands[0])
+    if gate_type is GateType.BUF:
+        return operands[0]
+    if gate_type is GateType.CONST0:
+        return Const(0)
+    if gate_type is GateType.CONST1:
+        return Un("~", Const(0))
+    raise CodegenError(f"unknown gate type: {gate_type!r}")

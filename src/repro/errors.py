@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NetlistError(ReproError):
+    """A circuit description is malformed (dangling nets, bad gates...)."""
+
+
+class CyclicCircuitError(NetlistError):
+    """A combinational cycle was found where an acyclic circuit is required.
+
+    The compiled techniques in this library require acyclic circuits; break
+    sequential feedback at flip-flops first (see
+    :mod:`repro.netlist.sequential`).
+    """
+
+    def __init__(self, message: str, cycle: list | None = None) -> None:
+        super().__init__(message)
+        #: A witness cycle (list of node names), when available.
+        self.cycle = list(cycle) if cycle is not None else None
+
+
+class BenchFormatError(NetlistError):
+    """An ISCAS85 ``.bench`` file could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        #: 1-based line number of the offending line, when known.
+        self.line_number = line_number
+
+
+class SimulationError(ReproError):
+    """A simulation could not be run (bad vector shape, unknown net...)."""
+
+
+class VectorError(SimulationError):
+    """An input vector does not match the circuit's primary inputs."""
+
+
+class CodegenError(ReproError):
+    """Code generation failed or produced an inconsistent program."""
+
+
+class BackendError(CodegenError):
+    """A code-execution backend (python exec / gcc) failed."""
+
+
+class AlignmentError(CodegenError):
+    """A shift-elimination pass produced inconsistent alignments."""

@@ -1,0 +1,14 @@
+"""Interpreted simulators: the baselines of the paper's evaluation.
+
+- :mod:`repro.eventsim.simulator` — interpreted event-driven *unit-delay*
+  simulation, two-valued and three-valued (the first two columns of
+  Fig. 19).
+- :mod:`repro.eventsim.zerodelay` — interpreted zero-delay evaluation,
+  also used everywhere to compute steady states that seed unit-delay
+  runs.
+"""
+
+from repro.eventsim.simulator import EventDrivenSimulator
+from repro.eventsim.zerodelay import ZeroDelaySimulator, steady_state
+
+__all__ = ["EventDrivenSimulator", "ZeroDelaySimulator", "steady_state"]

@@ -1,0 +1,129 @@
+"""Event scheduling for unit-delay interpreted simulation.
+
+With every gate delay equal to one time unit, a full event queue is
+overkill: an event scheduled at time ``t`` can only spawn events at
+``t + 1``.  The classic structure is therefore a two-slot *time wheel*:
+the set of gates to evaluate now, and the set being accumulated for the
+next instant.  :class:`TimeWheel` implements exactly that, with
+deduplication so a gate fed by several changed nets is evaluated once.
+
+A general multi-delay wheel (:class:`DeltaWheel`) is included as well;
+the unit-delay simulator does not need it, but the sequential-circuit
+example and the tests use it to check that unit delay is the special
+case it should be.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["TimeWheel", "DeltaWheel"]
+
+
+class TimeWheel:
+    """Two-phase scheduler for unit-delay simulation.
+
+    Gates are identified by dense integer ids.  ``schedule`` enqueues a
+    gate for the *next* time step; ``advance`` swaps phases and returns
+    the gates due now.
+    """
+
+    __slots__ = ("_current", "_next", "_pending_now", "_pending_next", "time")
+
+    def __init__(self, num_gates: int) -> None:
+        self._current: list[int] = []
+        self._next: list[int] = []
+        self._pending_now = bytearray(num_gates)
+        self._pending_next = bytearray(num_gates)
+        #: The time step of the slot returned by the last ``advance``.
+        self.time = 0
+
+    def schedule(self, gate_id: int) -> None:
+        """Enqueue ``gate_id`` for evaluation at the next time step."""
+        if not self._pending_next[gate_id]:
+            self._pending_next[gate_id] = 1
+            self._next.append(gate_id)
+
+    def advance(self) -> list[int]:
+        """Move to the next time step; return gates due for evaluation."""
+        self._current, self._next = self._next, self._current
+        self._pending_now, self._pending_next = (
+            self._pending_next,
+            self._pending_now,
+        )
+        for gate_id in self._next:
+            self._pending_next[gate_id] = 0
+        self._next.clear()
+        self.time += 1
+        return self._current
+
+    @property
+    def has_events(self) -> bool:
+        return bool(self._next)
+
+    def clear(self) -> None:
+        for gate_id in self._next:
+            self._pending_next[gate_id] = 0
+        self._next.clear()
+        for gate_id in self._current:
+            self._pending_now[gate_id] = 0
+        self._current.clear()
+        self.time = 0
+
+
+class DeltaWheel:
+    """A ring-buffer time wheel for small bounded gate delays.
+
+    ``schedule(gate_id, delta)`` enqueues an evaluation ``delta`` time
+    units in the future (1 <= delta <= horizon).  With ``horizon == 1``
+    this degenerates to :class:`TimeWheel` behaviour.
+    """
+
+    def __init__(self, num_gates: int, horizon: int) -> None:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.horizon = horizon
+        self._slots: list[list[int]] = [[] for _ in range(horizon + 1)]
+        self._pending: list[bytearray] = [
+            bytearray(num_gates) for _ in range(horizon + 1)
+        ]
+        self._head = 0
+        self.time = 0
+        self._population = 0
+
+    def _slot_index(self, delta: int) -> int:
+        return (self._head + delta) % (self.horizon + 1)
+
+    def schedule(self, gate_id: int, delta: int = 1) -> None:
+        if not 1 <= delta <= self.horizon:
+            raise ValueError(
+                f"delta {delta} outside wheel horizon 1..{self.horizon}"
+            )
+        idx = self._slot_index(delta)
+        if not self._pending[idx][gate_id]:
+            self._pending[idx][gate_id] = 1
+            self._slots[idx].append(gate_id)
+            self._population += 1
+
+    def advance(self) -> list[int]:
+        """Step one time unit; return (and consume) the gates now due."""
+        self._head = (self._head + 1) % (self.horizon + 1)
+        self.time += 1
+        due = self._slots[self._head]
+        self._slots[self._head] = []
+        pending = self._pending[self._head]
+        for gate_id in due:
+            pending[gate_id] = 0
+        self._population -= len(due)
+        return due
+
+    @property
+    def has_events(self) -> bool:
+        return self._population > 0
+
+    def drain(self) -> Iterator[tuple[int, list[int]]]:
+        """Yield ``(time, due_gates)`` until the wheel empties."""
+        while self.has_events:
+            due = self.advance()
+            if due:
+                yield self.time, due

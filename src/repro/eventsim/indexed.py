@@ -1,0 +1,99 @@
+"""Dense-index view of a circuit for the interpreted simulators.
+
+Name-keyed dictionaries are convenient for construction and analysis but
+slow to simulate with.  :class:`IndexedCircuit` assigns dense integer
+ids to nets and gates once, and exposes flat parallel arrays the
+interpreter loops read without hashing.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import VectorError
+from repro.logic import GateType
+from repro.netlist.circuit import Circuit
+
+__all__ = ["IndexedCircuit"]
+
+
+class IndexedCircuit:
+    """Flat arrays describing a circuit.
+
+    Attributes
+    ----------
+    net_ids / net_names:
+        Name -> id and id -> name mappings (ids are dense, 0-based).
+    gate_types:
+        Per gate id, its :class:`GateType`.
+    gate_inputs:
+        Per gate id, a tuple of input net ids (order and duplicates
+        preserved).
+    gate_output:
+        Per gate id, the output net id.
+    net_fanout:
+        Per net id, a tuple of gate ids reading the net (deduplicated —
+        a gate is evaluated once however many pins a net feeds).
+    input_ids / output_ids:
+        Net ids of the primary inputs / monitored outputs, in
+        declaration order.
+    topo_gate_ids:
+        Gate ids in topological order.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.net_names = list(circuit.nets)
+        self.net_ids = {name: i for i, name in enumerate(self.net_names)}
+        gate_order = circuit.topological_gates()
+        self.gate_names = [g.name for g in gate_order]
+        self.gate_ids = {name: i for i, name in enumerate(self.gate_names)}
+        self.gate_types: list[GateType] = [g.gate_type for g in gate_order]
+        self.gate_inputs: list[tuple[int, ...]] = [
+            tuple(self.net_ids[n] for n in g.inputs) for g in gate_order
+        ]
+        self.gate_output: list[int] = [
+            self.net_ids[g.output] for g in gate_order
+        ]
+        fanout: list[list[int]] = [[] for _ in self.net_names]
+        for gate_id, gate in enumerate(gate_order):
+            seen: set[int] = set()
+            for in_name in gate.inputs:
+                net_id = self.net_ids[in_name]
+                if net_id not in seen:
+                    seen.add(net_id)
+                    fanout[net_id].append(gate_id)
+        self.net_fanout: list[tuple[int, ...]] = [tuple(f) for f in fanout]
+        self.input_ids = [self.net_ids[n] for n in circuit.inputs]
+        self.output_ids = [self.net_ids[n] for n in circuit.outputs]
+        self.topo_gate_ids = list(range(len(gate_order)))
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_names)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gate_types)
+
+    def input_values(
+        self, vector: Mapping[str, int] | Sequence[int]
+    ) -> list[int]:
+        """Normalize a vector to a list ordered like ``input_ids``.
+
+        Accepts a mapping keyed by primary-input name, or a sequence in
+        primary-input declaration order.
+        """
+        inputs = self.circuit.inputs
+        if isinstance(vector, Mapping):
+            missing = [n for n in inputs if n not in vector]
+            if missing:
+                raise VectorError(f"vector missing inputs: {missing}")
+            return [vector[n] for n in inputs]
+        values = list(vector)
+        if len(values) != len(inputs):
+            raise VectorError(
+                f"vector has {len(values)} values, circuit has "
+                f"{len(inputs)} primary inputs"
+            )
+        return values

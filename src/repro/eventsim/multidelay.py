@@ -1,0 +1,219 @@
+"""Interpreted event-driven simulation with per-gate integer delays.
+
+§6 of the paper lists "more accurate timing models" as future work for
+the compiled techniques; this module provides the interpreted reference
+point for that direction: transport-delay simulation where every gate
+carries its own integer delay (unit delay is the special case where
+every delay is 1, and the test suite checks that this simulator then
+reproduces :class:`~repro.eventsim.simulator.EventDrivenSimulator`
+exactly).
+
+Semantics (transport delay): when a gate's inputs change at time ``t``,
+the gate is evaluated on the values at ``t`` and the result is
+scheduled to appear on its output at ``t + delay``.  A scheduled value
+that equals the net's value at arrival time is dropped (no event).
+Because each gate's delay is fixed, two pending updates of one gate can
+only collide when scheduled from the same instant — with equal values —
+so a per-slot last-write table is sufficient bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.errors import SimulationError
+from repro.eventsim.indexed import IndexedCircuit
+from repro.eventsim.simulator import SimulationStats
+from repro.logic import X, eval_gate, eval_gate3
+from repro.netlist.circuit import Circuit
+
+__all__ = ["MultiDelaySimulator"]
+
+
+class _ValueWheel:
+    """Ring buffer of {gate_id: value} slots for bounded delays."""
+
+    def __init__(self, horizon: int) -> None:
+        self.horizon = horizon
+        self._slots: list[dict[int, int]] = [
+            {} for _ in range(horizon + 1)
+        ]
+        self._head = 0
+        self._population = 0
+        self.time = 0
+
+    def schedule(self, gate_id: int, value: int, delta: int) -> None:
+        slot = self._slots[(self._head + delta) % (self.horizon + 1)]
+        if gate_id not in slot:
+            self._population += 1
+        slot[gate_id] = value
+
+    def advance(self) -> dict[int, int]:
+        self._head = (self._head + 1) % (self.horizon + 1)
+        self.time += 1
+        due = self._slots[self._head]
+        self._slots[self._head] = {}
+        self._population -= len(due)
+        return due
+
+    @property
+    def has_events(self) -> bool:
+        return self._population > 0
+
+    def clear(self) -> None:
+        for slot in self._slots:
+            slot.clear()
+        self._population = 0
+        self.time = 0
+
+
+class MultiDelaySimulator:
+    """Event-driven simulation with per-gate transport delays.
+
+    Parameters
+    ----------
+    circuit:
+        An acyclic combinational circuit.
+    delays:
+        Either one integer applied to every gate, or a mapping
+        ``gate name -> delay`` (missing gates default to 1).  Delays
+        must be >= 1.
+    logic:
+        ``"two"`` or ``"three"``.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        delays: Union[int, Mapping[str, int]] = 1,
+        logic: str = "two",
+    ) -> None:
+        if logic not in ("two", "three"):
+            raise SimulationError(f"unknown logic model: {logic!r}")
+        self.circuit = circuit
+        self.logic = logic
+        self.indexed = IndexedCircuit(circuit)
+        if isinstance(delays, int):
+            delay_of = {name: delays for name in self.indexed.gate_names}
+        else:
+            delay_of = {
+                name: delays.get(name, 1)
+                for name in self.indexed.gate_names
+            }
+        bad = [g for g, d in delay_of.items() if d < 1]
+        if bad:
+            raise SimulationError(
+                f"delays must be >= 1; offending gates: {bad[:5]}"
+            )
+        self.delays = [
+            delay_of[name] for name in self.indexed.gate_names
+        ]
+        self.max_delay = max(self.delays, default=1)
+        initial = 0 if logic == "two" else X
+        self.values: list[int] = [initial] * self.indexed.num_nets
+        self.stats = SimulationStats()
+        self._wheel = _ValueWheel(self.max_delay)
+        self._settled = False
+
+    # ------------------------------------------------------------------
+    def reset(
+        self, vector: Mapping[str, int] | Sequence[int] | None = None
+    ) -> None:
+        """Settle on ``vector`` (or all zeros) to a steady state."""
+        idx = self.indexed
+        if vector is not None:
+            for net_id, value in zip(
+                idx.input_ids, idx.input_values(vector)
+            ):
+                self.values[net_id] = value
+        evaluate = eval_gate if self.logic == "two" else eval_gate3
+        for gate_id in idx.topo_gate_ids:
+            operands = [self.values[i] for i in idx.gate_inputs[gate_id]]
+            result = evaluate(idx.gate_types[gate_id], operands)
+            if self.logic == "two":
+                result &= 1
+            self.values[idx.gate_output[gate_id]] = result
+        self._wheel.clear()
+        self._settled = True
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, gate_id: int) -> int:
+        idx = self.indexed
+        operands = [self.values[i] for i in idx.gate_inputs[gate_id]]
+        evaluate = eval_gate if self.logic == "two" else eval_gate3
+        result = evaluate(idx.gate_types[gate_id], operands)
+        if self.logic == "two":
+            result &= 1
+        self.stats.gate_evaluations += 1
+        return result
+
+    def apply_vector(
+        self,
+        vector: Mapping[str, int] | Sequence[int],
+        record: bool = False,
+    ) -> Optional[dict[str, list[tuple[int, int]]]]:
+        """Simulate one vector; optionally record all change histories."""
+        if not self._settled:
+            raise SimulationError("call reset() before apply_vector()")
+        idx = self.indexed
+        values = self.values
+        wheel = self._wheel
+        wheel.clear()
+
+        history: Optional[list[list[tuple[int, int]]]] = None
+        if record:
+            history = [[(0, v)] for v in values]
+
+        changed: list[int] = []
+        for net_id, value in zip(idx.input_ids, idx.input_values(vector)):
+            if values[net_id] != value:
+                values[net_id] = value
+                self.stats.events += 1
+                if history is not None:
+                    history[net_id][0] = (0, value)
+                changed.append(net_id)
+        scheduled_gates: set[int] = set()
+        for net_id in changed:
+            scheduled_gates.update(idx.net_fanout[net_id])
+        for gate_id in scheduled_gates:
+            wheel.schedule(
+                gate_id, self._evaluate(gate_id), self.delays[gate_id]
+            )
+
+        while wheel.has_events:
+            due = wheel.advance()
+            time = wheel.time
+            arrivals = []
+            for gate_id, value in due.items():
+                out_id = idx.gate_output[gate_id]
+                if values[out_id] != value:
+                    arrivals.append((out_id, value))
+            to_schedule: set[int] = set()
+            for out_id, value in arrivals:
+                values[out_id] = value
+                self.stats.events += 1
+                if history is not None:
+                    history[out_id].append((time, value))
+                to_schedule.update(idx.net_fanout[out_id])
+            for gate_id in to_schedule:
+                wheel.schedule(
+                    gate_id, self._evaluate(gate_id),
+                    self.delays[gate_id],
+                )
+            if time > self.stats.max_time:
+                self.stats.max_time = time
+        self.stats.vectors += 1
+
+        if history is None:
+            return None
+        return {
+            idx.net_names[i]: changes
+            for i, changes in enumerate(history)
+        }
+
+    def value_of(self, net_name: str) -> int:
+        return self.values[self.indexed.net_ids[net_name]]
+
+    def output_values(self) -> dict[str, int]:
+        idx = self.indexed
+        return {idx.net_names[i]: self.values[i] for i in idx.output_ids}

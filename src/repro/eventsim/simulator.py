@@ -1,0 +1,216 @@
+"""Interpreted event-driven unit-delay simulation.
+
+This is the baseline the paper measures against (first two columns of
+Fig. 19): a conventional event-driven simulator with every gate delay
+equal to one time unit, in a three-valued (0/1/X) and a two-valued (0/1)
+flavour.
+
+The simulator keeps the circuit's *steady state* between vectors.  A new
+vector is applied at time 0; each primary-input change schedules the
+fanout gates for time 1; a gate evaluation whose result differs from the
+output net's current value is an *event* that schedules the net's
+fanout for the next instant.  Acyclicity bounds activity at the circuit
+depth, so the run always terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.eventsim.events import TimeWheel
+from repro.eventsim.indexed import IndexedCircuit
+from repro.logic import X, eval_gate, eval_gate3
+from repro.netlist.circuit import Circuit
+
+__all__ = ["EventDrivenSimulator", "SimulationStats"]
+
+
+class SimulationStats:
+    """Activity counters for one run (events are what the baseline pays for)."""
+
+    __slots__ = ("vectors", "gate_evaluations", "events", "max_time")
+
+    def __init__(self) -> None:
+        self.vectors = 0
+        self.gate_evaluations = 0
+        self.events = 0
+        self.max_time = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationStats(vectors={self.vectors}, "
+            f"gate_evals={self.gate_evaluations}, events={self.events})"
+        )
+
+
+class EventDrivenSimulator:
+    """Interpreted event-driven unit-delay simulator.
+
+    Parameters
+    ----------
+    circuit:
+        An acyclic combinational circuit.
+    logic:
+        ``"two"`` for 0/1 simulation, ``"three"`` for 0/1/X.
+
+    Use :meth:`reset` to establish the initial steady state, then
+    :meth:`apply_vector` per input vector.  Histories returned by
+    ``apply_vector(record=True)`` are mappings ``net name -> [(time,
+    value), ...]`` starting with the time-0 value; they are the ground
+    truth the compiled techniques are validated against.
+    """
+
+    def __init__(self, circuit: Circuit, logic: str = "two") -> None:
+        if logic not in ("two", "three"):
+            raise SimulationError(f"unknown logic model: {logic!r}")
+        self.circuit = circuit
+        self.logic = logic
+        self.indexed = IndexedCircuit(circuit)
+        initial = 0 if logic == "two" else X
+        self.values: list[int] = [initial] * self.indexed.num_nets
+        self.stats = SimulationStats()
+        self._wheel = TimeWheel(self.indexed.num_gates)
+        self._settled = False
+
+    # ------------------------------------------------------------------
+    def reset(
+        self, vector: Mapping[str, int] | Sequence[int] | None = None
+    ) -> None:
+        """Establish the initial steady state.
+
+        With a vector, settles the circuit on it (zero-delay); without,
+        every net is set to 0 (two-valued) or X (three-valued).
+        """
+        idx = self.indexed
+        if vector is None:
+            fill = 0 if self.logic == "two" else X
+            self.values = [fill] * idx.num_nets
+            if self.logic == "two":
+                # An all-0 state is not a fixed point (e.g. NOT gates), so
+                # settle it: evaluate every gate once in topological order.
+                self._settle_all()
+            self._settled = True
+            return
+        values = self.values
+        for net_id, value in zip(idx.input_ids, idx.input_values(vector)):
+            values[net_id] = value
+        self._settle_all()
+        self._settled = True
+
+    def _settle_all(self) -> None:
+        idx = self.indexed
+        values = self.values
+        evaluate = eval_gate if self.logic == "two" else eval_gate3
+        mask = 1 if self.logic == "two" else None
+        for gate_id in idx.topo_gate_ids:
+            operands = [values[i] for i in idx.gate_inputs[gate_id]]
+            result = evaluate(idx.gate_types[gate_id], operands)
+            if mask is not None:
+                result &= 1
+            values[idx.gate_output[gate_id]] = result
+
+    # ------------------------------------------------------------------
+    def apply_vector(
+        self,
+        vector: Mapping[str, int] | Sequence[int],
+        record: bool = False,
+    ) -> Optional[dict[str, list[tuple[int, int]]]]:
+        """Simulate one input vector starting from the current steady state.
+
+        Returns the full per-net change history when ``record`` is true,
+        otherwise ``None`` (the fast path used for timing).
+        """
+        if not self._settled:
+            raise SimulationError("call reset() before apply_vector()")
+        idx = self.indexed
+        values = self.values
+        wheel = self._wheel
+        wheel.clear()
+        evaluate = eval_gate if self.logic == "two" else eval_gate3
+        two_valued = self.logic == "two"
+
+        history: Optional[list[list[tuple[int, int]]]] = None
+        if record:
+            history = [[(0, v)] for v in values]
+
+        # Time 0: apply the primary inputs.
+        for net_id, value in zip(idx.input_ids, idx.input_values(vector)):
+            if values[net_id] != value:
+                values[net_id] = value
+                self.stats.events += 1
+                if history is not None:
+                    history[net_id][0] = (0, value)
+                for gate_id in idx.net_fanout[net_id]:
+                    wheel.schedule(gate_id)
+
+        gate_inputs = idx.gate_inputs
+        gate_output = idx.gate_output
+        gate_types = idx.gate_types
+        net_fanout = idx.net_fanout
+        stats = self.stats
+        # Two-phase stepping: all gates due at time t read the values the
+        # nets held at t-1 (evaluate phase), then the changed outputs are
+        # committed together.  Without the barrier, a gate evaluated
+        # later in the same step could observe a same-instant update and
+        # the simulation would not be unit-delay any more.
+        updates: list[tuple[int, int]] = []
+        while wheel.has_events:
+            due = wheel.advance()
+            time = wheel.time
+            updates.clear()
+            for gate_id in due:
+                operands = [values[i] for i in gate_inputs[gate_id]]
+                result = evaluate(gate_types[gate_id], operands)
+                if two_valued:
+                    result &= 1
+                stats.gate_evaluations += 1
+                out_id = gate_output[gate_id]
+                if values[out_id] != result:
+                    updates.append((out_id, result))
+            for out_id, result in updates:
+                values[out_id] = result
+                stats.events += 1
+                if history is not None:
+                    history[out_id].append((time, result))
+                for reader in net_fanout[out_id]:
+                    wheel.schedule(reader)
+            if time > stats.max_time:
+                stats.max_time = time
+        stats.vectors += 1
+
+        if history is None:
+            return None
+        names = idx.net_names
+        return {names[i]: changes for i, changes in enumerate(history)}
+
+    # ------------------------------------------------------------------
+    def value_of(self, net_name: str) -> int:
+        """Current (settled) value of a net."""
+        return self.values[self.indexed.net_ids[net_name]]
+
+    def output_values(self) -> dict[str, int]:
+        """Current settled values of the monitored outputs."""
+        idx = self.indexed
+        return {
+            idx.net_names[i]: self.values[i] for i in idx.output_ids
+        }
+
+    def run_batch(self, vectors: Sequence[Sequence[int]]) -> int:
+        """Simulate many vectors; return a fold of the monitored outputs.
+
+        The first call must be preceded by :meth:`reset`.  The checksum
+        is computed identically across all simulators in the library so
+        results can be cross-checked cheaply.
+        """
+        checksum = 0
+        out_ids = self.indexed.output_ids
+        values = self.values
+        for vector in vectors:
+            self.apply_vector(vector)
+            folded = 0
+            for net_id in out_ids:
+                folded = ((folded << 1) | (folded >> 61)) & (2**62 - 1)
+                folded ^= values[net_id] & 1
+            checksum ^= folded
+        return checksum

@@ -1,0 +1,95 @@
+"""Interpreted zero-delay simulation and steady-state computation.
+
+Zero-delay evaluation visits every gate once in topological order; for
+an acyclic circuit the result is the unique fixed point of the network
+equations — the *steady state*.  Unit-delay simulation of a new vector
+always starts from the previous vector's steady state, so this module
+backs every other simulator in the library in addition to providing the
+interpreted half of the paper's zero-delay comparison ("a compiled
+simulation runs in 1/23 the time of an interpreted simulation", §5).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.eventsim.indexed import IndexedCircuit
+from repro.logic import X, eval_gate, eval_gate3
+from repro.netlist.circuit import Circuit
+
+__all__ = ["ZeroDelaySimulator", "steady_state"]
+
+
+class ZeroDelaySimulator:
+    """Interpreted zero-delay simulator (one gate visit per vector).
+
+    ``logic`` selects ``"two"``-valued (0/1) or ``"three"``-valued
+    (0/1/X) evaluation.
+    """
+
+    def __init__(self, circuit: Circuit, logic: str = "two") -> None:
+        if logic not in ("two", "three"):
+            raise SimulationError(f"unknown logic model: {logic!r}")
+        self.circuit = circuit
+        self.logic = logic
+        self.indexed = IndexedCircuit(circuit)
+        self.values = [0 if logic == "two" else X] * self.indexed.num_nets
+
+    def evaluate(
+        self, vector: Mapping[str, int] | Sequence[int]
+    ) -> dict[str, int]:
+        """Settle the circuit on ``vector``; return all net values."""
+        self.evaluate_into_state(vector)
+        names = self.indexed.net_names
+        return {names[i]: v for i, v in enumerate(self.values)}
+
+    def evaluate_into_state(
+        self, vector: Mapping[str, int] | Sequence[int]
+    ) -> list[int]:
+        """Settle the circuit; return the internal dense value array."""
+        idx = self.indexed
+        values = self.values
+        for net_id, value in zip(idx.input_ids, idx.input_values(vector)):
+            values[net_id] = value
+        if self.logic == "two":
+            for gate_id in idx.topo_gate_ids:
+                operands = [values[i] for i in idx.gate_inputs[gate_id]]
+                values[idx.gate_output[gate_id]] = (
+                    eval_gate(idx.gate_types[gate_id], operands) & 1
+                )
+        else:
+            for gate_id in idx.topo_gate_ids:
+                operands = [values[i] for i in idx.gate_inputs[gate_id]]
+                values[idx.gate_output[gate_id]] = eval_gate3(
+                    idx.gate_types[gate_id], operands
+                )
+        return values
+
+    def run_batch(
+        self, vectors: Sequence[Sequence[int]]
+    ) -> int:
+        """Simulate many vectors; return a fold of the monitored outputs.
+
+        The checksum lets benchmarks verify that two simulators computed
+        the same thing without storing full traces.
+        """
+        checksum = 0
+        out_ids = self.indexed.output_ids
+        for vector in vectors:
+            values = self.evaluate_into_state(vector)
+            folded = 0
+            for net_id in out_ids:
+                folded = ((folded << 1) | (folded >> 61)) & (2**62 - 1)
+                folded ^= values[net_id]
+            checksum ^= folded
+        return checksum
+
+
+def steady_state(
+    circuit: Circuit,
+    vector: Mapping[str, int] | Sequence[int],
+    logic: str = "two",
+) -> dict[str, int]:
+    """Zero-delay settled values of every net for one input vector."""
+    return ZeroDelaySimulator(circuit, logic=logic).evaluate(vector)

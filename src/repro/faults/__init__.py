@@ -1,0 +1,38 @@
+"""Stuck-at fault simulation on top of the PC-set method.
+
+The paper stresses (§3, §6) that the PC-set method — unlike the
+parallel technique — is "amenable to bit-parallel simulation" because
+its generated code is purely bit-wise.  Historically that is exactly
+what made bit-parallel compiled simulation matter: *parallel fault
+simulation*, where bit lane 0 carries the fault-free machine and every
+other lane carries one faulty machine.  This subpackage implements
+that application end to end:
+
+- :mod:`repro.faults.model` — stuck-at faults, fault-list generation,
+  and circuit transformation for the serial reference simulator;
+- :mod:`repro.faults.simulator` — lane-parallel fault simulation by
+  instrumenting the generated PC-set program with per-net lane masks,
+  plus the brute-force serial simulator it is validated against.
+"""
+
+from repro.faults.model import Fault, full_fault_list, inject_stuck_at
+from repro.faults.simulator import (
+    FaultReport,
+    ParallelFaultSimulator,
+    serial_fault_simulation,
+    run_fault_simulation,
+)
+from repro.faults.testgen import TestSet, compact_tests, generate_tests
+
+__all__ = [
+    "Fault",
+    "full_fault_list",
+    "inject_stuck_at",
+    "FaultReport",
+    "ParallelFaultSimulator",
+    "serial_fault_simulation",
+    "run_fault_simulation",
+    "TestSet",
+    "compact_tests",
+    "generate_tests",
+]

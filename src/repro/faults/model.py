@@ -1,0 +1,91 @@
+"""The single-stuck-at fault model.
+
+A :class:`Fault` pins one *net* to a constant (stem faults; per-branch
+faults are not modelled).  :func:`full_fault_list` enumerates both
+polarities for every net; :func:`inject_stuck_at` builds the faulty
+circuit used by the serial reference simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import NetlistError, SimulationError
+from repro.logic import GateType
+from repro.netlist.circuit import Circuit
+
+__all__ = ["Fault", "full_fault_list", "inject_stuck_at"]
+
+
+class Fault:
+    """Net ``net`` stuck at ``value`` (0 or 1)."""
+
+    __slots__ = ("net", "value")
+
+    def __init__(self, net: str, value: int) -> None:
+        if value not in (0, 1):
+            raise SimulationError(f"stuck value must be 0 or 1: {value}")
+        self.net = net
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Fault)
+            and other.net == self.net
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.net, self.value))
+
+    def __repr__(self) -> str:
+        return f"{self.net}/sa{self.value}"
+
+
+def full_fault_list(
+    circuit: Circuit, nets: Optional[Iterable[str]] = None
+) -> list[Fault]:
+    """Both stuck-at polarities for every (or each given) net."""
+    names = list(nets) if nets is not None else list(circuit.nets)
+    for name in names:
+        if name not in circuit.nets:
+            raise NetlistError(f"no such net: {name!r}")
+    return [
+        Fault(name, value) for name in names for value in (0, 1)
+    ]
+
+
+def inject_stuck_at(circuit: Circuit, fault: Fault) -> Circuit:
+    """The faulty circuit: every reader of ``fault.net`` sees a constant.
+
+    The original driver (if any) still computes the fault-free value
+    into a renamed shadow net, preserving circuit structure; the
+    monitored-output list follows the fault (a stuck monitored net
+    reports the stuck value).  Used by the serial reference simulator.
+    """
+    if fault.net not in circuit.nets:
+        raise NetlistError(f"no such net: {fault.net!r}")
+    const_type = GateType.CONST1 if fault.value else GateType.CONST0
+    stuck_name = f"{fault.net}__sa{fault.value}"
+    shadow_name = f"{fault.net}__free"
+
+    faulty = Circuit(f"{circuit.name}__{fault.net}_sa{fault.value}")
+    for net_name in circuit.inputs:
+        faulty.add_net(net_name, is_input=True)
+    faulty.add_gate(const_type, stuck_name, [])
+
+    def read(name: str) -> str:
+        return stuck_name if name == fault.net else name
+
+    for gate in circuit.gates.values():
+        output = shadow_name if gate.output == fault.net else gate.output
+        faulty.add_gate(
+            gate.gate_type,
+            output,
+            [read(i) for i in gate.inputs],
+            name=gate.name,
+        )
+    for net_name in circuit.outputs:
+        faulty.add_net(read(net_name), is_output=True)
+    faulty.validate()
+    return faulty

@@ -1,0 +1,388 @@
+"""Parallel (lane-per-fault) stuck-at fault simulation.
+
+Bit lane 0 of every word carries the fault-free machine; each further
+lane carries one faulty machine.  The PC-set program makes this almost
+free: its generated code is purely bit-wise (§3), so the only addition
+is, after every write to a variable of a *faulted* net, one masking
+statement
+
+    N_t = (N_t & FMASK) | FVAL
+
+where ``FMASK``/``FVAL`` are per-net extra input words pinning the
+faulty lanes to their stuck values and leaving every other lane
+untouched.  Faults are processed in batches of ``word_width - 1``; a
+fault is *detected* by a vector when any monitored output's settled
+value differs from lane 0's.
+
+:func:`serial_fault_simulation` is the brute-force reference — one
+full event-driven simulation per fault on an injected circuit — used
+to validate the parallel engine and for small jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.codegen.program import Assign, Bin, Emit, Input, Program, Var
+from repro.codegen.runtime import compile_program
+from repro.errors import SimulationError
+from repro.eventsim.simulator import EventDrivenSimulator
+from repro.eventsim.zerodelay import steady_state
+from repro.faults.model import Fault, full_fault_list, inject_stuck_at
+from repro.netlist.circuit import Circuit
+from repro.pcset.codegen import generate_pcset_program
+
+__all__ = [
+    "FaultReport",
+    "ParallelFaultSimulator",
+    "serial_fault_simulation",
+    "run_fault_simulation",
+]
+
+
+class FaultReport:
+    """Outcome of a fault-simulation run.
+
+    Attributes
+    ----------
+    detected:
+        ``Fault -> index of the first detecting vector``.
+    undetected:
+        Faults no vector exposed.
+    num_vectors:
+        Vectors simulated.
+    """
+
+    def __init__(
+        self,
+        detected: dict[Fault, int],
+        undetected: list[Fault],
+        num_vectors: int,
+    ) -> None:
+        self.detected = detected
+        self.undetected = undetected
+        self.num_vectors = num_vectors
+
+    @property
+    def num_faults(self) -> int:
+        return len(self.detected) + len(self.undetected)
+
+    @property
+    def coverage(self) -> float:
+        """Detected fraction (1.0 = full coverage)."""
+        if self.num_faults == 0:
+            return 1.0
+        return len(self.detected) / self.num_faults
+
+    def first_detection(self, fault: Fault) -> Optional[int]:
+        return self.detected.get(fault)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultReport({len(self.detected)}/{self.num_faults} "
+            f"detected, coverage {self.coverage:.1%}, "
+            f"{self.num_vectors} vectors)"
+        )
+
+
+class ParallelFaultSimulator:
+    """Lane-parallel stuck-at fault simulation over the PC-set program.
+
+    ``instrument`` selects the injection strategy:
+
+    - ``"all"`` (default): one program with mask/value inputs for
+      *every* net, compiled once and reused for every fault batch —
+      the right trade when many batches run (compilation is paid once,
+      as the paper's methodology assumes);
+    - ``"batch"``: a lean program instrumented only at the nets of the
+      current batch, recompiled per batch — smaller and faster per
+      step, worthwhile when the fault list is short.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        *,
+        word_width: int = 32,
+        backend: str = "python",
+        monitored: Optional[list[str]] = None,
+        instrument: str = "all",
+    ) -> None:
+        if instrument not in ("all", "batch"):
+            raise SimulationError(
+                f"instrument must be 'all' or 'batch': {instrument!r}"
+            )
+        self.circuit = circuit
+        self.word_width = word_width
+        self.backend = backend
+        self.instrument = instrument
+        self.monitored = (
+            list(monitored) if monitored is not None else circuit.outputs
+        )
+        if not self.monitored:
+            raise SimulationError("no monitored outputs to detect with")
+        # The uninstrumented program is generated once; instrumentation
+        # splices in masking statements (statement objects are
+        # immutable, so sharing them across programs is safe).
+        self._base, self.variables = generate_pcset_program(
+            circuit,
+            word_width=word_width,
+            monitored=self.monitored,
+            emit_outputs=False,
+        )
+        self._owner_of = {
+            identifier: net_name
+            for net_name, _t, identifier in self.variables.ordered
+        }
+        self.lanes_per_batch = word_width - 1
+        self._all_machine = None
+        self._all_nets = sorted(circuit.nets)
+
+    def _machine_for(self, faulted_nets: list[str]):
+        """(machine, net -> (mask_slot, value_slot)) for a batch."""
+        if self.instrument == "batch":
+            program = self._instrumented_program(faulted_nets)
+            machine = compile_program(program, self.backend)
+            nets = faulted_nets
+        else:
+            if self._all_machine is None:
+                program = self._instrumented_program(self._all_nets)
+                self._all_machine = compile_program(
+                    program, self.backend
+                )
+            machine = self._all_machine
+            nets = self._all_nets
+        base_inputs = len(self._base.inputs)
+        slots = {
+            net_name: (base_inputs + k, base_inputs + len(nets) + k)
+            for k, net_name in enumerate(nets)
+        }
+        return machine, nets, slots
+
+    # ------------------------------------------------------------------
+    def _instrumented_program(
+        self, faulted_nets: list[str]
+    ) -> Program:
+        base = self._base
+        program = Program(
+            f"{base.name}_faulty",
+            word_width=base.word_width,
+            inputs=list(base.inputs)
+            + [f"{n}__fm" for n in faulted_nets]
+            + [f"{n}__fv" for n in faulted_nets],
+            mask_assignments=False,
+            output_mask=base.word_mask,
+        )
+        program.state_vars = base.state_vars
+        program._state_set = base._state_set
+        program.state_init = base.state_init
+        program.temp_vars = base.temp_vars
+        program._temp_set = base._temp_set
+
+        slot_of_mask = {
+            net_name: len(base.inputs) + k
+            for k, net_name in enumerate(faulted_nets)
+        }
+        slot_of_value = {
+            net_name: len(base.inputs) + len(faulted_nets) + k
+            for k, net_name in enumerate(faulted_nets)
+        }
+        faulted = set(faulted_nets)
+
+        touched: set[str] = set()
+
+        def mask_stmt(dest: str, net_name: str) -> Assign:
+            return Assign(
+                dest,
+                Bin(
+                    "|",
+                    Bin("&", Var(dest), Input(slot_of_mask[net_name])),
+                    Input(slot_of_value[net_name]),
+                ),
+            )
+
+        def splice(section: list) -> list:
+            out = []
+            for stmt in section:
+                out.append(stmt)
+                if isinstance(stmt, Assign):
+                    net_name = self._owner_of.get(stmt.dest)
+                    if net_name in faulted:
+                        touched.add(net_name)
+                        out.append(mask_stmt(stmt.dest, net_name))
+            return out
+
+        program.init = splice(base.init)
+        program.body = splice(base.body)
+        # Nets the program never assigns (constant signals) still need
+        # their faulty lanes pinned: mask their variables once per
+        # vector at the top of the init section.
+        leading: list[Assign] = []
+        for net_name, _time, identifier in self.variables.ordered:
+            if net_name in faulted and net_name not in touched:
+                leading.append(mask_stmt(identifier, net_name))
+        if leading:
+            program.init = leading + program.init
+        program.output = [
+            Emit(Var(self.variables.final_var(m)), (m,))
+            for m in self.monitored
+        ]
+        program.validate()
+        return program
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        vectors: Sequence[Sequence[int]],
+        faults: Optional[Sequence[Fault]] = None,
+        *,
+        initial: Optional[Sequence[int]] = None,
+        drop_detected: bool = True,
+    ) -> FaultReport:
+        """Simulate ``vectors`` against ``faults`` (default: all).
+
+        ``initial`` seeds the pre-existing steady state (default all
+        zeros); it is not a detection opportunity.  With
+        ``drop_detected`` a batch stops early once all its faults are
+        detected.
+        """
+        if faults is None:
+            faults = full_fault_list(self.circuit)
+        for fault in faults:
+            if fault.net not in self.circuit.nets:
+                raise SimulationError(f"no such net: {fault.net!r}")
+        if initial is None:
+            initial = [0] * len(self.circuit.inputs)
+        settled = steady_state(self.circuit, initial)
+        mask = (1 << self.word_width) - 1
+
+        detected: dict[Fault, int] = {}
+        undetected: list[Fault] = []
+        for start in range(0, len(faults), self.lanes_per_batch):
+            batch = list(faults[start:start + self.lanes_per_batch])
+            outcome = self._run_batch(
+                batch, vectors, initial, settled, mask, drop_detected
+            )
+            for fault, first in zip(batch, outcome):
+                if first is None:
+                    undetected.append(fault)
+                else:
+                    detected[fault] = first
+        return FaultReport(detected, undetected, len(vectors))
+
+    def _run_batch(
+        self,
+        batch: list[Fault],
+        vectors: Sequence[Sequence[int]],
+        initial: Sequence[int],
+        settled: Mapping[str, int],
+        mask: int,
+        drop_detected: bool,
+    ) -> list[Optional[int]]:
+        faulted_nets = sorted({fault.net for fault in batch})
+        machine, nets, _slots = self._machine_for(faulted_nets)
+
+        # Lane assignment: lane 0 good, lane k+1 = batch[k].
+        fault_mask = {n: mask for n in nets}
+        fault_value = {n: 0 for n in nets}
+        lane_of: list[int] = []
+        for k, fault in enumerate(batch):
+            lane = k + 1
+            lane_of.append(lane)
+            fault_mask[fault.net] &= ~(1 << lane) & mask
+            if fault.value:
+                fault_value[fault.net] |= 1 << lane
+
+        extra = (
+            [fault_mask[n] for n in nets]
+            + [fault_value[n] for n in nets]
+        )
+
+        def vector_words(vector: Sequence[int]) -> list[int]:
+            return [(-(v & 1)) & mask for v in vector] + extra
+
+        # Seed: replicated good steady state, then one warm-up pass on
+        # the initial vector lets every faulty lane settle to its own
+        # steady state (one pass suffices: the program evaluates in
+        # levelized order with the fault masks applied at each write).
+        machine.load_state([
+            (-(settled[net_name] & 1)) & mask
+            for net_name, _t, _i in self.variables.ordered
+        ])
+        machine.step(vector_words(initial))
+
+        first_detection: list[Optional[int]] = [None] * len(batch)
+        remaining = len(batch)
+        for index, vector in enumerate(vectors):
+            out = machine.step(vector_words(vector))
+            diff = 0
+            for word in out:
+                good = -(word & 1)  # lane-0 value replicated
+                diff |= (word ^ good) & mask
+            if not diff:
+                continue
+            for k, lane in enumerate(lane_of):
+                if first_detection[k] is None and (diff >> lane) & 1:
+                    first_detection[k] = index
+                    remaining -= 1
+            if drop_detected and remaining == 0:
+                break
+        return first_detection
+
+
+def serial_fault_simulation(
+    circuit: Circuit,
+    vectors: Sequence[Sequence[int]],
+    faults: Optional[Sequence[Fault]] = None,
+    *,
+    initial: Optional[Sequence[int]] = None,
+) -> FaultReport:
+    """Brute-force reference: one event-driven run per fault."""
+    if faults is None:
+        faults = full_fault_list(circuit)
+    if initial is None:
+        initial = [0] * len(circuit.inputs)
+
+    good = EventDrivenSimulator(circuit)
+    good.reset(initial)
+    good_outputs: list[list[int]] = []
+    for vector in vectors:
+        good.apply_vector(vector)
+        values = good.output_values()
+        good_outputs.append([values[n] for n in circuit.outputs])
+
+    detected: dict[Fault, int] = {}
+    undetected: list[Fault] = []
+    for fault in faults:
+        faulty_circuit = inject_stuck_at(circuit, fault)
+        sim = EventDrivenSimulator(faulty_circuit)
+        sim.reset(initial)
+        first: Optional[int] = None
+        for index, vector in enumerate(vectors):
+            sim.apply_vector(vector)
+            values = sim.output_values()
+            observed = [values[n] for n in faulty_circuit.outputs]
+            if observed != good_outputs[index]:
+                first = index
+                break
+        if first is None:
+            undetected.append(fault)
+        else:
+            detected[fault] = first
+    return FaultReport(detected, undetected, len(vectors))
+
+
+def run_fault_simulation(
+    circuit: Circuit,
+    vectors: Sequence[Sequence[int]],
+    faults: Optional[Sequence[Fault]] = None,
+    *,
+    word_width: int = 32,
+    backend: str = "python",
+    initial: Optional[Sequence[int]] = None,
+) -> FaultReport:
+    """Convenience wrapper around :class:`ParallelFaultSimulator`."""
+    simulator = ParallelFaultSimulator(
+        circuit, word_width=word_width, backend=backend
+    )
+    return simulator.run(vectors, faults, initial=initial)

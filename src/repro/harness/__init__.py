@@ -1,0 +1,31 @@
+"""Experiment harness: vectors, simulator factory, cross-checks, timing.
+
+This is the machinery the benchmarks and EXPERIMENTS.md are built on:
+
+- :mod:`repro.harness.vectors` — seeded random vector sets;
+- :mod:`repro.harness.runner` — one factory for every simulator in the
+  library, keyed by technique name;
+- :mod:`repro.harness.compare` — history/checksum equivalence checks
+  between simulators;
+- :mod:`repro.harness.timing` — repeat-and-average wall-clock
+  measurement (the paper averaged five ``/bin/time`` runs);
+- :mod:`repro.harness.tables` — plain-text table rendering for the
+  benchmark reports.
+"""
+
+from repro.harness.vectors import random_vectors
+from repro.harness.runner import TECHNIQUES, build_simulator
+from repro.harness.compare import compare_histories, cross_validate
+from repro.harness.timing import TimingResult, time_run
+from repro.harness.tables import format_table
+
+__all__ = [
+    "random_vectors",
+    "TECHNIQUES",
+    "build_simulator",
+    "compare_histories",
+    "cross_validate",
+    "TimingResult",
+    "time_run",
+    "format_table",
+]

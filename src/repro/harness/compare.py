@@ -1,0 +1,109 @@
+"""Equivalence checking between simulators.
+
+The correctness contract (DESIGN.md §4): for the same initial steady
+state and vector sequence, the event-driven simulator, the PC-set
+method, and every parallel-technique variant must produce identical
+per-net change histories.  These helpers make that a one-call check,
+used by the integration tests and available to users validating their
+own circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.eventsim.simulator import EventDrivenSimulator
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "compare_histories",
+    "value_at",
+    "cross_validate",
+    "Mismatch",
+]
+
+History = dict[str, list[tuple[int, int]]]
+
+
+def value_at(changes: Sequence[tuple[int, int]], time: int) -> int:
+    """Value of a net at ``time`` given its change list."""
+    value = changes[0][1]
+    for t, v in changes:
+        if t > time:
+            break
+        value = v
+    return value
+
+
+def compare_histories(
+    a: History, b: History, nets: Optional[Sequence[str]] = None
+) -> list[str]:
+    """Net names whose histories differ (empty list = equivalent)."""
+    names = nets if nets is not None else sorted(set(a) | set(b))
+    return [n for n in names if a.get(n) != b.get(n)]
+
+
+class Mismatch(AssertionError):
+    """Raised by :func:`cross_validate` with full context."""
+
+    def __init__(self, technique: str, vector_index: int,
+                 nets: list[str], detail: str) -> None:
+        super().__init__(
+            f"{technique}: vector #{vector_index} disagrees on nets "
+            f"{nets[:5]}{'...' if len(nets) > 5 else ''}\n{detail}"
+        )
+        self.technique = technique
+        self.vector_index = vector_index
+        self.nets = nets
+
+
+def cross_validate(
+    circuit: Circuit,
+    vectors: Sequence[Sequence[int]],
+    techniques: Sequence[str] = ("pcset", "parallel", "parallel-trim",
+                                 "parallel-pathtrace",
+                                 "parallel-cyclebreak", "parallel-best"),
+    *,
+    initial: Optional[Sequence[int]] = None,
+    backend: str = "python",
+    word_width: int = 32,
+) -> int:
+    """Check every technique against the event-driven reference.
+
+    Simulates all ``vectors`` with the two-valued event-driven
+    simulator and with each compiled technique, comparing full per-net
+    histories vector by vector.  Returns the number of per-vector
+    comparisons performed; raises :class:`Mismatch` on the first
+    disagreement.
+    """
+    from repro.harness.runner import build_simulator
+
+    zeros = list(initial) if initial is not None else [0] * len(
+        circuit.inputs
+    )
+    reference = EventDrivenSimulator(circuit, logic="two")
+    reference_histories: list[History] = []
+    reference.reset(zeros)
+    for vector in vectors:
+        reference_histories.append(
+            reference.apply_vector(vector, record=True)
+        )
+
+    checks = 0
+    for technique in techniques:
+        sim = build_simulator(
+            circuit, technique, backend=backend, word_width=word_width
+        )
+        sim.reset(zeros)
+        for index, vector in enumerate(vectors):
+            got = sim.apply_vector_history(vector)
+            bad = compare_histories(reference_histories[index], got)
+            if bad:
+                net = bad[0]
+                detail = (
+                    f"  net {net!r}: reference "
+                    f"{reference_histories[index][net]} vs {got[net]}"
+                )
+                raise Mismatch(technique, index, bad, detail)
+            checks += 1
+    return checks

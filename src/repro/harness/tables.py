@@ -1,0 +1,75 @@
+"""Plain-text tables for benchmark reports.
+
+The benchmarks print tables shaped like the paper's figures; this
+module holds the one renderer they share, plus small numeric helpers
+(ratios and percentage improvements, the quantities §5 quotes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["format_table", "ratio", "improvement_percent", "geometric_mean"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats use ``float_format``; everything else is ``str()``-ed.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[render(c) for c in row] for row in rows]
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i in range(min(columns, len(row))):
+            widths[i] = max(widths[i], len(row[i]))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def ratio(baseline: float, candidate: float) -> float:
+    """``baseline / candidate`` — how many times faster the candidate is."""
+    if candidate == 0:
+        return float("inf")
+    return baseline / candidate
+
+
+def improvement_percent(before: float, after: float) -> float:
+    """Percent improvement of ``after`` over ``before`` (paper's §5 metric)."""
+    if before == 0:
+        return 0.0
+    return 100.0 * (before - after) / before
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-12)
+    return product ** (1.0 / len(values))

@@ -1,0 +1,12 @@
+"""Zero-delay Levelized Compiled Code simulation (Fig. 1).
+
+The classic technique both of the paper's contributions build on: emit
+one bit-wise statement per gate in levelized order, yielding the settled
+(steady-state) value of every net with no timing information.  Included
+both as the historical baseline for the §5 zero-delay comparison and as
+the settling engine that seeds the unit-delay simulators' state.
+"""
+
+from repro.lcc.zerodelay import LCCSimulator, generate_lcc_program
+
+__all__ = ["LCCSimulator", "generate_lcc_program"]

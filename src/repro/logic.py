@@ -1,0 +1,260 @@
+"""Two-valued and three-valued gate-level logic.
+
+The compiled techniques of the paper use a two-valued (0/1) logic model;
+the interpreted event-driven baseline is provided in both a two-valued and
+a three-valued (0/1/X) flavour, matching the first two columns of Fig. 19.
+
+Two-valued values are the Python ints ``0`` and ``1``.  Three-valued logic
+adds the unknown value :data:`X`, represented by the int ``2`` so that
+values remain small ints and can index lookup tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Sequence
+
+__all__ = [
+    "GateType",
+    "X",
+    "eval_gate",
+    "eval_gate3",
+    "gate_function",
+    "gate_function3",
+    "bitwise_expression",
+    "INVERTING_TYPES",
+    "CONTROLLING_VALUE",
+]
+
+#: The "unknown" value of three-valued logic.
+X = 2
+
+
+class GateType(enum.Enum):
+    """The gate primitives understood by every simulator in this library.
+
+    The set matches what ISCAS85 ``.bench`` files use, plus ``CONST0`` /
+    ``CONST1`` for constant signals (the paper's levelization assigns these
+    level zero together with the primary inputs).
+    """
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    @property
+    def min_inputs(self) -> int:
+        if self in (GateType.CONST0, GateType.CONST1):
+            return 0
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        return 2
+
+    @property
+    def max_inputs(self) -> int | None:
+        """Maximum fan-in, or ``None`` for unbounded."""
+        if self in (GateType.CONST0, GateType.CONST1):
+            return 0
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        return None
+
+    @property
+    def is_inverting(self) -> bool:
+        return self in INVERTING_TYPES
+
+
+INVERTING_TYPES = frozenset(
+    {GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT}
+)
+
+#: For AND/NAND the controlling input value is 0; for OR/NOR it is 1.
+#: XOR-family and unary gates have no controlling value (``None``).
+CONTROLLING_VALUE = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+    GateType.NOT: None,
+    GateType.BUF: None,
+    GateType.CONST0: None,
+    GateType.CONST1: None,
+}
+
+
+def _and(values: Sequence[int]) -> int:
+    result = ~0
+    for v in values:
+        result &= v
+    return result
+
+
+def _or(values: Sequence[int]) -> int:
+    result = 0
+    for v in values:
+        result |= v
+    return result
+
+
+def _xor(values: Sequence[int]) -> int:
+    result = 0
+    for v in values:
+        result ^= v
+    return result
+
+
+def eval_gate(gate_type: GateType, values: Sequence[int]) -> int:
+    """Evaluate a gate on two-valued (0/1) inputs.
+
+    ``values`` may actually be arbitrary-width bit vectors packed into
+    Python ints: all operators used are bit-wise, so this one function
+    serves both scalar and bit-parallel evaluation.  The result is masked
+    to the width of the inputs only for scalar (single-bit) use; callers
+    doing bit-parallel work must mask with their own field mask.
+    """
+    if gate_type is GateType.AND:
+        return _and(values)
+    if gate_type is GateType.NAND:
+        return ~_and(values)
+    if gate_type is GateType.OR:
+        return _or(values)
+    if gate_type is GateType.NOR:
+        return ~_or(values)
+    if gate_type is GateType.XOR:
+        return _xor(values)
+    if gate_type is GateType.XNOR:
+        return ~_xor(values)
+    if gate_type is GateType.NOT:
+        return ~values[0]
+    if gate_type is GateType.BUF:
+        return values[0]
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return ~0
+    raise ValueError(f"unknown gate type: {gate_type!r}")
+
+
+def eval_gate_scalar(gate_type: GateType, values: Sequence[int]) -> int:
+    """Evaluate a gate on single-bit 0/1 inputs, returning 0 or 1."""
+    return eval_gate(gate_type, values) & 1
+
+
+def _and3(values: Sequence[int]) -> int:
+    # 0 dominates; otherwise X dominates 1.
+    saw_x = False
+    for v in values:
+        if v == 0:
+            return 0
+        if v == X:
+            saw_x = True
+    return X if saw_x else 1
+
+
+def _or3(values: Sequence[int]) -> int:
+    saw_x = False
+    for v in values:
+        if v == 1:
+            return 1
+        if v == X:
+            saw_x = True
+    return X if saw_x else 0
+
+
+def _xor3(values: Sequence[int]) -> int:
+    result = 0
+    for v in values:
+        if v == X:
+            return X
+        result ^= v
+    return result
+
+
+def _not3(v: int) -> int:
+    if v == X:
+        return X
+    return 1 - v
+
+
+def eval_gate3(gate_type: GateType, values: Sequence[int]) -> int:
+    """Evaluate a gate in three-valued (0/1/X) logic.
+
+    Uses the standard pessimistic Kleene extension: a controlling input
+    decides the output even when other inputs are X; otherwise any X input
+    makes the output X.
+    """
+    if gate_type is GateType.AND:
+        return _and3(values)
+    if gate_type is GateType.NAND:
+        return _not3(_and3(values))
+    if gate_type is GateType.OR:
+        return _or3(values)
+    if gate_type is GateType.NOR:
+        return _not3(_or3(values))
+    if gate_type is GateType.XOR:
+        return _xor3(values)
+    if gate_type is GateType.XNOR:
+        return _not3(_xor3(values))
+    if gate_type is GateType.NOT:
+        return _not3(values[0])
+    if gate_type is GateType.BUF:
+        return values[0]
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return 1
+    raise ValueError(f"unknown gate type: {gate_type!r}")
+
+
+def gate_function(gate_type: GateType) -> Callable[[Sequence[int]], int]:
+    """Return a callable evaluating ``gate_type`` on 0/1 scalars."""
+    return lambda values: eval_gate(gate_type, values) & 1
+
+
+def gate_function3(gate_type: GateType) -> Callable[[Sequence[int]], int]:
+    """Return a callable evaluating ``gate_type`` on 0/1/X scalars."""
+    return lambda values: eval_gate3(gate_type, values)
+
+
+_C_OPERATOR = {
+    GateType.AND: "&",
+    GateType.NAND: "&",
+    GateType.OR: "|",
+    GateType.NOR: "|",
+    GateType.XOR: "^",
+    GateType.XNOR: "^",
+}
+
+
+def bitwise_expression(gate_type: GateType, operands: Sequence[str]) -> str:
+    """Render a gate as a C-style bit-wise expression over operand names.
+
+    This is the textual form used in the paper's code listings (Figs. 1,
+    4, 6, 8, 10): ``&``, ``|``, ``^`` and ``~``.  Both the Python and the
+    C backends accept the produced text unchanged, since the operators are
+    shared by the two languages.
+    """
+    if gate_type is GateType.CONST0:
+        return "0"
+    if gate_type is GateType.CONST1:
+        return "~0"
+    if gate_type is GateType.BUF:
+        (operand,) = operands
+        return operand
+    if gate_type is GateType.NOT:
+        (operand,) = operands
+        return f"~{operand}"
+    op = _C_OPERATOR[gate_type]
+    body = f" {op} ".join(operands)
+    if gate_type.is_inverting:
+        return f"~({body})"
+    return body

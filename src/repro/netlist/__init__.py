@@ -1,0 +1,33 @@
+"""Gate-level netlist substrate.
+
+This subpackage provides the circuit data model shared by every simulator
+in the library, ISCAS85 ``.bench`` parsing and writing, structured and
+random circuit generators, the synthetic ISCAS85-analog benchmark suite,
+and the flip-flop-breaking transform for synchronous sequential circuits.
+"""
+
+from repro.netlist.nets import Gate, Net
+from repro.netlist.circuit import Circuit
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.bench import parse_bench, parse_bench_file, write_bench
+from repro.netlist.sequential import SequentialCircuit, break_at_flipflops
+from repro.netlist.transform import (
+    fanin_cone,
+    propagate_constants,
+    prune_dead_logic,
+)
+
+__all__ = [
+    "Gate",
+    "Net",
+    "Circuit",
+    "CircuitBuilder",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "SequentialCircuit",
+    "break_at_flipflops",
+    "fanin_cone",
+    "propagate_constants",
+    "prune_dead_logic",
+]

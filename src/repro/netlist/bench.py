@@ -1,0 +1,187 @@
+"""Reader and writer for the ISCAS85/ISCAS89 ``.bench`` netlist format.
+
+The format is line oriented::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G11 = DFF(G10)          (sequential circuits only)
+
+Combinational circuits parse straight into a :class:`repro.netlist.
+circuit.Circuit`.  Circuits containing ``DFF`` pseudo-gates must go
+through :func:`parse_bench_sequential`, which applies the paper's §1
+recipe: cycles are broken at the flip-flops by treating each D pin as a
+pseudo primary output and each Q pin as a pseudo primary input.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.errors import BenchFormatError
+from repro.logic import GateType
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "parse_bench",
+    "parse_bench_file",
+    "parse_bench_sequential",
+    "write_bench",
+]
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s]+)\s*\)$", re.I)
+_GATE_RE = re.compile(
+    r"^([^()=\s]+)\s*=\s*([A-Za-z01]+)\s*\(\s*([^()]*)\s*\)$"
+)
+
+_TYPE_ALIASES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    # Extensions used by write_bench for constant signals.
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def _parse_statements(text: str):
+    """Yield (line_number, kind, payload) for each meaningful line."""
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _DECL_RE.match(line)
+        if match:
+            yield line_number, match.group(1).upper(), match.group(2)
+            continue
+        match = _GATE_RE.match(line)
+        if match:
+            output, type_name, arg_text = match.groups()
+            args = [a.strip() for a in arg_text.split(",")] if arg_text.strip() else []
+            if any(not a for a in args):
+                raise BenchFormatError(
+                    f"empty operand in gate definition: {line!r}", line_number
+                )
+            yield line_number, "GATE", (output, type_name.upper(), args)
+            continue
+        raise BenchFormatError(f"unparsable line: {line!r}", line_number)
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse a combinational ``.bench`` description into a circuit.
+
+    Raises :class:`BenchFormatError` on syntax errors or if the file
+    contains DFFs (use :func:`parse_bench_sequential` for those).
+    """
+    circuit = Circuit(name)
+    pending_outputs: list[str] = []
+    for line_number, kind, payload in _parse_statements(text):
+        if kind == "INPUT":
+            circuit.add_net(payload, is_input=True)
+        elif kind == "OUTPUT":
+            # Defer: the net may not exist yet.
+            pending_outputs.append(payload)
+        else:
+            output, type_name, args = payload
+            if type_name == "DFF":
+                raise BenchFormatError(
+                    "circuit contains DFFs; use parse_bench_sequential()",
+                    line_number,
+                )
+            gate_type = _TYPE_ALIASES.get(type_name)
+            if gate_type is None:
+                raise BenchFormatError(
+                    f"unknown gate type {type_name!r}", line_number
+                )
+            circuit.add_gate(gate_type, output, args)
+    for out in pending_outputs:
+        circuit.add_net(out, is_output=True)
+    circuit.validate()
+    return circuit
+
+
+def parse_bench_file(path: Union[str, Path], name: str | None = None) -> Circuit:
+    """Parse a combinational ``.bench`` file from disk."""
+    path = Path(path)
+    text = path.read_text()
+    return parse_bench(text, name if name is not None else path.stem)
+
+
+def parse_bench_sequential(text: str, name: str = "bench"):
+    """Parse a ``.bench`` file that may contain DFFs.
+
+    Returns a :class:`repro.netlist.sequential.SequentialCircuit` whose
+    combinational core has the flip-flops broken per §1 of the paper.
+    """
+    from repro.netlist.sequential import SequentialCircuit
+
+    circuit = Circuit(name)
+    pending_outputs: list[str] = []
+    flipflops: dict[str, str] = {}
+    for line_number, kind, payload in _parse_statements(text):
+        if kind == "INPUT":
+            circuit.add_net(payload, is_input=True)
+        elif kind == "OUTPUT":
+            pending_outputs.append(payload)
+        else:
+            output, type_name, args = payload
+            if type_name == "DFF":
+                if len(args) != 1:
+                    raise BenchFormatError(
+                        f"DFF takes exactly one input, got {len(args)}",
+                        line_number,
+                    )
+                # Q pin becomes a pseudo primary input of the core.
+                circuit.add_net(output, is_input=True)
+                flipflops[output] = args[0]
+                continue
+            gate_type = _TYPE_ALIASES.get(type_name)
+            if gate_type is None:
+                raise BenchFormatError(
+                    f"unknown gate type {type_name!r}", line_number
+                )
+            circuit.add_gate(gate_type, output, args)
+    for out in pending_outputs:
+        circuit.add_net(out, is_output=True)
+    # D pins become pseudo primary outputs so compiled simulators keep them.
+    for d_net in flipflops.values():
+        circuit.add_net(d_net, is_output=True)
+    circuit.validate()
+    real_outputs = [o for o in pending_outputs]
+    return SequentialCircuit(circuit, flipflops, real_outputs)
+
+
+def write_bench(circuit: Circuit, stream: TextIO | None = None) -> str:
+    """Serialize a circuit to ``.bench`` text; returns the text.
+
+    If ``stream`` is given the text is also written to it.
+    """
+    out = io.StringIO()
+    out.write(f"# {circuit.name}\n")
+    out.write(f"# {len(circuit.inputs)} inputs\n")
+    out.write(f"# {len(circuit.outputs)} outputs\n")
+    out.write(f"# {circuit.num_gates} gates\n\n")
+    for net_name in circuit.inputs:
+        out.write(f"INPUT({net_name})\n")
+    out.write("\n")
+    for net_name in circuit.outputs:
+        out.write(f"OUTPUT({net_name})\n")
+    out.write("\n")
+    for gate in circuit.topological_gates():
+        args = ", ".join(gate.inputs)
+        out.write(f"{gate.output} = {gate.gate_type.value}({args})\n")
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text

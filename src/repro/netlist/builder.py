@@ -1,0 +1,107 @@
+"""A small fluent API for building circuits in code.
+
+Examples from the paper, like the Fig. 4 network, read almost verbatim::
+
+    b = CircuitBuilder("fig4")
+    a, bb, c = b.inputs("A", "B", "C")
+    d = b.and_("D", a, bb)
+    e = b.and_("E", d, c)
+    b.outputs(e)
+    circuit = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic import GateType
+from repro.netlist.circuit import Circuit
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Incrementally construct a :class:`Circuit`.
+
+    Gate-adding helpers return the output net name so calls compose.
+    ``build()`` validates and returns the finished circuit.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self._circuit = Circuit(name)
+        self._auto = 0
+
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> str:
+        """Declare a primary input net and return its name."""
+        self._circuit.add_net(name, is_input=True)
+        return name
+
+    def inputs(self, *names: str) -> list[str]:
+        """Declare several primary inputs at once."""
+        return [self.input(n) for n in names]
+
+    def output(self, name: str) -> str:
+        """Mark a net as a primary (monitored) output."""
+        self._circuit.add_net(name, is_output=True)
+        return name
+
+    def outputs(self, *names: str) -> list[str]:
+        return [self.output(n) for n in names]
+
+    def fresh(self, prefix: str = "n") -> str:
+        """Generate a fresh unique net name."""
+        while True:
+            self._auto += 1
+            name = f"{prefix}{self._auto}"
+            if name not in self._circuit.nets:
+                return name
+
+    # ------------------------------------------------------------------
+    def gate(
+        self,
+        gate_type: GateType,
+        output: Optional[str],
+        *inputs: str,
+    ) -> str:
+        """Add a gate; ``output=None`` allocates a fresh net name."""
+        out = output if output is not None else self.fresh()
+        self._circuit.add_gate(gate_type, out, inputs)
+        return out
+
+    def and_(self, output: Optional[str], *inputs: str) -> str:
+        return self.gate(GateType.AND, output, *inputs)
+
+    def nand(self, output: Optional[str], *inputs: str) -> str:
+        return self.gate(GateType.NAND, output, *inputs)
+
+    def or_(self, output: Optional[str], *inputs: str) -> str:
+        return self.gate(GateType.OR, output, *inputs)
+
+    def nor(self, output: Optional[str], *inputs: str) -> str:
+        return self.gate(GateType.NOR, output, *inputs)
+
+    def xor(self, output: Optional[str], *inputs: str) -> str:
+        return self.gate(GateType.XOR, output, *inputs)
+
+    def xnor(self, output: Optional[str], *inputs: str) -> str:
+        return self.gate(GateType.XNOR, output, *inputs)
+
+    def not_(self, output: Optional[str], input_net: str) -> str:
+        return self.gate(GateType.NOT, output, input_net)
+
+    def buf(self, output: Optional[str], input_net: str) -> str:
+        return self.gate(GateType.BUF, output, input_net)
+
+    def const0(self, output: Optional[str] = None) -> str:
+        return self.gate(GateType.CONST0, output)
+
+    def const1(self, output: Optional[str] = None) -> str:
+        return self.gate(GateType.CONST1, output)
+
+    # ------------------------------------------------------------------
+    def build(self, *, validate: bool = True) -> Circuit:
+        """Finish construction; validates structure by default."""
+        if validate:
+            self._circuit.validate()
+        return self._circuit

@@ -1,0 +1,333 @@
+"""The :class:`Circuit` container.
+
+A circuit owns its nets and gates, maintains driver/fanout
+cross-references, validates its own well-formedness, and provides the
+topological iteration primitives every algorithm in the paper builds on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import CyclicCircuitError, NetlistError
+from repro.logic import GateType
+from repro.netlist.nets import Gate, Net
+
+__all__ = ["Circuit", "CircuitStats"]
+
+
+class CircuitStats:
+    """Size statistics of a circuit (the quantities Figs. 19-24 key on)."""
+
+    __slots__ = (
+        "name",
+        "num_inputs",
+        "num_outputs",
+        "num_gates",
+        "num_nets",
+        "depth",
+        "max_fan_in",
+        "max_fanout",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        num_inputs: int,
+        num_outputs: int,
+        num_gates: int,
+        num_nets: int,
+        depth: int,
+        max_fan_in: int,
+        max_fanout: int,
+    ) -> None:
+        self.name = name
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.num_gates = num_gates
+        self.num_nets = num_nets
+        self.depth = depth
+        self.max_fan_in = max_fan_in
+        self.max_fanout = max_fanout
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitStats({self.name}: {self.num_inputs} PI, "
+            f"{self.num_outputs} PO, {self.num_gates} gates, "
+            f"depth {self.depth})"
+        )
+
+
+class Circuit:
+    """An acyclic (or to-be-checked) gate-level circuit.
+
+    Nets and gates are stored in insertion order.  Gate names and net
+    names live in separate namespaces; by convention the generators in
+    this library name each gate after its output net, which mirrors
+    ISCAS85 usage.
+
+    Typical construction goes through :class:`repro.netlist.builder.
+    CircuitBuilder` or :func:`repro.netlist.bench.parse_bench`.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.nets: dict[str, Net] = {}
+        self.gates: dict[str, Gate] = {}
+        self._inputs: list[str] = []
+        self._outputs: list[str] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_net(self, name: str, *, is_input: bool = False,
+                is_output: bool = False) -> Net:
+        """Create a net; idempotent flag-upgrades if the net exists."""
+        net = self.nets.get(name)
+        if net is None:
+            net = Net(name, is_input=is_input, is_output=is_output)
+            self.nets[name] = net
+            if is_input:
+                self._inputs.append(name)
+            if is_output:
+                self._outputs.append(name)
+            return net
+        if is_input and not net.is_input:
+            net.is_input = True
+            self._inputs.append(name)
+        if is_output and not net.is_output:
+            net.is_output = True
+            self._outputs.append(name)
+        return net
+
+    def add_gate(
+        self,
+        gate_type: GateType,
+        output: str,
+        inputs: Iterable[str] = (),
+        *,
+        name: Optional[str] = None,
+    ) -> Gate:
+        """Create a gate driving ``output`` from ``inputs``.
+
+        Missing nets are created on the fly.  Raises
+        :class:`NetlistError` on duplicate gate names, double-driven
+        nets, or a fan-in outside the gate type's arity.
+        """
+        inputs = list(inputs)
+        gate_name = name if name is not None else output
+        if gate_name in self.gates:
+            raise NetlistError(f"duplicate gate name: {gate_name!r}")
+        n_in = len(inputs)
+        if n_in < gate_type.min_inputs:
+            raise NetlistError(
+                f"gate {gate_name!r} ({gate_type.value}) needs at least "
+                f"{gate_type.min_inputs} inputs, got {n_in}"
+            )
+        max_in = gate_type.max_inputs
+        if max_in is not None and n_in > max_in:
+            raise NetlistError(
+                f"gate {gate_name!r} ({gate_type.value}) takes at most "
+                f"{max_in} inputs, got {n_in}"
+            )
+        out_net = self.add_net(output)
+        if out_net.driver is not None:
+            raise NetlistError(
+                f"net {output!r} already driven by gate {out_net.driver!r}"
+            )
+        if out_net.is_input:
+            raise NetlistError(f"cannot drive primary input {output!r}")
+        gate = Gate(gate_name, gate_type, inputs, output)
+        self.gates[gate_name] = gate
+        out_net.driver = gate_name
+        for in_name in inputs:
+            self.add_net(in_name).fanout.append(gate_name)
+        return gate
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> list[str]:
+        """Primary-input net names, in declaration order."""
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> list[str]:
+        """Primary-output (monitored) net names, in declaration order."""
+        return list(self._outputs)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    def net(self, name: str) -> Net:
+        try:
+            return self.nets[name]
+        except KeyError:
+            raise NetlistError(f"no such net: {name!r}") from None
+
+    def gate(self, name: str) -> Gate:
+        try:
+            return self.gates[name]
+        except KeyError:
+            raise NetlistError(f"no such gate: {name!r}") from None
+
+    def driver_of(self, net_name: str) -> Optional[Gate]:
+        """The gate driving ``net_name``, or ``None`` for primary inputs."""
+        driver = self.net(net_name).driver
+        return None if driver is None else self.gates[driver]
+
+    def fanout_gates(self, net_name: str) -> list[Gate]:
+        """Gates reading ``net_name`` (duplicates per repeated use)."""
+        return [self.gates[g] for g in self.net(net_name).fanout]
+
+    # ------------------------------------------------------------------
+    # validation and ordering
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural well-formedness.
+
+        Every net must be either a primary input or driven by exactly one
+        gate; every gate input must exist; output nets must exist.
+        Raises :class:`NetlistError` describing the first problem found.
+        """
+        for net in self.nets.values():
+            if net.driver is None and not net.is_input:
+                raise NetlistError(
+                    f"net {net.name!r} is neither a primary input nor "
+                    f"driven by a gate"
+                )
+            if net.driver is not None and net.driver not in self.gates:
+                raise NetlistError(
+                    f"net {net.name!r} driven by unknown gate {net.driver!r}"
+                )
+        for gate in self.gates.values():
+            for in_name in gate.inputs:
+                if in_name not in self.nets:
+                    raise NetlistError(
+                        f"gate {gate.name!r} reads unknown net {in_name!r}"
+                    )
+            if gate.output not in self.nets:
+                raise NetlistError(
+                    f"gate {gate.name!r} drives unknown net {gate.output!r}"
+                )
+        if not self._inputs and not any(
+            g.gate_type in (GateType.CONST0, GateType.CONST1)
+            for g in self.gates.values()
+        ):
+            raise NetlistError("circuit has no primary inputs or constants")
+
+    def topological_gates(self) -> list[Gate]:
+        """Gates in a topological (levelized-compatible) order.
+
+        Kahn's algorithm over the gate graph; raises
+        :class:`CyclicCircuitError` if the circuit has a combinational
+        cycle (with a witness cycle attached).
+        """
+        pending: dict[str, int] = {}
+        ready: deque[str] = deque()
+        for gate in self.gates.values():
+            count = sum(
+                1 for in_name in gate.inputs
+                if self.nets[in_name].driver is not None
+            )
+            pending[gate.name] = count
+            if count == 0:
+                ready.append(gate.name)
+        order: list[Gate] = []
+        while ready:
+            gate = self.gates[ready.popleft()]
+            order.append(gate)
+            for reader in self.nets[gate.output].fanout:
+                pending[reader] -= 1
+                if pending[reader] == 0:
+                    ready.append(reader)
+        if len(order) != len(self.gates):
+            cycle = self._find_cycle(
+                {g for g, c in pending.items() if c > 0}
+            )
+            raise CyclicCircuitError(
+                f"circuit {self.name!r} contains a combinational cycle",
+                cycle=cycle,
+            )
+        return order
+
+    def _find_cycle(self, candidates: set[str]) -> list[str]:
+        """Return one gate-name cycle among ``candidates`` as a witness."""
+        # Walk predecessors until a gate repeats; candidates all lie on or
+        # feed into a cycle, so this terminates.
+        start = next(iter(sorted(candidates)))
+        seen: dict[str, int] = {}
+        path: list[str] = []
+        current = start
+        while current not in seen:
+            seen[current] = len(path)
+            path.append(current)
+            gate = self.gates[current]
+            current = next(
+                self.nets[i].driver
+                for i in gate.inputs
+                if self.nets[i].driver in candidates
+            )
+        return path[seen[current]:]
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_gates()
+        except CyclicCircuitError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> CircuitStats:
+        """Compute the size statistics used throughout the benchmarks."""
+        from repro.analysis.levelize import levelize
+
+        levels = levelize(self)
+        depth = max(levels.gate_levels.values(), default=0)
+        max_fan_in = max(
+            (g.fan_in for g in self.gates.values()), default=0
+        )
+        max_fanout = max(
+            (len(n.fanout) for n in self.nets.values()), default=0
+        )
+        return CircuitStats(
+            name=self.name,
+            num_inputs=len(self._inputs),
+            num_outputs=len(self._outputs),
+            num_gates=len(self.gates),
+            num_nets=len(self.nets),
+            depth=depth,
+            max_fan_in=max_fan_in,
+            max_fanout=max_fanout,
+        )
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Deep-copy the circuit (fresh Net/Gate objects)."""
+        clone = Circuit(name if name is not None else self.name)
+        for net_name in self._inputs:
+            clone.add_net(net_name, is_input=True)
+        for gate in self.gates.values():
+            clone.add_gate(
+                gate.gate_type, gate.output, gate.inputs, name=gate.name
+            )
+        for net_name in self._outputs:
+            clone.add_net(net_name, is_output=True)
+        return clone
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}: {len(self._inputs)} PI, "
+            f"{len(self._outputs)} PO, {len(self.gates)} gates)"
+        )

@@ -1,0 +1,291 @@
+"""Structured circuit generators.
+
+Classic datapath and coding blocks built from the gate primitives:
+adders, an array multiplier, parity/Hamming trees, comparators,
+multiplexers and decoders.  They serve three purposes: realistic
+example workloads, well-understood fixtures for the test suite (a
+ripple adder's depth and truth table are easy to assert), and natural
+analogs for some ISCAS85 circuits (c6288 is a 16x16 array multiplier;
+c499/c1355 are single-error-correcting code circuits).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "ripple_carry_adder",
+    "carry_lookahead_adder",
+    "array_multiplier",
+    "parity_tree",
+    "hamming_encoder",
+    "equality_comparator",
+    "mux_tree",
+    "decoder",
+    "majority_voter",
+]
+
+
+def _full_adder(
+    b: CircuitBuilder, a: str, x: str, cin: str, tag: str
+) -> tuple[str, str]:
+    """Sum and carry of a 1-bit full adder."""
+    p = b.xor(f"{tag}_p", a, x)
+    s = b.xor(f"{tag}_s", p, cin)
+    g1 = b.and_(f"{tag}_g1", a, x)
+    g2 = b.and_(f"{tag}_g2", p, cin)
+    cout = b.or_(f"{tag}_c", g1, g2)
+    return s, cout
+
+
+def ripple_carry_adder(width: int, name: str | None = None) -> Circuit:
+    """An n-bit ripple-carry adder: A + B + Cin -> S, Cout.
+
+    Inputs ``A0..``, ``B0..``, ``CIN``; outputs ``S0..``, ``COUT``.
+    Depth grows linearly in ``width`` — a good deep-and-narrow fixture.
+    """
+    if width < 1:
+        raise NetlistError("width must be >= 1")
+    b = CircuitBuilder(name or f"rca{width}")
+    a_bits = b.inputs(*[f"A{i}" for i in range(width)])
+    b_bits = b.inputs(*[f"B{i}" for i in range(width)])
+    carry = b.input("CIN")
+    for i in range(width):
+        s, carry = _full_adder(b, a_bits[i], b_bits[i], carry, f"fa{i}")
+        b.output(b.buf(f"S{i}", s))
+    b.output(b.buf("COUT", carry))
+    return b.build()
+
+
+def carry_lookahead_adder(
+    width: int, block: int = 4, name: str | None = None
+) -> Circuit:
+    """A block carry-lookahead adder (blocks of ``block`` bits).
+
+    Same interface as :func:`ripple_carry_adder` but shallower: carries
+    skip across blocks through generate/propagate logic — a classic
+    wide-and-shallow counterpoint to the ripple adder.
+    """
+    if width < 1:
+        raise NetlistError("width must be >= 1")
+    b = CircuitBuilder(name or f"cla{width}")
+    a_bits = b.inputs(*[f"A{i}" for i in range(width)])
+    b_bits = b.inputs(*[f"B{i}" for i in range(width)])
+    carry = b.input("CIN")
+    for base in range(0, width, block):
+        bits = range(base, min(base + block, width))
+        gen = []
+        prop = []
+        for i in bits:
+            prop.append(b.xor(f"p{i}", a_bits[i], b_bits[i]))
+            gen.append(b.and_(f"g{i}", a_bits[i], b_bits[i]))
+        # Per-bit carries within the block, flattened lookahead.
+        carries = [carry]
+        for k, i in enumerate(bits):
+            terms = []
+            # g_j propagated through p_{j+1..k-1}
+            for j in range(k + 1):
+                chain = [gen[j]] + prop[j + 1:k + 1]
+                if len(chain) == 1:
+                    terms.append(chain[0])
+                else:
+                    terms.append(b.and_(None, *chain))
+            chain0 = [carries[0]] + prop[:k + 1]
+            terms.append(b.and_(None, *chain0))
+            carries.append(b.or_(f"c{i + 1}", *terms)
+                           if len(terms) > 1 else terms[0])
+        for k, i in enumerate(bits):
+            b.output(b.xor(f"S{i}", prop[k], carries[k]))
+        carry = carries[-1]
+    b.output(b.buf("COUT", carry))
+    return b.build()
+
+
+def array_multiplier(width: int, name: str | None = None) -> Circuit:
+    """An n x n array multiplier (the structure of ISCAS85's c6288).
+
+    Inputs ``A0..``, ``B0..``; outputs ``P0..P{2n-1}``.  Partial
+    products feed a carry-save array of full adders; depth grows with
+    roughly 2n, which is what makes c6288 by far the deepest benchmark.
+    """
+    if width < 2:
+        raise NetlistError("width must be >= 2")
+    b = CircuitBuilder(name or f"mul{width}")
+    a_bits = b.inputs(*[f"A{i}" for i in range(width)])
+    b_bits = b.inputs(*[f"B{i}" for i in range(width)])
+    # acc[w] holds the accumulated bit of weight w so far.
+    acc: dict[int, str] = {
+        i: b.and_(f"pp0_{i}", a_bits[i], b_bits[0]) for i in range(width)
+    }
+    for j in range(1, width):
+        row = [
+            b.and_(f"pp{j}_{i}", a_bits[i], b_bits[j])
+            for i in range(width)
+        ]
+        carry: str | None = None
+        for i in range(width):
+            weight = j + i
+            operands = [row[i]]
+            if weight in acc:
+                operands.append(acc[weight])
+            if carry is not None:
+                operands.append(carry)
+            tag = f"r{j}_{i}"
+            if len(operands) == 1:
+                acc[weight], carry = operands[0], None
+            elif len(operands) == 2:
+                acc[weight] = b.xor(f"{tag}_s", *operands)
+                carry = b.and_(f"{tag}_c", *operands)
+            else:
+                acc[weight], carry = _full_adder(
+                    b, operands[0], operands[1], operands[2], tag
+                )
+        # Propagate the row's final carry into the higher weights.
+        weight = j + width
+        while carry is not None:
+            if weight in acc:
+                old = acc[weight]
+                acc[weight] = b.xor(f"cp{j}_{weight}_s", old, carry)
+                carry = b.and_(f"cp{j}_{weight}_c", old, carry)
+                weight += 1
+            else:
+                acc[weight] = carry
+                carry = None
+    for w in range(2 * width - 1):
+        if w in acc:
+            b.output(b.buf(f"P{w}", acc[w]))
+        else:
+            b.output(b.buf(f"P{w}", b.const0()))
+    top = 2 * width - 1
+    b.output(b.buf(f"P{top}", acc[top] if top in acc else b.const0()))
+    return b.build()
+
+
+def parity_tree(width: int, name: str | None = None) -> Circuit:
+    """XOR parity tree over ``width`` inputs (logarithmic depth)."""
+    if width < 2:
+        raise NetlistError("width must be >= 2")
+    b = CircuitBuilder(name or f"parity{width}")
+    layer = b.inputs(*[f"I{i}" for i in range(width)])
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(b.xor(None, layer[i], layer[i + 1]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    b.output(b.buf("PARITY", layer[0]))
+    return b.build()
+
+
+def hamming_encoder(data_bits: int = 26, name: str | None = None) -> Circuit:
+    """Hamming single-error-correcting check-bit generator.
+
+    The ISCAS85 c499/c1355 pair implement a 32-bit SEC circuit; this
+    generator produces the check bits of a Hamming code over
+    ``data_bits`` inputs — the same XOR-dominated, highly reconvergent
+    structure.
+    """
+    if data_bits < 2:
+        raise NetlistError("data_bits must be >= 2")
+    b = CircuitBuilder(name or f"hamming{data_bits}")
+    data = b.inputs(*[f"D{i}" for i in range(data_bits)])
+    # Assign data bits to codeword positions that are not powers of two.
+    positions = []
+    pos = 1
+    while len(positions) < data_bits:
+        pos += 1
+        if pos & (pos - 1):
+            positions.append(pos)
+    num_checks = max(positions).bit_length()
+    for c in range(num_checks):
+        mask = 1 << c
+        members = [
+            data[k] for k, p in enumerate(positions) if p & mask
+        ]
+        if not members:
+            continue
+        if len(members) == 1:
+            b.output(b.buf(f"C{c}", members[0]))
+            continue
+        acc = members[0]
+        for m in members[1:]:
+            acc = b.xor(None, acc, m)
+        b.output(b.buf(f"C{c}", acc))
+    return b.build()
+
+
+def equality_comparator(width: int, name: str | None = None) -> Circuit:
+    """A = B over ``width`` bits (XNOR reduction by AND tree)."""
+    if width < 1:
+        raise NetlistError("width must be >= 1")
+    b = CircuitBuilder(name or f"eq{width}")
+    a_bits = b.inputs(*[f"A{i}" for i in range(width)])
+    b_bits = b.inputs(*[f"B{i}" for i in range(width)])
+    layer = [
+        b.xnor(f"x{i}", a_bits[i], b_bits[i]) for i in range(width)
+    ]
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(b.and_(None, layer[i], layer[i + 1]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    b.output(b.buf("EQ", layer[0]))
+    return b.build()
+
+
+def mux_tree(select_bits: int, name: str | None = None) -> Circuit:
+    """A 2^k-to-1 multiplexer tree (k = ``select_bits``)."""
+    if select_bits < 1:
+        raise NetlistError("select_bits must be >= 1")
+    b = CircuitBuilder(name or f"mux{1 << select_bits}")
+    data = b.inputs(*[f"D{i}" for i in range(1 << select_bits)])
+    selects = b.inputs(*[f"S{i}" for i in range(select_bits)])
+    layer = list(data)
+    for level, sel in enumerate(selects):
+        sel_n = b.not_(f"sn{level}", sel)
+        nxt = []
+        for i in range(0, len(layer), 2):
+            lo = b.and_(None, layer[i], sel_n)
+            hi = b.and_(None, layer[i + 1], sel)
+            nxt.append(b.or_(None, lo, hi))
+        layer = nxt
+    b.output(b.buf("Y", layer[0]))
+    return b.build()
+
+
+def decoder(select_bits: int, name: str | None = None) -> Circuit:
+    """A k-to-2^k one-hot decoder with enable."""
+    if select_bits < 1:
+        raise NetlistError("select_bits must be >= 1")
+    b = CircuitBuilder(name or f"dec{select_bits}")
+    selects = b.inputs(*[f"S{i}" for i in range(select_bits)])
+    enable = b.input("EN")
+    inverted = [b.not_(f"sn{i}", s) for i, s in enumerate(selects)]
+    for code in range(1 << select_bits):
+        terms = [
+            selects[i] if (code >> i) & 1 else inverted[i]
+            for i in range(select_bits)
+        ]
+        b.output(b.and_(f"Y{code}", enable, *terms))
+    return b.build()
+
+
+def majority_voter(width: int = 3, name: str | None = None) -> Circuit:
+    """Majority of ``width`` (odd) inputs, as an OR of AND terms."""
+    if width < 3 or width % 2 == 0:
+        raise NetlistError("width must be odd and >= 3")
+    import itertools
+
+    b = CircuitBuilder(name or f"maj{width}")
+    bits = b.inputs(*[f"I{i}" for i in range(width)])
+    need = width // 2 + 1
+    terms = []
+    for combo in itertools.combinations(bits, need):
+        terms.append(b.and_(None, *combo))
+    b.output(b.or_("MAJ", *terms))
+    return b.build()

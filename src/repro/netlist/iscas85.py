@@ -1,0 +1,168 @@
+"""The synthetic ISCAS85-analog benchmark suite.
+
+The paper evaluates on the ten ISCAS85 combinational benchmarks [11].
+The original netlists are not distributed with this reproduction, so
+this module synthesizes, for each benchmark, a deterministic random
+circuit with the *same published size statistics*: primary-input count,
+primary-output count, gate count, and — critically for the parallel
+technique — the exact number of levels reported in Fig. 20 of the paper
+(which fixes the bit-field width and word count per circuit).
+
+Everything the evaluation measures is a function of these topological
+quantities (code volume, PC-set sizes, word counts, shift counts,
+fanout-driven retained shifts), so the analog suite preserves the shape
+of every table.  If you have the real ``.bench`` files, point
+:func:`load_circuit` at their directory and they are used instead — the
+rest of the pipeline is format-identical.
+
+Scaled-down variants (``scale_factor``) keep benchmark wall-times sane
+on an interpreted host while preserving each circuit's depth (and hence
+its word count).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import NetlistError
+from repro.netlist.bench import parse_bench_file
+from repro.netlist.circuit import Circuit
+from repro.netlist.random_circuits import layered_circuit
+
+__all__ = [
+    "ISCAS85_SPECS",
+    "CircuitSpec",
+    "make_circuit",
+    "make_suite",
+    "load_circuit",
+    "SMALL_SUITE",
+]
+
+
+class CircuitSpec:
+    """Published statistics of one ISCAS85 benchmark.
+
+    ``levels`` is the Fig. 20 column: the number of distinct level
+    values = depth + 1 = unoptimized bit-field width.  ``words`` is the
+    32-bit word count Fig. 20 reports in parentheses.
+    """
+
+    __slots__ = ("name", "inputs", "outputs", "gates", "levels", "function")
+
+    def __init__(self, name: str, inputs: int, outputs: int, gates: int,
+                 levels: int, function: str) -> None:
+        self.name = name
+        self.inputs = inputs
+        self.outputs = outputs
+        self.gates = gates
+        self.levels = levels
+        self.function = function
+
+    @property
+    def depth(self) -> int:
+        return self.levels - 1
+
+    def words(self, word_width: int = 32) -> int:
+        return -(-self.levels // word_width)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitSpec({self.name}: {self.inputs} PI, {self.outputs} PO, "
+            f"{self.gates} gates, {self.levels} levels)"
+        )
+
+
+#: PI/PO/gate counts from the ISCAS85 suite; levels from Fig. 20.
+ISCAS85_SPECS: dict[str, CircuitSpec] = {
+    spec.name: spec
+    for spec in [
+        CircuitSpec("c432", 36, 7, 160, 18, "priority decoder"),
+        CircuitSpec("c499", 41, 32, 202, 12, "ECC / SEC circuit"),
+        CircuitSpec("c880", 60, 26, 383, 25, "ALU and control"),
+        CircuitSpec("c1355", 41, 32, 546, 25, "ECC (c499 expanded)"),
+        CircuitSpec("c1908", 33, 25, 880, 41, "ECC / SEC-DED"),
+        CircuitSpec("c2670", 233, 140, 1269, 33, "ALU and control"),
+        CircuitSpec("c3540", 50, 22, 1669, 48, "ALU and control"),
+        CircuitSpec("c5315", 178, 123, 2307, 50, "ALU and selector"),
+        CircuitSpec("c6288", 32, 32, 2416, 125, "16x16 multiplier"),
+        CircuitSpec("c7552", 207, 108, 3513, 44, "ALU and control"),
+    ]
+}
+
+#: The circuits whose bit-fields fit a single 32-bit word (Fig. 20).
+SMALL_SUITE = ("c432", "c499", "c880", "c1355")
+
+
+def make_circuit(
+    name: str,
+    *,
+    seed: int = 1990,
+    scale_factor: float = 1.0,
+) -> Circuit:
+    """Synthesize the analog of one ISCAS85 benchmark.
+
+    ``scale_factor`` scales the gate/PI/PO counts (never the depth, so
+    word counts stay faithful); 1.0 gives the full published size.
+    """
+    spec = ISCAS85_SPECS.get(name)
+    if spec is None:
+        raise NetlistError(
+            f"unknown ISCAS85 circuit {name!r}; "
+            f"choose from {sorted(ISCAS85_SPECS)}"
+        )
+    if not 0 < scale_factor <= 1.0:
+        raise NetlistError("scale_factor must be in (0, 1]")
+    depth = spec.depth
+    gates = max(depth, round(spec.gates * scale_factor))
+    inputs = max(2, round(spec.inputs * scale_factor))
+    outputs = max(1, round(spec.outputs * scale_factor))
+    suffix = "" if scale_factor == 1.0 else f"_s{scale_factor:g}"
+    # A stable per-name offset (Python's hash() is salted per process).
+    name_tag = sum(ord(ch) * (i + 7) for i, ch in enumerate(name))
+    return layered_circuit(
+        seed + name_tag,
+        num_inputs=inputs,
+        num_gates=gates,
+        depth=depth,
+        num_outputs=outputs,
+        name=f"{name}{suffix}",
+    )
+
+
+def make_suite(
+    names: Optional[list[str]] = None,
+    *,
+    seed: int = 1990,
+    scale_factor: float = 1.0,
+) -> dict[str, Circuit]:
+    """Synthesize several analogs (default: all ten, in size order)."""
+    if names is None:
+        names = list(ISCAS85_SPECS)
+    return {
+        name: make_circuit(name, seed=seed, scale_factor=scale_factor)
+        for name in names
+    }
+
+
+def load_circuit(
+    name: str,
+    bench_dir: Optional[str] = None,
+    *,
+    seed: int = 1990,
+    scale_factor: float = 1.0,
+) -> Circuit:
+    """Load the real benchmark if available, else synthesize the analog.
+
+    Looks for ``<bench_dir>/<name>.bench`` (also honouring the
+    ``REPRO_ISCAS85_DIR`` environment variable when ``bench_dir`` is
+    None).
+    """
+    import os
+
+    directory = bench_dir or os.environ.get("REPRO_ISCAS85_DIR")
+    if directory:
+        path = Path(directory) / f"{name}.bench"
+        if path.exists():
+            return parse_bench_file(path, name)
+    return make_circuit(name, seed=seed, scale_factor=scale_factor)

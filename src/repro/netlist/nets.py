@@ -1,0 +1,98 @@
+"""Nets and gates: the atoms of a circuit.
+
+A :class:`Net` is a named wire carrying a single logic value.  A
+:class:`Gate` computes one output net from an ordered list of input nets.
+Nets know their driver and fanout, which is what the levelization,
+PC-set, and alignment algorithms of the paper traverse.
+
+Both classes are plain mutable records; the :class:`repro.netlist.circuit.
+Circuit` container owns them and maintains the cross-references.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic import GateType
+
+__all__ = ["Net", "Gate"]
+
+
+class Net:
+    """A named wire.
+
+    Attributes
+    ----------
+    name:
+        Unique net name within its circuit.
+    driver:
+        Name of the driving gate, or ``None`` for primary inputs.
+        (Wired-AND/OR nets with several drivers are not modelled; ISCAS85
+        circuits are single-driver, and the paper's algorithms reduce to
+        the single-driver case for them.)
+    fanout:
+        Names of the gates that use this net as an input, in insertion
+        order.  A gate appears once per use, so a net feeding both inputs
+        of one gate lists that gate twice — the PC-set algorithm's count
+        bookkeeping (§2 step 4d) relies on this.
+    is_input / is_output:
+        Primary-input / primary-output (monitored) flags.
+    """
+
+    __slots__ = ("name", "driver", "fanout", "is_input", "is_output")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        driver: Optional[str] = None,
+        is_input: bool = False,
+        is_output: bool = False,
+    ) -> None:
+        self.name = name
+        self.driver = driver
+        self.fanout: list[str] = []
+        self.is_input = is_input
+        self.is_output = is_output
+
+    def __repr__(self) -> str:
+        kind = "PI" if self.is_input else ("PO" if self.is_output else "net")
+        return f"Net({self.name!r}, {kind}, driver={self.driver!r})"
+
+
+class Gate:
+    """A logic gate: one output net computed from ordered input nets.
+
+    Attributes
+    ----------
+    name:
+        Unique gate name within its circuit.
+    gate_type:
+        One of :class:`repro.logic.GateType`.
+    inputs:
+        Ordered input net names; duplicates allowed.
+    output:
+        The single output net name.
+    """
+
+    __slots__ = ("name", "gate_type", "inputs", "output")
+
+    def __init__(
+        self,
+        name: str,
+        gate_type: GateType,
+        inputs: list[str],
+        output: str,
+    ) -> None:
+        self.name = name
+        self.gate_type = gate_type
+        self.inputs = list(inputs)
+        self.output = output
+
+    @property
+    def fan_in(self) -> int:
+        return len(self.inputs)
+
+    def __repr__(self) -> str:
+        ins = ", ".join(self.inputs)
+        return f"Gate({self.name!r}: {self.output} = {self.gate_type.value}({ins}))"

@@ -1,0 +1,210 @@
+"""Seeded random circuit generation.
+
+Two generators:
+
+- :func:`random_dag_circuit` — small random acyclic circuits for
+  property-based testing (any shape, heavy reconvergent fanout).
+- :func:`layered_circuit` — a layered DAG with an exact gate count and
+  exact logic depth, used to build the ISCAS85-analog suite: a forced
+  longest chain pins the depth, the remaining gates are spread over the
+  layers, and inputs are drawn with locality bias to create the
+  reconvergent fanout that drives PC-set growth and retained shifts.
+
+Both are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.errors import NetlistError
+from repro.logic import GateType
+from repro.netlist.circuit import Circuit
+
+__all__ = ["random_dag_circuit", "layered_circuit"]
+
+_BINARY_TYPES = (
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+)
+_UNARY_TYPES = (GateType.NOT, GateType.BUF)
+
+
+def random_dag_circuit(
+    seed: int,
+    *,
+    num_inputs: int = 4,
+    num_gates: int = 12,
+    max_fan_in: int = 3,
+    p_unary: float = 0.25,
+    name: Optional[str] = None,
+) -> Circuit:
+    """A random acyclic circuit (for tests).
+
+    Every gate draws its inputs uniformly from all earlier nets, so
+    reconvergent fanout along different-length paths — the structure
+    that stresses PC-sets and shift elimination — occurs constantly.
+    All sink nets (plus any undriven-fanout-free inputs) are monitored.
+    """
+    if num_inputs < 1 or num_gates < 1:
+        raise NetlistError("need at least one input and one gate")
+    rng = random.Random(seed)
+    circuit = Circuit(name or f"rand{seed}")
+    nets = []
+    for i in range(num_inputs):
+        net_name = f"I{i}"
+        circuit.add_net(net_name, is_input=True)
+        nets.append(net_name)
+    for g in range(num_gates):
+        out = f"N{g}"
+        if rng.random() < p_unary:
+            gate_type = rng.choice(_UNARY_TYPES)
+            inputs = [rng.choice(nets)]
+        else:
+            gate_type = rng.choice(_BINARY_TYPES)
+            fan_in = rng.randint(2, max_fan_in)
+            inputs = [rng.choice(nets) for _ in range(fan_in)]
+        circuit.add_gate(gate_type, out, inputs)
+        nets.append(out)
+    for net_name, net in circuit.nets.items():
+        if not net.fanout and net.driver is not None:
+            circuit.add_net(net_name, is_output=True)
+    if not circuit.outputs:
+        circuit.add_net(nets[-1], is_output=True)
+    circuit.validate()
+    return circuit
+
+
+def layered_circuit(
+    seed: int,
+    *,
+    num_inputs: int,
+    num_gates: int,
+    depth: int,
+    num_outputs: Optional[int] = None,
+    p_unary: float = 0.15,
+    locality: float = 0.7,
+    p_primary_tap: float = 0.08,
+    gate_types: Sequence[GateType] = _BINARY_TYPES,
+    name: Optional[str] = None,
+) -> Circuit:
+    """A random circuit with exactly ``num_gates`` gates and depth ``depth``.
+
+    Construction: a chain of ``depth`` gates pins the longest path; the
+    remaining gates are distributed over levels 1..depth; each gate at
+    level L draws one input from level L-1 (so its level is exact) and
+    the rest from earlier levels, preferring recent levels with
+    probability ``locality`` (geometric back-off) to create realistic
+    local reconvergence.
+
+    ``num_outputs`` monitored nets are chosen among the sinks first,
+    then the deepest remaining nets.
+    """
+    if depth < 1:
+        raise NetlistError("depth must be >= 1")
+    if num_gates < depth:
+        raise NetlistError(
+            f"cannot reach depth {depth} with {num_gates} gates"
+        )
+    rng = random.Random(seed)
+    circuit = Circuit(name or f"layered{seed}")
+    by_level: list[list[str]] = [[]]
+    for i in range(num_inputs):
+        net_name = f"I{i}"
+        circuit.add_net(net_name, is_input=True)
+        by_level[0].append(net_name)
+
+    # Distribute the gate count over the levels: one chain gate per
+    # level is mandatory; the rest go to random levels, weighted toward
+    # the shallow half like real circuits.
+    per_level = [1] * depth
+    weights = [depth - i * 0.5 for i in range(depth)]
+    extra = num_gates - depth
+    total_weight = sum(weights)
+    allocated = 0
+    for i in range(depth):
+        share = int(extra * weights[i] / total_weight)
+        per_level[i] += share
+        allocated += share
+    level_order = list(range(depth))
+    rng.shuffle(level_order)
+    for i in level_order[: extra - allocated]:
+        per_level[i] += 1
+
+    def pick_source(level: int) -> str:
+        """A net from some level < ``level``, biased toward recent ones.
+
+        With probability ``p_primary_tap`` the source is a primary
+        input regardless of depth — real circuits routinely feed
+        control inputs deep into the logic, and those taps are what
+        create large level/minlevel gaps (big PC-sets) and the strongly
+        unbalanced reconvergence that stresses shift elimination.
+        """
+        if level > 1 and rng.random() < p_primary_tap:
+            return rng.choice(by_level[0])
+        back = 1
+        while level - back > 0 and rng.random() > locality:
+            back += 1
+        chosen = rng.randrange(max(0, level - back), level)
+        # Levels can be sparse near the top; fall back downward.
+        while not by_level[chosen]:
+            chosen -= 1
+        return rng.choice(by_level[chosen])
+
+    counter = 0
+    for level in range(1, depth + 1):
+        by_level.append([])
+        chain_done = False
+        for _slot in range(per_level[level - 1]):
+            out = f"G{counter}"
+            counter += 1
+            if not chain_done:
+                # The chain gate: one input from the previous level
+                # guarantees this level is populated and the depth is
+                # exact.
+                first = rng.choice(by_level[level - 1])
+                chain_done = True
+            else:
+                first = pick_source(level)
+                # Force the gate's level: at least one input must come
+                # from level - 1.
+                first = rng.choice(by_level[level - 1])
+            if rng.random() < p_unary:
+                gate_type = rng.choice(_UNARY_TYPES)
+                inputs = [first]
+            else:
+                gate_type = rng.choice(list(gate_types))
+                inputs = [first, pick_source(level)]
+                if rng.random() < 0.15:
+                    inputs.append(pick_source(level))
+            circuit.add_gate(gate_type, out, inputs)
+            by_level[level].append(out)
+
+    sinks = [
+        net_name
+        for net_name, net in circuit.nets.items()
+        if net.driver is not None and not net.fanout
+    ]
+    if num_outputs is None:
+        chosen = sinks if sinks else [by_level[-1][0]]
+    else:
+        chosen = list(sinks)
+        if len(chosen) > num_outputs:
+            chosen = chosen[:num_outputs]
+        elif len(chosen) < num_outputs:
+            pool = [
+                net_name
+                for level in reversed(by_level[1:])
+                for net_name in level
+                if net_name not in set(chosen)
+            ]
+            chosen += pool[: num_outputs - len(chosen)]
+    for net_name in chosen:
+        circuit.add_net(net_name, is_output=True)
+    circuit.validate()
+    return circuit

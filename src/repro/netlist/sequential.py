@@ -1,0 +1,128 @@
+"""Synchronous sequential circuits, handled per §1 of the paper.
+
+    "our algorithms can be applied to a wide variety of synchronous
+    sequential circuits by requiring that any cycle in the network contain
+    at least one flip-flop.  The circuit could then be broken at the
+    flip-flops by treating the flip-flop inputs as primary outputs and the
+    outputs as primary inputs."
+
+:class:`SequentialCircuit` wraps the broken combinational core together
+with the flip-flop mapping, and provides a clocked ``step`` interface on
+top of any per-vector combinational simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+
+__all__ = ["SequentialCircuit", "break_at_flipflops"]
+
+
+class SequentialCircuit:
+    """A clocked circuit = combinational core + D flip-flops.
+
+    Attributes
+    ----------
+    core:
+        The acyclic combinational circuit.  Each flip-flop's Q pin is a
+        pseudo primary input of the core; each D pin is a pseudo primary
+        output.
+    flipflops:
+        Mapping ``q_net -> d_net``.
+    external_inputs / external_outputs:
+        The circuit's true primary inputs and outputs (excluding the
+        pseudo pins introduced by breaking the flip-flops).
+    """
+
+    def __init__(
+        self,
+        core: Circuit,
+        flipflops: Mapping[str, str],
+        external_outputs: Optional[list[str]] = None,
+    ) -> None:
+        self.core = core
+        self.flipflops = dict(flipflops)
+        q_nets = set(self.flipflops)
+        d_nets = set(self.flipflops.values())
+        self.external_inputs = [
+            n for n in core.inputs if n not in q_nets
+        ]
+        if external_outputs is None:
+            external_outputs = [
+                n for n in core.outputs if n not in d_nets
+            ]
+        self.external_outputs = list(external_outputs)
+        for q_net, d_net in self.flipflops.items():
+            if q_net not in core.nets or not core.nets[q_net].is_input:
+                raise NetlistError(
+                    f"flip-flop Q net {q_net!r} is not a core input"
+                )
+            if d_net not in core.nets:
+                raise NetlistError(
+                    f"flip-flop D net {d_net!r} is not in the core"
+                )
+
+    @property
+    def num_flipflops(self) -> int:
+        return len(self.flipflops)
+
+    def initial_state(self, value: int = 0) -> dict[str, int]:
+        """An all-``value`` flip-flop state (keyed by Q net)."""
+        return {q: value for q in self.flipflops}
+
+    def step(
+        self,
+        evaluate: Callable[[dict[str, int]], Mapping[str, int]],
+        state: Mapping[str, int],
+        inputs: Mapping[str, int],
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """Run one clock cycle.
+
+        ``evaluate`` maps a full core input assignment to the settled
+        values of (at least) the core's primary outputs — any of this
+        library's combinational simulators can be wrapped to fit.
+
+        Returns ``(next_state, external_output_values)``.
+        """
+        core_inputs = dict(inputs)
+        for q_net in self.flipflops:
+            core_inputs[q_net] = state[q_net]
+        settled = evaluate(core_inputs)
+        next_state = {
+            q_net: settled[d_net] for q_net, d_net in self.flipflops.items()
+        }
+        outputs = {o: settled[o] for o in self.external_outputs}
+        return next_state, outputs
+
+    def __repr__(self) -> str:
+        return (
+            f"SequentialCircuit({self.core.name!r}: "
+            f"{len(self.external_inputs)} PI, "
+            f"{len(self.external_outputs)} PO, "
+            f"{self.num_flipflops} FFs, {self.core.num_gates} gates)"
+        )
+
+
+def break_at_flipflops(
+    circuit: Circuit,
+    flipflops: Mapping[str, str],
+    name: Optional[str] = None,
+) -> SequentialCircuit:
+    """Break an in-memory circuit at the given flip-flops.
+
+    ``circuit`` must already model each flip-flop's Q net as a primary
+    input (i.e. undriven); this helper marks the D nets as outputs and
+    wraps everything into a :class:`SequentialCircuit`.  Use this when
+    building sequential designs with :class:`CircuitBuilder`; ``.bench``
+    files with DFF lines go through
+    :func:`repro.netlist.bench.parse_bench_sequential` instead.
+    """
+    core = circuit.copy(name if name is not None else circuit.name)
+    external_outputs = core.outputs
+    for d_net in flipflops.values():
+        core.add_net(d_net, is_output=True)
+    core.validate()
+    return SequentialCircuit(core, flipflops, external_outputs)

@@ -1,0 +1,173 @@
+"""Netlist transformations: cones, pruning, constant propagation.
+
+Standard structural utilities every netlist library needs, used here
+to prepare circuits for the compiled simulators (dead logic inflates
+every generated program; constants that reach gate inputs can be
+folded before code generation) and to slice out the fan-in cone of a
+net for debugging a mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import NetlistError
+from repro.logic import CONTROLLING_VALUE, GateType
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "fanin_cone",
+    "prune_dead_logic",
+    "propagate_constants",
+]
+
+
+def fanin_cone(
+    circuit: Circuit,
+    targets: Iterable[str],
+    name: Optional[str] = None,
+) -> Circuit:
+    """The sub-circuit feeding ``targets`` (transitive fan-in).
+
+    Primary inputs of the cone are exactly the original primary inputs
+    it reaches; the targets become the cone's monitored outputs.
+    Useful for isolating one mismatching output during debugging.
+    """
+    target_list = list(targets)
+    for net_name in target_list:
+        if net_name not in circuit.nets:
+            raise NetlistError(f"no such net: {net_name!r}")
+    keep: set[str] = set()
+    stack = list(target_list)
+    while stack:
+        net_name = stack.pop()
+        if net_name in keep:
+            continue
+        keep.add(net_name)
+        driver = circuit.nets[net_name].driver
+        if driver is not None:
+            stack.extend(circuit.gates[driver].inputs)
+    cone = Circuit(name if name is not None else f"{circuit.name}_cone")
+    for net_name in circuit.inputs:
+        if net_name in keep:
+            cone.add_net(net_name, is_input=True)
+    for gate in circuit.topological_gates():
+        if gate.output in keep:
+            cone.add_gate(
+                gate.gate_type, gate.output, gate.inputs, name=gate.name
+            )
+    for net_name in target_list:
+        cone.add_net(net_name, is_output=True)
+    cone.validate()
+    return cone
+
+
+def prune_dead_logic(
+    circuit: Circuit, name: Optional[str] = None
+) -> Circuit:
+    """Drop gates and nets that cannot reach any monitored output.
+
+    Primary inputs are kept even when unused (the interface is part of
+    the contract); everything else outside the monitored cone goes.
+    """
+    if not circuit.outputs:
+        raise NetlistError("circuit has no monitored outputs to keep")
+    pruned = fanin_cone(
+        circuit, circuit.outputs,
+        name if name is not None else f"{circuit.name}_pruned",
+    )
+    # Re-add unused primary inputs so the vector interface is stable.
+    for net_name in circuit.inputs:
+        pruned.add_net(net_name, is_input=True)
+    # Preserve the original output declaration order.
+    assert pruned.outputs == circuit.outputs
+    return pruned
+
+
+def propagate_constants(
+    circuit: Circuit, name: Optional[str] = None
+) -> Circuit:
+    """Fold constant signals through the logic.
+
+    Gates whose value is decided by constant inputs (a controlling
+    constant, or all inputs constant) become constants themselves;
+    constants feeding non-controlling positions are dropped from the
+    operand list where the gate type allows it.  Gate *names* of
+    surviving gates are preserved.  The result computes the same
+    function on every vector.
+    """
+    folded = Circuit(name if name is not None else f"{circuit.name}_cp")
+    for net_name in circuit.inputs:
+        folded.add_net(net_name, is_input=True)
+
+    constant: dict[str, int] = {}
+
+    def emit_const(output: str, value: int, gate_name: str) -> None:
+        constant[output] = value
+        folded.add_gate(
+            GateType.CONST1 if value else GateType.CONST0,
+            output, [], name=gate_name,
+        )
+
+    for gate in circuit.topological_gates():
+        gate_type = gate.gate_type
+        if gate_type is GateType.CONST0:
+            emit_const(gate.output, 0, gate.name)
+            continue
+        if gate_type is GateType.CONST1:
+            emit_const(gate.output, 1, gate.name)
+            continue
+
+        const_inputs = [
+            constant[i] for i in gate.inputs if i in constant
+        ]
+        live_inputs = [i for i in gate.inputs if i not in constant]
+
+        control = CONTROLLING_VALUE.get(gate_type)
+        inverting = gate_type.is_inverting
+        if control is not None and control in const_inputs:
+            emit_const(gate.output, 1 - control if inverting else control,
+                       gate.name)
+            continue
+        if not live_inputs:
+            # All inputs constant: evaluate outright.
+            from repro.logic import eval_gate
+
+            value = eval_gate(gate_type, const_inputs) & 1
+            emit_const(gate.output, value, gate.name)
+            continue
+        if gate_type in (GateType.NOT, GateType.BUF):
+            folded.add_gate(gate_type, gate.output, live_inputs,
+                            name=gate.name)
+            continue
+        if gate_type in (GateType.XOR, GateType.XNOR):
+            # Constant XOR operands flip or keep the parity.
+            parity = sum(const_inputs) % 2
+            effective = gate_type
+            if parity:
+                effective = (GateType.XNOR
+                             if gate_type is GateType.XOR
+                             else GateType.XOR)
+            if len(live_inputs) == 1:
+                unary = (GateType.BUF if effective is GateType.XOR
+                         else GateType.NOT)
+                folded.add_gate(unary, gate.output, live_inputs,
+                                name=gate.name)
+            else:
+                folded.add_gate(effective, gate.output, live_inputs,
+                                name=gate.name)
+            continue
+        # AND/NAND/OR/NOR with only non-controlling constants left:
+        # those operands are identities and may be dropped.
+        if len(live_inputs) == 1:
+            unary = GateType.NOT if inverting else GateType.BUF
+            folded.add_gate(unary, gate.output, live_inputs,
+                            name=gate.name)
+        else:
+            folded.add_gate(gate_type, gate.output, live_inputs,
+                            name=gate.name)
+
+    for net_name in circuit.outputs:
+        folded.add_net(net_name, is_output=True)
+    folded.validate()
+    return folded

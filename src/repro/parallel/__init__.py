@@ -1,0 +1,39 @@
+"""The parallel technique of compiled unit-delay simulation (§3-§4).
+
+Each net gets an ``n``-bit bit-field (``n`` = circuit depth + 1); bit
+``t`` holds the net's value at time ``t``.  One bit-parallel logic
+operation plus one left shift simulates every time step of a gate at
+once.  Fields wider than the machine word are split into words (Fig. 8).
+
+Optimizations:
+
+- :mod:`repro.parallel.trimming` helpers + the ``trimming=True`` mode of
+  the generator — word-level elimination of computation driven by
+  PC-sets (Fig. 9);
+- :mod:`repro.parallel.pathtrace` / :mod:`repro.parallel.cyclebreak` —
+  the two shift-elimination algorithms of §4, consumed by
+  :mod:`repro.parallel.aligned_codegen`.
+
+:class:`~repro.parallel.simulator.ParallelSimulator` is the facade that
+selects a variant and a backend.
+"""
+
+from repro.parallel.bitfields import FieldLayout, FieldSpec, WordClass
+from repro.parallel.codegen import generate_parallel_program
+from repro.parallel.alignment import Alignment
+from repro.parallel.pathtrace import path_tracing_alignment
+from repro.parallel.cyclebreak import cycle_breaking_alignment
+from repro.parallel.aligned_codegen import generate_aligned_program
+from repro.parallel.simulator import ParallelSimulator
+
+__all__ = [
+    "FieldLayout",
+    "FieldSpec",
+    "WordClass",
+    "generate_parallel_program",
+    "Alignment",
+    "path_tracing_alignment",
+    "cycle_breaking_alignment",
+    "generate_aligned_program",
+    "ParallelSimulator",
+]

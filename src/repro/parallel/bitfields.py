@@ -1,0 +1,209 @@
+"""Bit-field layout for the parallel technique.
+
+A net's bit-field maps simulation times to bit positions: bit ``i``
+holds the net's value at time ``i + alignment``.  The unoptimized
+technique (§3) uses alignment 0 and one common width (depth + 1) for
+every net; shift elimination (§4) gives each net its own alignment and
+width (``level - alignment + 1``).  Widths are rounded up to whole
+machine words (Fig. 8).
+
+Word classification for bit-field trimming (Fig. 9):
+
+- ``LOW_FINAL`` — every time the word covers precedes the net's
+  minlevel, so the whole word holds the previous vector's final value;
+  filled once per vector during initialization.
+- ``GAP`` — the word covers no PC-set representative; filled by
+  replicating the high-order bit of the preceding word.
+- ``ACTIVE`` — everything else: real simulation code is generated.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.analysis.levelize import Levelization
+from repro.analysis.pcsets import PCSets
+from repro.codegen.naming import NameAllocator
+from repro.errors import CodegenError
+from repro.netlist.circuit import Circuit
+
+__all__ = ["WordClass", "FieldSpec", "FieldLayout"]
+
+
+class WordClass(enum.Enum):
+    ACTIVE = "active"
+    GAP = "gap"
+    LOW_FINAL = "low_final"
+
+
+class FieldSpec:
+    """Layout of one net's bit-field.
+
+    Attributes
+    ----------
+    alignment:
+        Time represented by bit 0.
+    width:
+        Used bits (before word rounding).
+    num_words:
+        Words after rounding up.
+    words:
+        Variable name per word, low-order first.
+    classes:
+        :class:`WordClass` per word (all ACTIVE when trimming is off).
+    """
+
+    __slots__ = ("net", "alignment", "width", "num_words", "words",
+                 "classes")
+
+    def __init__(
+        self,
+        net: str,
+        alignment: int,
+        width: int,
+        num_words: int,
+        words: list[str],
+        classes: list[WordClass],
+    ) -> None:
+        self.net = net
+        self.alignment = alignment
+        self.width = width
+        self.num_words = num_words
+        self.words = words
+        self.classes = classes
+
+    @property
+    def top(self) -> str:
+        """Variable of the high-order word."""
+        return self.words[-1]
+
+    def bitpos(self, time: int) -> int:
+        """Bit position of ``time`` in this field."""
+        return time - self.alignment
+
+    def __repr__(self) -> str:
+        return (
+            f"FieldSpec({self.net}, align={self.alignment}, "
+            f"width={self.width}, words={self.num_words})"
+        )
+
+
+class FieldLayout:
+    """Bit-field layout for every net of a circuit.
+
+    Parameters
+    ----------
+    circuit, levels:
+        The circuit and its levelization.
+    word_width:
+        Machine word size (the paper used 32).
+    alignments:
+        Per-net alignment (bit 0's time).  ``None`` means the
+        unoptimized layout: alignment 0 and uniform width
+        ``depth + 1`` for every net.
+    pc_sets:
+        Required when ``trimming`` so words can be classified.
+    trimming:
+        Enable word classification (otherwise everything is ACTIVE).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        levels: Levelization,
+        *,
+        word_width: int = 32,
+        alignments: Optional[dict[str, int]] = None,
+        pc_sets: Optional[PCSets] = None,
+        trimming: bool = False,
+    ) -> None:
+        if trimming and pc_sets is None:
+            raise CodegenError("trimming requires PC-sets")
+        self.circuit = circuit
+        self.levels = levels
+        self.word_width = word_width
+        self.trimming = trimming
+        self.uniform = alignments is None
+        names = NameAllocator()
+        self.fields: dict[str, FieldSpec] = {}
+
+        depth = levels.depth
+        for net_name in circuit.nets:
+            if alignments is None:
+                alignment = 0
+                width = depth + 1
+            else:
+                alignment = alignments[net_name]
+                width = levels.net_levels[net_name] - alignment + 1
+            if width < 1:
+                raise CodegenError(
+                    f"net {net_name!r}: non-positive field width {width}"
+                )
+            num_words = -(-width // word_width)
+            base = names.get(net_name)
+            if num_words == 1:
+                words = [base]
+            else:
+                words = [f"{base}_{j}" for j in range(num_words)]
+            classes = self._classify(
+                net_name, alignment, num_words, pc_sets
+            )
+            self.fields[net_name] = FieldSpec(
+                net_name, alignment, width, num_words, words, classes
+            )
+
+    # ------------------------------------------------------------------
+    def _classify(
+        self,
+        net_name: str,
+        alignment: int,
+        num_words: int,
+        pc_sets: Optional[PCSets],
+    ) -> list[WordClass]:
+        if not self.trimming:
+            return [WordClass.ACTIVE] * num_words
+        assert pc_sets is not None
+        w = self.word_width
+        minlevel = self.levels.net_minlevels[net_name]
+        reps = pc_sets.raw_net_pc_sets[net_name]
+        rep_words = {(t - alignment) // w for t in reps}
+        classes: list[WordClass] = []
+        for j in range(num_words):
+            top_time = alignment + (j + 1) * w - 1
+            if top_time < minlevel:
+                classes.append(WordClass.LOW_FINAL)
+            elif j not in rep_words:
+                classes.append(WordClass.GAP)
+            else:
+                classes.append(WordClass.ACTIVE)
+        # The top word always holds the level representative, so a
+        # fully-trimmed net (all LOW_FINAL) cannot occur for driven
+        # nets; primary inputs have minlevel 0 and are all ACTIVE.
+        return classes
+
+    # ------------------------------------------------------------------
+    def field(self, net_name: str) -> FieldSpec:
+        return self.fields[net_name]
+
+    def word_index(self, net_name: str, time: int) -> tuple[int, int]:
+        """(word, bit-in-word) of ``time`` for a net."""
+        pos = self.fields[net_name].bitpos(time)
+        return pos // self.word_width, pos % self.word_width
+
+    def total_words(self) -> int:
+        """Total state words over all nets (memory cost)."""
+        return sum(spec.num_words for spec in self.fields.values())
+
+    def max_width(self) -> int:
+        """Widest field (the Fig. 22 quantity)."""
+        return max(spec.width for spec in self.fields.values())
+
+    def max_words(self) -> int:
+        return max(spec.num_words for spec in self.fields.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"FieldLayout({self.circuit.name!r}, W={self.word_width}, "
+            f"max_width={self.max_width()}, words={self.total_words()})"
+        )

@@ -1,0 +1,149 @@
+"""The cycle-breaking shift-elimination algorithm (§4, Figs. 13-16).
+
+A depth-first search of the undirected network graph removes the most
+recently traversed edge whenever a cycle is found (i.e. keeps a
+spanning forest and discards the back edges).  A second traversal over
+the surviving tree assigns alignments by the Fig. 15 rules:
+
+- from a net aligned ``a``: gates driving it get ``a``; gates reading
+  it get ``a + 1``;
+- from a gate aligned ``a``: its output nets get ``a``; its input nets
+  get ``a - 1``.
+
+Every removed (back) edge whose implied constraint disagrees with the
+assigned alignments becomes a retained shift; multi-bit and left shifts
+are both possible, and the bit-field can expand dramatically (Fig. 14)
+— which is exactly why the paper finds this algorithm loses to
+path-tracing on realistic circuits despite removing the minimum number
+of edges.
+
+A final normalization pass slides all alignments down by one constant
+so that every net's alignment is at or below its minlevel (strictly
+below for left-shifted nets), per the paper's "second pass".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.graph import Edge, UndirectedNetworkGraph, Vertex
+from repro.analysis.levelize import Levelization, levelize
+from repro.netlist.circuit import Circuit
+from repro.parallel.alignment import Alignment
+
+__all__ = ["cycle_breaking_alignment", "spanning_forest"]
+
+
+def spanning_forest(
+    graph: UndirectedNetworkGraph,
+) -> tuple[dict[Vertex, list[Edge]], list[Edge]]:
+    """DFS spanning forest of the undirected network graph.
+
+    Returns ``(tree_adjacency, removed_edges)``: the adjacency lists of
+    the kept (tree) edges, and the back edges the DFS removed — "when a
+    cycle is found, the most recently traversed edge is removed" (§4).
+    """
+    tree: dict[Vertex, list[Edge]] = {v: [] for v in graph.adjacency}
+    removed: list[Edge] = []
+    visited: set[Vertex] = set()
+    seen_edges: set[int] = set()
+    for root in graph.adjacency:
+        if root in visited:
+            continue
+        visited.add(root)
+        stack: list[Vertex] = [root]
+        while stack:
+            vertex = stack.pop()
+            for edge in graph.adjacency[vertex]:
+                if edge.key in seen_edges:
+                    continue
+                seen_edges.add(edge.key)
+                other = edge.other(vertex)
+                if other in visited:
+                    removed.append(edge)
+                else:
+                    visited.add(other)
+                    tree[vertex].append(edge)
+                    tree[other].append(edge)
+                    stack.append(other)
+    return tree, removed
+
+
+def cycle_breaking_alignment(
+    circuit: Circuit, levels: Optional[Levelization] = None
+) -> Alignment:
+    """Compute alignments with the §4 cycle-breaking algorithm."""
+    if levels is None:
+        levels = levelize(circuit)
+    minlevel = levels.net_minlevels
+    graph = UndirectedNetworkGraph(circuit)
+    tree, _removed = spanning_forest(graph)
+
+    net_align: dict[str, int] = {}
+    gate_align: dict[str, int] = {}
+    assigned: set[Vertex] = set()
+
+    po_set = list(circuit.outputs)
+
+    def component_root(start: Vertex) -> tuple[Vertex, int]:
+        """Pick the component's root: its first primary output if any.
+
+        Falls back to the first net vertex encountered; alignment starts
+        at the root net's minimum PC-set value (= minlevel).
+        """
+        component: list[Vertex] = []
+        seen = {start}
+        stack = [start]
+        while stack:
+            vertex = stack.pop()
+            component.append(vertex)
+            for edge in tree[vertex]:
+                other = edge.other(vertex)
+                if other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        nets_in_component = {
+            name for kind, name in component if kind == "net"
+        }
+        for po in po_set:
+            if po in nets_in_component:
+                return ("net", po), minlevel[po]
+        for vertex in component:
+            if vertex[0] == "net":
+                return vertex, minlevel[vertex[1]]
+        # A gates-only component is impossible (every gate touches nets).
+        raise AssertionError("component without net vertices")
+
+    for start in graph.adjacency:
+        if start in assigned:
+            continue
+        root, root_value = component_root(start)
+        stack2: list[tuple[Vertex, int]] = [(root, root_value)]
+        while stack2:
+            vertex, value = stack2.pop()
+            if vertex in assigned:
+                continue
+            assigned.add(vertex)
+            kind, name = vertex
+            if kind == "net":
+                net_align[name] = value
+            else:
+                gate_align[name] = value
+            for edge in tree[vertex]:
+                other = edge.other(vertex)
+                if other in assigned:
+                    continue
+                if kind == "net":
+                    # Gates driving the net share its alignment; gates
+                    # reading it sit one later.
+                    child = value if edge.role == "output" else value + 1
+                else:
+                    child = value if edge.role == "output" else value - 1
+                stack2.append((other, child))
+
+    alignment = Alignment(
+        circuit, net_align, gate_align, "cyclebreak", levels
+    )
+    alignment.normalize()
+    alignment.validate()
+    return alignment

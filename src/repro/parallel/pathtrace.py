@@ -1,0 +1,93 @@
+"""The path-tracing shift-elimination algorithm (§4, Fig. 17).
+
+A min-relaxation sweep from the primary outputs up toward the primary
+inputs: a net aligned at ``x`` pulls its driving gate to ``x``; a gate
+aligned at ``x`` pulls its inputs to ``x - 1``; only strictly smaller
+values propagate.  Properties proved in the paper and enforced here by
+tests:
+
+- alignments only ever move *up* the network, so the bit-field never
+  widens (and may shrink);
+- every gate ends up aligned with its output and every net with at
+  least one reader, so fanout-free regions simulate without shifts;
+- all residual shifts are right shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.levelize import Levelization, levelize
+from repro.netlist.circuit import Circuit
+from repro.parallel.alignment import Alignment
+
+__all__ = ["path_tracing_alignment"]
+
+_INFINITY = 10**9
+
+
+def path_tracing_alignment(
+    circuit: Circuit, levels: Optional[Levelization] = None
+) -> Alignment:
+    """Compute alignments with the Fig. 17 path-tracing algorithm.
+
+    The sweep starts from every primary output, aligned to its minimum
+    PC-set value (= its minlevel); any sink nets that are not monitored
+    are processed afterwards so the whole circuit gets aligned.
+    """
+    if levels is None:
+        levels = levelize(circuit)
+    minlevel = levels.net_minlevels
+
+    net_align: dict[str, int] = {n: _INFINITY for n in circuit.nets}
+    gate_align: dict[str, int] = {g: _INFINITY for g in circuit.gates}
+
+    # Iterative worklist version of the mutually recursive
+    # net_align()/gate_align() procedures of Fig. 17.
+    stack: list[tuple[str, str, int]] = []
+
+    def relax_net(net_name: str, new_alignment: int) -> None:
+        if new_alignment < net_align[net_name]:
+            net_align[net_name] = new_alignment
+            driver = circuit.nets[net_name].driver
+            if driver is not None:
+                stack.append(("gate", driver, new_alignment))
+
+    def relax_gate(gate_name: str, new_alignment: int) -> None:
+        if new_alignment < gate_align[gate_name]:
+            gate_align[gate_name] = new_alignment
+            for in_net in circuit.gates[gate_name].inputs:
+                stack.append(("net", in_net, new_alignment - 1))
+
+    starts = list(circuit.outputs)
+    starts += [
+        net_name
+        for net_name, net in circuit.nets.items()
+        if not net.fanout and net_name not in set(circuit.outputs)
+    ]
+    for start in starts:
+        relax_net(start, minlevel[start])
+        while stack:
+            kind, name, value = stack.pop()
+            if kind == "gate":
+                relax_gate(name, value)
+            else:
+                relax_net(name, value)
+
+    # Unreached items can only be nets/gates with no path to any sink,
+    # which cannot exist in a finite acyclic circuit; guard anyway.
+    for net_name, value in net_align.items():
+        if value >= _INFINITY:
+            net_align[net_name] = minlevel[net_name]
+    for gate_name, value in gate_align.items():
+        if value >= _INFINITY:
+            gate_align[gate_name] = net_align[
+                circuit.gates[gate_name].output
+            ]
+
+    alignment = Alignment(
+        circuit, net_align, gate_align, "pathtrace", levels
+    )
+    alignment.normalize()
+    alignment.validate()
+    return alignment

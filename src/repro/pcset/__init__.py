@@ -1,0 +1,25 @@
+"""The PC-set method of compiled unit-delay simulation (§2).
+
+One variable per (net, potential-change-time) pair; one straight-line
+gate evaluation per potential change of each gate; zero insertion and a
+per-vector initialization section carry previous-vector values where a
+gate's earliest evaluation needs inputs that have not changed yet.
+
+The method generates much more code than the parallel technique (§3)
+but is amenable to bit-parallel simulation of multiple input vectors:
+:class:`~repro.pcset.multivector.MultiVectorPCSetSimulator` packs one
+vector stream per bit of the machine word over the *same* generated
+program.
+"""
+
+from repro.pcset.variables import PCSetVariables
+from repro.pcset.codegen import generate_pcset_program
+from repro.pcset.simulator import PCSetSimulator
+from repro.pcset.multivector import MultiVectorPCSetSimulator
+
+__all__ = [
+    "PCSetVariables",
+    "generate_pcset_program",
+    "PCSetSimulator",
+    "MultiVectorPCSetSimulator",
+]

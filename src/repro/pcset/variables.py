@@ -1,0 +1,71 @@
+"""Variable allocation for the PC-set method.
+
+"one variable is generated for each element of the PC-set of each net"
+(§2).  :class:`PCSetVariables` owns the (net, time) -> identifier
+mapping, keeps the declaration order stable (net order, then ascending
+time), and records which net/time each state variable belongs to so the
+simulator can encode steady states and decode histories.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.pcsets import PCSets
+from repro.codegen.naming import NameAllocator
+
+__all__ = ["PCSetVariables"]
+
+
+class PCSetVariables:
+    """The (net, time) -> variable-name mapping of one PC-set program.
+
+    Attributes
+    ----------
+    ordered:
+        ``(net_name, time, identifier)`` triples in declaration order.
+    """
+
+    def __init__(self, pc_sets: PCSets) -> None:
+        self.pc_sets = pc_sets
+        self._names = NameAllocator()
+        self._by_pair: dict[tuple[str, int], str] = {}
+        self.ordered: list[tuple[str, int, str]] = []
+        for net_name in pc_sets.circuit.nets:
+            for time in pc_sets.net_pc_set(net_name):
+                identifier = self._names.get(
+                    f"{net_name}@{time}", f"{net_name}_{time}"
+                )
+                self._by_pair[(net_name, time)] = identifier
+                self.ordered.append((net_name, time, identifier))
+
+    def var(self, net_name: str, time: int) -> str:
+        """Identifier of the variable holding ``net_name`` at ``time``."""
+        return self._by_pair[(net_name, time)]
+
+    def operand(self, net_name: str, gate_time: int) -> str:
+        """Variable supplying ``net_name`` to a gate evaluated at ``gate_time``.
+
+        The §2 rule: the largest PC element strictly smaller than the
+        element being generated.
+        """
+        time = self.pc_sets.latest_change_before(net_name, gate_time)
+        return self.var(net_name, time)
+
+    def sample(self, net_name: str, time: int) -> str:
+        """Variable holding the value of ``net_name`` *at* ``time``.
+
+        Used by the output routine (latest change at or before).
+        """
+        latest = self.pc_sets.latest_change_at_or_before(net_name, time)
+        return self.var(net_name, latest)
+
+    def final_var(self, net_name: str) -> str:
+        """Variable holding the net's settled (final) value.
+
+        "This value can always be found in the variable that corresponds
+        to the maximum PC-set value." (§2)
+        """
+        pc = self.pc_sets.net_pc_set(net_name)
+        return self.var(net_name, pc[-1])
+
+    def __len__(self) -> int:
+        return len(self.ordered)

@@ -1,0 +1,161 @@
+"""Compiled clocked simulation of synchronous sequential circuits.
+
+Combines §1's flip-flop-breaking recipe with any compiled combinational
+engine: the broken core is compiled once; each clock cycle feeds the
+current flip-flop state and external inputs through it, captures the D
+pins as the next state, and (optionally) keeps the full intra-cycle
+unit-delay history so glitches *inside* a clock period are visible —
+the thing a plain zero-delay clocked model cannot show.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.netlist.sequential import SequentialCircuit
+
+__all__ = ["CompiledSequentialSimulator"]
+
+
+class CompiledSequentialSimulator:
+    """Clocked simulation over a compiled combinational core.
+
+    Parameters
+    ----------
+    sequential:
+        The broken circuit (from ``parse_bench_sequential`` or
+        ``break_at_flipflops``).
+    engine:
+        ``"lcc"`` — zero-delay compiled core (fastest; per-cycle settled
+        values only), or ``"parallel"`` / ``"pcset"`` — unit-delay
+        compiled cores that additionally expose the intra-cycle
+        waveforms via :meth:`step` with ``record=True``.
+    """
+
+    def __init__(
+        self,
+        sequential: SequentialCircuit,
+        *,
+        engine: str = "lcc",
+        backend: str = "python",
+        word_width: int = 32,
+    ) -> None:
+        if engine not in ("lcc", "parallel", "pcset"):
+            raise SimulationError(f"unknown engine: {engine!r}")
+        self.sequential = sequential
+        self.engine = engine
+        core = sequential.core
+        monitored = sorted(
+            set(sequential.external_outputs)
+            | set(sequential.flipflops.values())
+        )
+        if engine == "lcc":
+            from repro.lcc.zerodelay import LCCSimulator
+
+            self._sim = LCCSimulator(
+                core, backend=backend, word_width=word_width
+            )
+        elif engine == "parallel":
+            from repro.parallel.simulator import ParallelSimulator
+
+            self._sim = ParallelSimulator(
+                core, optimization="pathtrace+trim",
+                backend=backend, word_width=word_width,
+                monitored=monitored,
+            )
+        else:
+            from repro.pcset.simulator import PCSetSimulator
+
+            self._sim = PCSetSimulator(
+                core, backend=backend, word_width=word_width,
+                monitored=monitored,
+            )
+        self._core_inputs = core.inputs
+        self.state = sequential.initial_state()
+        self.cycle = 0
+        self._unit_delay_ready = False
+
+    # ------------------------------------------------------------------
+    def reset(self, state: Optional[Mapping[str, int]] = None) -> None:
+        """Set the flip-flop state (default all zeros)."""
+        if state is None:
+            self.state = self.sequential.initial_state()
+        else:
+            missing = [
+                q for q in self.sequential.flipflops if q not in state
+            ]
+            if missing:
+                raise SimulationError(
+                    f"state missing flip-flops: {missing[:5]}"
+                )
+            self.state = {
+                q: state[q] & 1 for q in self.sequential.flipflops
+            }
+        self.cycle = 0
+        self._unit_delay_ready = False
+
+    def _core_vector(self, inputs: Mapping[str, int]) -> list[int]:
+        merged = dict(inputs)
+        merged.update(self.state)
+        missing = [
+            n for n in self.sequential.external_inputs if n not in merged
+        ]
+        if missing:
+            raise SimulationError(f"inputs missing: {missing[:5]}")
+        return [merged[n] & 1 for n in self._core_inputs]
+
+    def step(
+        self,
+        inputs: Mapping[str, int],
+        record: bool = False,
+    ):
+        """Advance one clock cycle.
+
+        Returns ``outputs`` (external outputs sampled *before* the
+        edge, i.e. the settled values of this cycle), or
+        ``(outputs, history)`` with ``record`` on a unit-delay engine —
+        ``history`` being the intra-cycle per-net change lists.
+        """
+        vector = self._core_vector(inputs)
+        history = None
+        if self.engine == "lcc":
+            if record:
+                raise SimulationError(
+                    "intra-cycle recording needs a unit-delay engine "
+                    "(parallel or pcset)"
+                )
+            settled = self._sim.evaluate_all_nets(vector)
+        else:
+            if not self._unit_delay_ready:
+                # Unit-delay cores start from the previous steady state;
+                # the first cycle settles from the current state/input.
+                self._sim.reset(vector)
+                self._unit_delay_ready = True
+            if record:
+                history = self._sim.apply_vector_history(vector)
+                settled = {
+                    net_name: changes[-1][1]
+                    for net_name, changes in history.items()
+                }
+            else:
+                self._sim.apply_vector(vector)
+                settled = self._sim.final_values()
+        outputs = {
+            n: settled[n] for n in self.sequential.external_outputs
+        }
+        self.state = {
+            q: settled[d]
+            for q, d in self.sequential.flipflops.items()
+        }
+        self.cycle += 1
+        if record:
+            return outputs, history
+        return outputs
+
+    def run(
+        self,
+        input_sequence: Sequence[Mapping[str, int]],
+    ) -> list[dict[str, int]]:
+        """Clock through a sequence of input maps; return outputs."""
+        return [self.step(inputs) for inputs in input_sequence]

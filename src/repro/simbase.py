@@ -1,0 +1,171 @@
+"""Shared behaviour of the compiled-simulator facades.
+
+Every compiled technique (PC-set, parallel, and their optimized
+variants) wraps a generated :class:`~repro.codegen.program.Program` the
+same way: compile it on a backend, seed the persistent state from a
+zero-delay steady state, feed vectors, decode outputs.  This module
+hosts that common machinery; the technique-specific subclasses provide
+only the program generation and the state encoding/decoding.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.codegen.program import Program
+from repro.codegen.runtime import CMachine, Machine, compile_program
+from repro.errors import SimulationError
+from repro.eventsim.zerodelay import steady_state
+from repro.netlist.circuit import Circuit
+
+__all__ = ["CompiledSimulator"]
+
+
+class CompiledSimulator:
+    """Base class for compiled unit-delay simulator facades.
+
+    Parameters
+    ----------
+    circuit:
+        The acyclic circuit being simulated.
+    program:
+        The generated program (built by the subclass).
+    backend:
+        ``"python"`` (default) or ``"c"``.
+    with_outputs:
+        When false, the program's output section is dropped before
+        compilation — the configuration benchmarks time, matching the
+        paper's methodology of excluding output handling from
+        measurements.  Output-decoding APIs then raise.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        program: Program,
+        *,
+        backend: str = "python",
+        with_outputs: bool = True,
+        checksum_mask: Optional[int] = None,
+        **backend_kwargs,
+    ) -> None:
+        self.circuit = circuit
+        self.program = program
+        self.backend = backend
+        self.with_outputs = with_outputs
+        self.checksum_mask = (
+            checksum_mask if checksum_mask is not None else program.word_mask
+        )
+        compiled = program if with_outputs else program.without_output()
+        self.machine: Machine = compile_program(
+            compiled, backend, **backend_kwargs
+        )
+        self._inputs = circuit.inputs
+        self._settled = False
+
+    # ------------------------------------------------------------------
+    # state seeding
+    # ------------------------------------------------------------------
+    def reset(
+        self, vector: Mapping[str, int] | Sequence[int] | None = None
+    ) -> None:
+        """Seed the previous-vector steady state.
+
+        Settles the circuit on ``vector`` (default: all zeros) with a
+        zero-delay evaluation and loads the resulting values into the
+        persistent variables, encoded however the technique requires.
+        """
+        if vector is None:
+            vector = [0] * len(self._inputs)
+        settled = steady_state(self.circuit, vector)
+        self.machine.load_state(self._encode_state(settled))
+        self._settled = True
+
+    def _encode_state(self, settled: Mapping[str, int]) -> list[int]:
+        """Persistent-state words for a constant-history steady state."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def _vector_words(
+        self, vector: Mapping[str, int] | Sequence[int]
+    ) -> list[int]:
+        if isinstance(vector, Mapping):
+            missing = [n for n in self._inputs if n not in vector]
+            if missing:
+                raise SimulationError(f"vector missing inputs: {missing}")
+            return [vector[n] & 1 for n in self._inputs]
+        values = list(vector)
+        if len(values) != len(self._inputs):
+            raise SimulationError(
+                f"vector has {len(values)} values, expected "
+                f"{len(self._inputs)}"
+            )
+        return [value & 1 for value in values]
+
+    def apply_vector(
+        self, vector: Mapping[str, int] | Sequence[int]
+    ) -> list[int]:
+        """Simulate one vector; returns the raw emitted output words."""
+        if not self._settled:
+            raise SimulationError("call reset() before apply_vector()")
+        return self.machine.step(self._vector_words(vector))
+
+    def prepare_batch(self, vectors: Sequence[Sequence[int]]):
+        """Marshal a batch once, outside any timed region.
+
+        On the C backend the batch becomes one contiguous native buffer
+        driven by the generated ``run_block`` loop, so the timed region
+        contains no interpreter work at all (the paper's timing loop
+        was compiled too).
+        """
+        words = [self._vector_words(vector) for vector in vectors]
+        if isinstance(self.machine, CMachine):
+            return ("c", self.machine.pack_block(words), len(words))
+        return ("py", words)
+
+    def run_prepared(self, prepared) -> None:
+        """Run a batch produced by :meth:`prepare_batch`."""
+        if not self._settled:
+            raise SimulationError("call reset() before running")
+        if prepared[0] == "c":
+            self.machine.run_block(prepared[1], prepared[2])
+            return
+        step = self.machine.step
+        for words in prepared[1]:
+            step(words)
+
+    def run_batch(self, vectors: Sequence[Sequence[int]]) -> None:
+        """Simulate many vectors back to back (the timing fast path)."""
+        self.run_prepared(self.prepare_batch(vectors))
+
+    def run_batch_checksum(self, vectors: Sequence[Sequence[int]]) -> int:
+        """Simulate many vectors and fold all emitted outputs.
+
+        Requires ``with_outputs=True``.  Used to cross-check that two
+        backends (or two techniques with identical output routines)
+        compute the same results.
+        """
+        if not self.with_outputs:
+            raise SimulationError(
+                "simulator was built without outputs; cannot checksum"
+            )
+        checksum = 0
+        mask = self.checksum_mask
+        for vector in vectors:
+            out = self.apply_vector(vector)
+            folded = 0
+            for value in out:
+                folded = ((folded << 7) | (folded >> 55)) & (2**62 - 1)
+                folded ^= value & mask
+            checksum ^= folded
+        return checksum
+
+    # ------------------------------------------------------------------
+    def output_labels(self) -> list[tuple]:
+        return self.machine.output_labels()
+
+    def source(self) -> str:
+        """The generated source the machine was compiled from."""
+        return getattr(self.machine, "source", "")

@@ -1,0 +1,148 @@
+"""Waveform export: unit-delay histories to VCD.
+
+The compiled simulators produce complete per-vector histories (that is
+the whole point of unit-delay simulation); this module renders them as
+a standard Value Change Dump so any waveform viewer (GTKWave etc.) can
+display the gate-level settling behaviour, glitches included.
+
+Each simulated vector occupies ``depth + 1`` ticks of VCD time, plus a
+one-tick separator, so consecutive vectors line up back to back::
+
+    writer = VCDWriter(circuit_depth=7, nets=["A", "OUT"])
+    writer.add_vector(history_1)
+    writer.add_vector(history_2)
+    writer.write(open("trace.vcd", "w"))
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping, Optional, Sequence, TextIO
+
+from repro.errors import SimulationError
+
+__all__ = ["VCDWriter", "write_vcd"]
+
+History = Mapping[str, Sequence[tuple[int, int]]]
+
+#: Printable identifier characters per the VCD grammar.
+_ID_CHARS = [chr(c) for c in range(33, 127)]
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier for the ``index``-th signal."""
+    if index < 0:
+        raise ValueError("negative signal index")
+    digits = []
+    base = len(_ID_CHARS)
+    while True:
+        digits.append(_ID_CHARS[index % base])
+        index //= base
+        if index == 0:
+            break
+        index -= 1  # bijective numeration: no leading-zero waste
+    return "".join(reversed(digits))
+
+
+class VCDWriter:
+    """Accumulate per-vector histories; emit one VCD document.
+
+    Parameters
+    ----------
+    circuit_depth:
+        The circuit's depth ``d``; each vector spans times 0..d.
+    nets:
+        Signals to include, in declaration order.  ``None`` means
+        "whatever the first added vector contains", sorted.
+    timescale / module:
+        Cosmetics for the VCD header.
+    """
+
+    def __init__(
+        self,
+        circuit_depth: int,
+        nets: Optional[Iterable[str]] = None,
+        *,
+        timescale: str = "1ns",
+        module: str = "repro",
+    ) -> None:
+        if circuit_depth < 0:
+            raise SimulationError("circuit_depth must be >= 0")
+        self.depth = circuit_depth
+        self.timescale = timescale
+        self.module = module
+        self._nets: Optional[list[str]] = (
+            list(nets) if nets is not None else None
+        )
+        self._vectors: list[History] = []
+
+    # ------------------------------------------------------------------
+    def add_vector(self, history: History) -> None:
+        """Append one vector's change history (simulator output)."""
+        if self._nets is None:
+            self._nets = sorted(history)
+        missing = [n for n in self._nets if n not in history]
+        if missing:
+            raise SimulationError(
+                f"history is missing nets: {missing[:5]}"
+            )
+        self._vectors.append(history)
+
+    @property
+    def num_vectors(self) -> int:
+        return len(self._vectors)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The complete VCD text."""
+        if self._nets is None or not self._vectors:
+            raise SimulationError("no vectors added")
+        out = io.StringIO()
+        out.write("$date repro unit-delay trace $end\n")
+        out.write(f"$timescale {self.timescale} $end\n")
+        out.write(f"$scope module {self.module} $end\n")
+        ids = {}
+        for index, net_name in enumerate(self._nets):
+            ids[net_name] = _identifier(index)
+            out.write(f"$var wire 1 {ids[net_name]} {net_name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+
+        span = self.depth + 2  # one idle tick between vectors
+        last_value: dict[str, Optional[int]] = {
+            n: None for n in self._nets
+        }
+        for vector_index, history in enumerate(self._vectors):
+            base = vector_index * span
+            # Group changes by absolute time.
+            by_time: dict[int, list[tuple[str, int]]] = {}
+            for net_name in self._nets:
+                for time, value in history[net_name]:
+                    if last_value[net_name] == value and time == 0:
+                        continue  # unchanged across the vector boundary
+                    by_time.setdefault(base + time, []).append(
+                        (net_name, value)
+                    )
+                    last_value[net_name] = value
+            for time in sorted(by_time):
+                out.write(f"#{time}\n")
+                for net_name, value in by_time[time]:
+                    out.write(f"{value & 1}{ids[net_name]}\n")
+        out.write(f"#{self.num_vectors * span}\n")
+        return out.getvalue()
+
+    def write(self, stream: TextIO) -> None:
+        stream.write(self.render())
+
+
+def write_vcd(
+    histories: Sequence[History],
+    circuit_depth: int,
+    stream: TextIO,
+    *,
+    nets: Optional[Iterable[str]] = None,
+) -> None:
+    """One-shot convenience: render ``histories`` to ``stream``."""
+    writer = VCDWriter(circuit_depth, nets)
+    for history in histories:
+        writer.add_vector(history)
+    writer.write(stream)

@@ -1,0 +1,74 @@
+"""Shared fixtures: the paper's example networks and random suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.random_circuits import random_dag_circuit
+
+
+@pytest.fixture
+def fig1_circuit():
+    """Fig. 1: D = A & B; E = C & D (the LCC example)."""
+    b = CircuitBuilder("fig1")
+    a, bb, c = b.inputs("A", "B", "C")
+    d = b.and_("D", a, bb)
+    e = b.and_("E", c, d)
+    b.outputs(e)
+    return b.build()
+
+
+@pytest.fixture
+def fig4_circuit():
+    """Fig. 4: the PC-set example — E = AND(D, C), D = AND(A, B).
+
+    PC(D) = {1}; PC(E) = {1, 2}; D needs zero insertion.
+    """
+    b = CircuitBuilder("fig4")
+    a, bb, c = b.inputs("A", "B", "C")
+    d = b.and_("D", a, bb)
+    e = b.and_("E", d, c)
+    b.outputs(e)
+    return b.build()
+
+
+@pytest.fixture
+def fig11_circuit():
+    """Fig. 11: B = NOT(A); C = AND(A, B) — requires one retained shift."""
+    b = CircuitBuilder("fig11")
+    a = b.input("A")
+    bn = b.not_("B", a)
+    c = b.and_("C", a, bn)
+    b.outputs(c)
+    return b.build()
+
+
+@pytest.fixture
+def fig12_circuit():
+    """Fig. 12: no reconvergent fanout, still requires a shift.
+
+    Two parallel chains of different length between shared gates is the
+    reconvergent pattern; Fig. 12 instead shows two gates whose *input
+    nets* are siblings at different depths: G1 reads (I1, I2); a chain
+    I2 -> N1 -> N2 -> N3; G2 reads (N3, I3).  G1 and G2 never reconverge
+    but the undirected cycle through their shared ancestry carries
+    weight 3.
+    """
+    b = CircuitBuilder("fig12")
+    i1, i2, i3 = b.inputs("I1", "I2", "I3")
+    n1 = b.buf("N1", i2)
+    n2 = b.buf("N2", n1)
+    n3 = b.buf("N3", n2)
+    g1 = b.and_("G1", i1, i2)
+    g2 = b.and_("G2", n3, i1)
+    b.outputs(g1, g2)
+    return b.build()
+
+
+@pytest.fixture(params=range(6))
+def small_random_circuit(request):
+    """Six deterministic random DAGs with heavy reconvergence."""
+    return random_dag_circuit(
+        request.param, num_inputs=4, num_gates=18
+    )

@@ -1,0 +1,104 @@
+"""Tests for switching-activity analysis."""
+
+import pytest
+
+from repro.activity import ActivityCollector, collect_activity
+from repro.errors import SimulationError
+from repro.eventsim.simulator import EventDrivenSimulator
+from repro.harness.vectors import vectors_for
+from repro.netlist.builder import CircuitBuilder
+from repro.parallel.simulator import ParallelSimulator
+from repro.pcset.simulator import PCSetSimulator
+
+
+def mux_with_hazard():
+    b = CircuitBuilder("mux")
+    a, bb, s = b.inputs("A", "B", "S")
+    sn = b.not_("SN", s)
+    b.outputs(b.or_("OUT", b.and_("P", a, s), b.and_("Q", bb, sn)))
+    return b.build()
+
+
+class TestCollector:
+    def test_counts_transitions_and_functional(self):
+        collector = ActivityCollector()
+        collector.add_vector({
+            "X": [(0, 0), (1, 1), (3, 0)],   # 2 toggles, functional 0
+            "Y": [(0, 0), (2, 1)],           # 1 toggle, functional 1
+        })
+        report = collector.report()
+        assert report.toggles == {"X": 2, "Y": 1}
+        assert report.functional == {"X": 0, "Y": 1}
+        assert report.glitch_toggles("X") == 2
+        assert report.glitch_toggles("Y") == 0
+        assert report.total_toggles() == 3
+        assert report.total_glitch_toggles() == 2
+        assert "3 toggles" in repr(report)
+
+    def test_accumulates_over_vectors(self):
+        collector = ActivityCollector()
+        for _ in range(4):
+            collector.add_vector({"X": [(0, 0), (1, 1)]})
+        report = collector.report()
+        assert report.toggles["X"] == 4
+        assert report.activity_factor("X") == pytest.approx(1.0)
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(SimulationError, match="no vectors"):
+            ActivityCollector().report()
+
+    def test_weighted_activity(self):
+        collector = ActivityCollector()
+        collector.add_vector({
+            "X": [(0, 0), (1, 1)],
+            "Y": [(0, 0), (1, 1), (2, 0)],
+        })
+        report = collector.report()
+        assert report.weighted_activity() == 3.0
+        assert report.weighted_activity({"X": 10.0}) == 10.0 + 2.0
+
+    def test_hottest_ranking(self):
+        collector = ActivityCollector()
+        collector.add_vector({
+            "A": [(0, 0), (1, 1), (2, 0), (3, 1)],
+            "B": [(0, 0), (1, 1)],
+            "C": [(0, 0)],
+        })
+        report = collector.report()
+        assert report.hottest(2) == [("A", 3), ("B", 1)]
+
+
+class TestEndToEnd:
+    def test_glitch_excess_detected_on_hazardous_mux(self):
+        circuit = mux_with_hazard()
+        sim = EventDrivenSimulator(circuit)
+        # Sweep A=B=1 with S toggling: OUT glitches each time S falls.
+        vectors = [[1, 1, s % 2] for s in range(10)]
+        report = collect_activity(sim, vectors, initial=[1, 1, 0])
+        assert report.total_glitch_toggles() > 0
+        assert report.glitch_toggles("OUT") > 0
+
+    def test_all_simulators_report_identical_activity(self):
+        circuit = mux_with_hazard()
+        vectors = vectors_for(circuit, 20, seed=4)
+        reports = []
+        for simulator in (
+            EventDrivenSimulator(circuit),
+            PCSetSimulator(circuit),
+            ParallelSimulator(circuit, optimization="pathtrace",
+                              word_width=8),
+        ):
+            report = collect_activity(simulator, vectors,
+                                      initial=[0, 0, 0])
+            reports.append((report.toggles, report.functional))
+        assert reports[0] == reports[1] == reports[2]
+
+    def test_zero_delay_bound_holds(self, small_random_circuit):
+        sim = EventDrivenSimulator(small_random_circuit)
+        vectors = vectors_for(small_random_circuit, 15, seed=5)
+        report = collect_activity(
+            sim, vectors,
+            initial=[0] * len(small_random_circuit.inputs),
+        )
+        for net_name in report.toggles:
+            assert report.toggles[net_name] >= report.functional[net_name]

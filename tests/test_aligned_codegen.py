@@ -1,0 +1,199 @@
+"""Tests for the alignment-aware code generator (§4, Figs. 10/18)."""
+
+import pytest
+
+from repro.codegen.program import Bin, Const, Un, Var
+from repro.eventsim.simulator import EventDrivenSimulator
+from repro.harness.vectors import vectors_for
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.random_circuits import layered_circuit, random_dag_circuit
+from repro.parallel.aligned_codegen import (
+    _extract_word,
+    generate_aligned_program,
+)
+from repro.parallel.bitfields import FieldSpec, WordClass
+from repro.parallel.cyclebreak import cycle_breaking_alignment
+from repro.parallel.pathtrace import path_tracing_alignment
+from repro.parallel.simulator import ParallelSimulator
+
+
+class TestFig10Code:
+    def test_shiftless_gate_statements(self, fig4_circuit):
+        alignment = path_tracing_alignment(fig4_circuit)
+        program, layout = generate_aligned_program(
+            fig4_circuit, alignment, word_width=8
+        )
+        source = program.python_source()
+        # Fig. 10: "D = A & B; E = D & C;" — no shifts, no ORs.
+        assert "D = (A & B) & MASK" in source
+        assert "E = (D & C) & MASK" in source
+        assert program.stats().shifts == \
+            source.count("sar") * 0 + program.stats().shifts
+        # Only the PI init uses shifts (previous-value recovery).
+        body_only = program.body
+        from repro.codegen.program import Assign
+        for stmt in body_only:
+            if isinstance(stmt, Assign):
+                assert ">>" not in repr(stmt.expr) or "sar" in repr(stmt.expr)
+
+    def test_no_internal_net_initialization(self, fig4_circuit):
+        # §4: "initialization code is not required for any nets other
+        # than primary inputs" (without trimming).
+        alignment = path_tracing_alignment(fig4_circuit)
+        program, _ = generate_aligned_program(
+            fig4_circuit, alignment, word_width=8
+        )
+        from repro.codegen.program import Assign
+
+        init_targets = {
+            s.dest for s in program.init if isinstance(s, Assign)
+        }
+        assert init_targets <= {"A", "B", "C", "t_old"}
+
+    def test_negative_alignment_pi_init(self, fig4_circuit):
+        alignment = path_tracing_alignment(fig4_circuit)
+        program, layout = generate_aligned_program(
+            fig4_circuit, alignment, word_width=8
+        )
+        source = program.python_source()
+        # A is aligned at -1: bit 0 keeps the previous value, bits >= 1
+        # get the new value.
+        assert "t_old" in source
+        assert "(t_old & 1) | ((-V[0]) & MASK) << 1" in source.replace(
+            "((((", "(("
+        ) or "(t_old & 1)" in source
+
+
+class TestExtractWord:
+    def spec(self, num_words=3, alignment=0):
+        words = [f"N_{j}" for j in range(num_words)]
+        if num_words == 1:
+            words = ["N"]
+        return FieldSpec("N", alignment, num_words * 8 - 2, num_words,
+                         words, [WordClass.ACTIVE] * num_words)
+
+    def test_word_aligned_is_free(self):
+        expr = _extract_word(self.spec(), 8, 8)
+        assert isinstance(expr, Var) and expr.name == "N_1"
+
+    def test_in_range_straddle(self):
+        expr = _extract_word(self.spec(), 3, 8)
+        # (N_0 >> 3) | (N_1 << 5)
+        assert expr.op == "|"
+        assert expr.a.op == ">>" and expr.a.b.value == 3
+        assert expr.b.op == "<<" and expr.b.b.value == 5
+
+    def test_top_straddle_uses_sar(self):
+        expr = _extract_word(self.spec(), 2 * 8 + 3, 8)
+        assert expr.op == "sar"
+        assert expr.a.name == "N_2"
+        assert expr.b.value == 3
+
+    def test_above_field_replicates_msb(self):
+        expr = _extract_word(self.spec(), 5 * 8, 8)
+        assert expr.op == "sar" and expr.b.value == 7
+        expr2 = _extract_word(self.spec(), 5 * 8 + 4, 8)
+        assert expr2.op == "sar" and expr2.b.value == 7
+
+    def test_below_field_replicates_bit0(self):
+        expr = _extract_word(self.spec(), -16, 8)
+        assert isinstance(expr, Un) and expr.op == "-"
+        expr2 = _extract_word(self.spec(), -9, 8)
+        assert isinstance(expr2, Un)
+
+    def test_partial_below(self):
+        expr = _extract_word(self.spec(), -3, 8)
+        # (fill >> 3) | (N_0 << 5)
+        assert expr.op == "|"
+        assert isinstance(expr.a.a, Un)
+        assert expr.b.a.name == "N_0"
+
+
+@pytest.mark.parametrize("algorithm", ["pathtrace", "cyclebreak"])
+@pytest.mark.parametrize("word_width", [8, 16, 32])
+class TestAlignedSimulation:
+    def test_matches_event_driven(self, algorithm, word_width):
+        for seed in range(4):
+            circuit = random_dag_circuit(
+                seed + 20, num_inputs=4, num_gates=20
+            )
+            reference = EventDrivenSimulator(circuit)
+            sim = ParallelSimulator(
+                circuit, optimization=algorithm, word_width=word_width
+            )
+            zeros = [0] * len(circuit.inputs)
+            reference.reset(zeros)
+            sim.reset(zeros)
+            for vector in vectors_for(circuit, 12, seed=seed):
+                assert reference.apply_vector(vector, record=True) == \
+                    sim.apply_vector_history(vector), (seed, algorithm)
+
+
+class TestAlignedTrimming:
+    def test_combined_matches_reference_deep(self):
+        circuit = layered_circuit(
+            7, num_inputs=5, num_gates=60, depth=40, num_outputs=3
+        )
+        reference = EventDrivenSimulator(circuit)
+        sim = ParallelSimulator(
+            circuit, optimization="pathtrace+trim", word_width=16
+        )
+        zeros = [0] * 5
+        reference.reset(zeros)
+        sim.reset(zeros)
+        for vector in vectors_for(circuit, 12, seed=1):
+            assert reference.apply_vector(vector, record=True) == \
+                sim.apply_vector_history(vector)
+
+    def test_trimming_reinstates_low_word_init(self):
+        # A deep buffer chain ANDed with a primary input: path tracing
+        # drags the chain to negative alignments, so the chain nets'
+        # low-order words sit entirely below their minlevels — exactly
+        # the case §5 says needs its initialization reinstated.
+        b = CircuitBuilder("chainmix")
+        a, side = b.inputs("A", "SIDE")
+        net = a
+        for i in range(20):
+            net = b.not_(f"C{i}", net)
+        b.outputs(b.and_("OUT", net, side))
+        circuit = b.build()
+        alignment = path_tracing_alignment(circuit)
+        plain, _ = generate_aligned_program(
+            circuit, alignment, word_width=8, trimming=False
+        )
+        trimmed, _ = generate_aligned_program(
+            circuit, alignment, word_width=8, trimming=True
+        )
+        # More init statements (re-introduced fills), fewer total ops.
+        assert len(trimmed.init) > len(plain.init)
+        assert trimmed.stats().total_ops < plain.stats().total_ops
+
+        # And the trimmed program still simulates correctly.
+        reference = EventDrivenSimulator(circuit)
+        sim = ParallelSimulator(
+            circuit, optimization="pathtrace+trim", word_width=8
+        )
+        reference.reset([0, 0])
+        sim.reset([0, 0])
+        for vector in ([1, 0], [1, 1], [0, 1], [0, 0], [1, 1]):
+            assert reference.apply_vector(vector, record=True) == \
+                sim.apply_vector_history(vector)
+
+
+class TestOutputModes:
+    def test_bits_mode_clamps_below_alignment(self, fig4_circuit):
+        alignment = path_tracing_alignment(fig4_circuit)
+        program, _ = generate_aligned_program(
+            fig4_circuit, alignment, word_width=8, output_mode="bits"
+        )
+        labels = program.output_labels()
+        assert labels == [("E", 0), ("E", 1), ("E", 2)]
+
+    def test_invalid_mode(self, fig4_circuit):
+        from repro.errors import CodegenError
+
+        alignment = path_tracing_alignment(fig4_circuit)
+        with pytest.raises(CodegenError, match="output mode"):
+            generate_aligned_program(
+                fig4_circuit, alignment, output_mode="json"
+            )

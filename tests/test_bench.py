@@ -1,0 +1,128 @@
+"""Tests for ISCAS85 ``.bench`` parsing and writing."""
+
+import io
+
+import pytest
+
+from repro.errors import BenchFormatError
+from repro.logic import GateType
+from repro.netlist.bench import (
+    parse_bench,
+    parse_bench_file,
+    parse_bench_sequential,
+    write_bench,
+)
+
+SAMPLE = """
+# simple sample
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G10 = NAND(G1, G2)
+G11 = NOR(G10, G3)
+G17 = AND(G10, G11)   # trailing comment
+"""
+
+
+def test_parse_sample():
+    c = parse_bench(SAMPLE, "sample")
+    assert c.inputs == ["G1", "G2", "G3"]
+    assert c.outputs == ["G17"]
+    assert c.num_gates == 3
+    assert c.gates["G10"].gate_type is GateType.NAND
+    assert c.gates["G17"].inputs == ["G10", "G11"]
+
+
+def test_output_declared_before_definition():
+    text = "INPUT(A)\nOUTPUT(Z)\nZ = NOT(A)\n"
+    c = parse_bench(text)
+    assert c.outputs == ["Z"]
+
+
+@pytest.mark.parametrize("alias,expected", [
+    ("INV", GateType.NOT),
+    ("BUFF", GateType.BUF),
+    ("buf", GateType.BUF),
+    ("xnor", GateType.XNOR),
+])
+def test_type_aliases_case_insensitive(alias, expected):
+    c = parse_bench(f"INPUT(A)\nINPUT(B)\nOUTPUT(Z)\n"
+                    f"Z = {alias}({'A' if expected in (GateType.NOT, GateType.BUF) else 'A, B'})\n")
+    assert c.gates["Z"].gate_type is expected
+
+
+def test_unknown_gate_type():
+    with pytest.raises(BenchFormatError, match="FROB"):
+        parse_bench("INPUT(A)\nZ = FROB(A)\n")
+
+
+def test_unparsable_line_reports_number():
+    with pytest.raises(BenchFormatError) as err:
+        parse_bench("INPUT(A)\nthis is nonsense\n")
+    assert err.value.line_number == 2
+
+
+def test_empty_operand_rejected():
+    with pytest.raises(BenchFormatError, match="empty operand"):
+        parse_bench("INPUT(A)\nZ = AND(A, )\n")
+
+
+def test_dff_rejected_in_combinational_parse():
+    with pytest.raises(BenchFormatError, match="parse_bench_sequential"):
+        parse_bench("INPUT(A)\nQ = DFF(A)\n")
+
+
+def test_sequential_parse_breaks_flipflops():
+    text = """
+INPUT(CLKIN)
+OUTPUT(OUT)
+Q = DFF(D)
+D = XOR(Q, CLKIN)
+OUT = BUF(Q)
+"""
+    seq = parse_bench_sequential(text, "toggler")
+    assert seq.num_flipflops == 1
+    assert seq.flipflops == {"Q": "D"}
+    # Q is a pseudo input of the core; D a pseudo output.
+    assert "Q" in seq.core.inputs
+    assert "D" in seq.core.outputs
+    assert seq.external_inputs == ["CLKIN"]
+    assert seq.external_outputs == ["OUT"]
+
+
+def test_sequential_dff_arity():
+    with pytest.raises(BenchFormatError, match="exactly one"):
+        parse_bench_sequential("INPUT(A)\nQ = DFF(A, A)\n")
+
+
+def test_write_then_parse_roundtrip(small_random_circuit):
+    text = write_bench(small_random_circuit)
+    back = parse_bench(text, small_random_circuit.name)
+    assert back.inputs == small_random_circuit.inputs
+    assert set(back.outputs) == set(small_random_circuit.outputs)
+    assert set(back.gates) == {
+        g.output for g in small_random_circuit.gates.values()
+    }
+    for gate in small_random_circuit.gates.values():
+        # Gate names normalize to the output-net name on rewrite.
+        twin = back.gates[gate.output]
+        assert twin.gate_type is gate.gate_type
+        assert twin.inputs == gate.inputs
+
+
+def test_write_to_stream(fig4_circuit):
+    sink = io.StringIO()
+    text = write_bench(fig4_circuit, sink)
+    assert sink.getvalue() == text
+    assert "INPUT(A)" in text
+    assert "OUTPUT(E)" in text
+
+
+def test_parse_bench_file(tmp_path, fig4_circuit):
+    path = tmp_path / "fig4.bench"
+    path.write_text(write_bench(fig4_circuit))
+    c = parse_bench_file(path)
+    assert c.name == "fig4"
+    assert c.inputs == ["A", "B", "C"]

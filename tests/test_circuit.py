@@ -1,0 +1,206 @@
+"""Tests for the netlist substrate: nets, gates, circuits."""
+
+import pytest
+
+from repro.errors import CyclicCircuitError, NetlistError
+from repro.logic import GateType
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import Gate, Net
+
+
+class TestNetAndGate:
+    def test_net_defaults(self):
+        net = Net("N")
+        assert net.driver is None
+        assert net.fanout == []
+        assert not net.is_input and not net.is_output
+
+    def test_gate_fields(self):
+        gate = Gate("G", GateType.AND, ["A", "B"], "C")
+        assert gate.fan_in == 2
+        assert gate.output == "C"
+        assert "AND" in repr(gate)
+
+    def test_net_repr_kinds(self):
+        assert "PI" in repr(Net("A", is_input=True))
+        assert "PO" in repr(Net("Z", is_output=True, driver="g"))
+
+
+class TestCircuitConstruction:
+    def test_add_gate_creates_nets(self):
+        c = Circuit("t")
+        c.add_net("A", is_input=True)
+        c.add_net("B", is_input=True)
+        c.add_gate(GateType.AND, "C", ["A", "B"])
+        assert set(c.nets) == {"A", "B", "C"}
+        assert c.net("C").driver == "C"
+        assert c.net("A").fanout == ["C"]
+
+    def test_duplicate_gate_name_rejected(self):
+        c = Circuit("t")
+        c.add_net("A", is_input=True)
+        c.add_gate(GateType.BUF, "B", ["A"])
+        with pytest.raises(NetlistError, match="duplicate gate"):
+            c.add_gate(GateType.BUF, "C", ["A"], name="B")
+
+    def test_double_driver_rejected(self):
+        c = Circuit("t")
+        c.add_net("A", is_input=True)
+        c.add_gate(GateType.BUF, "B", ["A"])
+        with pytest.raises(NetlistError, match="already driven"):
+            c.add_gate(GateType.NOT, "B", ["A"], name="other")
+
+    def test_driving_primary_input_rejected(self):
+        c = Circuit("t")
+        c.add_net("A", is_input=True)
+        c.add_net("B", is_input=True)
+        with pytest.raises(NetlistError, match="primary input"):
+            c.add_gate(GateType.BUF, "A", ["B"])
+
+    def test_arity_checks(self):
+        c = Circuit("t")
+        c.add_net("A", is_input=True)
+        with pytest.raises(NetlistError, match="at least"):
+            c.add_gate(GateType.AND, "B", ["A"])
+        with pytest.raises(NetlistError, match="at most"):
+            c.add_gate(GateType.NOT, "C", ["A", "A"])
+
+    def test_duplicate_input_pin_tracked_twice(self):
+        # A net feeding two pins of one gate appears twice in fanout —
+        # the PC-set algorithm's count bookkeeping depends on it (§2).
+        c = Circuit("t")
+        c.add_net("A", is_input=True)
+        c.add_gate(GateType.AND, "B", ["A", "A"])
+        assert c.net("A").fanout == ["B", "B"]
+
+    def test_flag_upgrade_idempotent(self):
+        c = Circuit("t")
+        c.add_net("A", is_input=True)
+        c.add_net("A", is_input=True)
+        assert c.inputs == ["A"]
+        c.add_gate(GateType.BUF, "B", ["A"])
+        c.add_net("B", is_output=True)
+        c.add_net("B", is_output=True)
+        assert c.outputs == ["B"]
+
+
+class TestValidation:
+    def test_undriven_internal_net(self):
+        c = Circuit("t")
+        c.add_net("A", is_input=True)
+        c.add_gate(GateType.AND, "C", ["A", "GHOST"])
+        with pytest.raises(NetlistError, match="GHOST"):
+            c.validate()
+
+    def test_no_inputs_no_constants(self):
+        c = Circuit("t")
+        with pytest.raises(NetlistError, match="no primary inputs"):
+            c.validate()
+
+    def test_constant_only_circuit_is_valid(self):
+        c = Circuit("t")
+        c.add_gate(GateType.CONST1, "ONE", [])
+        c.add_net("ONE", is_output=True)
+        c.validate()
+
+    def test_missing_net_lookup(self):
+        c = Circuit("t")
+        with pytest.raises(NetlistError, match="no such net"):
+            c.net("missing")
+        with pytest.raises(NetlistError, match="no such gate"):
+            c.gate("missing")
+
+
+class TestTopologicalOrder:
+    def test_order_respects_dependencies(self, small_random_circuit):
+        seen = set()
+        for gate in small_random_circuit.topological_gates():
+            for in_net in gate.inputs:
+                driver = small_random_circuit.nets[in_net].driver
+                assert driver is None or driver in seen
+            seen.add(gate.name)
+
+    def test_cycle_detection_with_witness(self):
+        c = Circuit("cyc")
+        c.add_net("A", is_input=True)
+        # B = AND(A, D); D = NOT(B): a combinational loop.
+        c.nets["B"] = Net("B", driver="B")
+        c.gates["B"] = Gate("B", GateType.AND, ["A", "D"], "B")
+        c.nets["D"] = Net("D", driver="D")
+        c.gates["D"] = Gate("D", GateType.NOT, ["B"], "D")
+        c.nets["A"].fanout.append("B")
+        c.nets["D"].fanout.append("B")
+        c.nets["B"].fanout.append("D")
+        with pytest.raises(CyclicCircuitError) as err:
+            c.topological_gates()
+        assert set(err.value.cycle) == {"B", "D"}
+        assert not c.is_acyclic()
+
+    def test_acyclic_flag(self, fig4_circuit):
+        assert fig4_circuit.is_acyclic()
+
+
+class TestAccessorsAndStats:
+    def test_driver_and_fanout_accessors(self, fig4_circuit):
+        assert fig4_circuit.driver_of("A") is None
+        assert fig4_circuit.driver_of("D").name == "D"
+        fanout = fig4_circuit.fanout_gates("D")
+        assert [g.name for g in fanout] == ["E"]
+
+    def test_stats(self, fig4_circuit):
+        stats = fig4_circuit.stats()
+        assert stats.num_inputs == 3
+        assert stats.num_outputs == 1
+        assert stats.num_gates == 2
+        assert stats.depth == 2
+        assert stats.max_fan_in == 2
+        assert "fig4" in repr(stats)
+
+    def test_copy_is_deep_and_equal(self, small_random_circuit):
+        clone = small_random_circuit.copy("clone")
+        assert clone.name == "clone"
+        assert clone.inputs == small_random_circuit.inputs
+        assert clone.outputs == small_random_circuit.outputs
+        assert set(clone.gates) == set(small_random_circuit.gates)
+        # Mutating the clone leaves the original alone.
+        first_gate = next(iter(clone.gates.values()))
+        first_gate.inputs.append("A")
+        original = small_random_circuit.gates[first_gate.name]
+        assert len(original.inputs) + 1 == len(first_gate.inputs)
+
+    def test_iter_and_repr(self, fig4_circuit):
+        assert [g.name for g in fig4_circuit] == ["D", "E"]
+        assert "fig4" in repr(fig4_circuit)
+
+
+class TestBuilder:
+    def test_fresh_names_unique(self):
+        b = CircuitBuilder()
+        a = b.input("A")
+        n1 = b.not_(None, a)
+        n2 = b.not_(None, a)
+        assert n1 != n2
+
+    def test_all_gate_helpers(self):
+        b = CircuitBuilder("all")
+        a, x = b.inputs("A", "B")
+        outs = [
+            b.and_(None, a, x), b.nand(None, a, x), b.or_(None, a, x),
+            b.nor(None, a, x), b.xor(None, a, x), b.xnor(None, a, x),
+            b.not_(None, a), b.buf(None, x), b.const0(), b.const1(),
+        ]
+        for out in outs:
+            b.output(out)
+        c = b.build()
+        assert c.num_gates == 10
+
+    def test_build_validates(self):
+        b = CircuitBuilder()
+        b.output("dangling")
+        with pytest.raises(NetlistError):
+            b.build()
+        # but can be skipped
+        b2 = CircuitBuilder()
+        b2.output("dangling")
+        assert b2.build(validate=False) is not None

@@ -1,0 +1,149 @@
+"""Deeper cross-cutting invariants.
+
+Written as a second wave of property checks: mutation detection by the
+equivalence checker, time-scaling of uniform multi-delay simulation,
+rotation invariance of cycle weights, and PC-set/program-size
+consistency laws.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.graph import (
+    UndirectedNetworkGraph,
+    cycle_weight,
+    fundamental_cycles,
+)
+from repro.analysis.pcsets import compute_pc_sets
+from repro.eventsim.multidelay import MultiDelaySimulator
+from repro.eventsim.simulator import EventDrivenSimulator
+from repro.harness.vectors import vectors_for
+from repro.logic import GateType
+from repro.netlist.circuit import Circuit
+from repro.netlist.random_circuits import random_dag_circuit
+from repro.pcset.codegen import generate_pcset_program
+from repro.verify import check_equivalence
+
+
+class TestMutationDetection:
+    """The equivalence checker must catch single-gate mutations."""
+
+    SWAP = {
+        GateType.AND: GateType.OR,
+        GateType.OR: GateType.AND,
+        GateType.NAND: GateType.NOR,
+        GateType.NOR: GateType.NAND,
+        GateType.XOR: GateType.XNOR,
+        GateType.XNOR: GateType.XOR,
+        GateType.NOT: GateType.BUF,
+        GateType.BUF: GateType.NOT,
+    }
+
+    def mutate(self, circuit: Circuit, gate_name: str) -> Circuit:
+        mutant = Circuit(circuit.name + "_mut")
+        for net_name in circuit.inputs:
+            mutant.add_net(net_name, is_input=True)
+        for gate in circuit.topological_gates():
+            gate_type = gate.gate_type
+            if gate.name == gate_name and gate_type in self.SWAP:
+                gate_type = self.SWAP[gate_type]
+            mutant.add_gate(gate_type, gate.output, gate.inputs,
+                            name=gate.name)
+        for net_name in circuit.outputs:
+            mutant.add_net(net_name, is_output=True)
+        mutant.validate()
+        return mutant
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_observable_mutations_caught(self, seed):
+        circuit = random_dag_circuit(seed + 110, num_inputs=4,
+                                     num_gates=12)
+        rng = random.Random(seed)
+        mutated_gate = rng.choice(list(circuit.gates))
+        mutant = self.mutate(circuit, mutated_gate)
+        result = check_equivalence(circuit, mutant)
+        if not result:
+            # Counterexample must actually witness the difference.
+            from repro.eventsim.zerodelay import steady_state
+
+            golden_out = steady_state(circuit, result.counterexample)
+            mutant_out = steady_state(mutant, result.counterexample)
+            for name in result.mismatched_outputs:
+                assert golden_out[name] != mutant_out[name]
+        # (An unobservable mutation — masked logic — legitimately
+        # passes; the exhaustive check proves it is truly equivalent.)
+
+
+class TestUniformDelayScaling:
+    """With every gate delay = d, change times scale by exactly d."""
+
+    @pytest.mark.parametrize("scale", [2, 3])
+    def test_histories_scale(self, scale):
+        circuit = random_dag_circuit(123, num_inputs=4, num_gates=15)
+        unit = EventDrivenSimulator(circuit)
+        multi = MultiDelaySimulator(circuit, delays=scale)
+        zeros = [0] * len(circuit.inputs)
+        unit.reset(zeros)
+        multi.reset(zeros)
+        for vector in vectors_for(circuit, 8, seed=5):
+            base = unit.apply_vector(vector, record=True)
+            scaled = multi.apply_vector(vector, record=True)
+            for net_name, changes in base.items():
+                expected = [
+                    (time * scale, value) for time, value in changes
+                ]
+                assert scaled[net_name] == expected, net_name
+
+
+class TestCycleWeightLaws:
+    def test_rotation_invariance(self):
+        circuit = random_dag_circuit(7, num_inputs=4, num_gates=18)
+        graph = UndirectedNetworkGraph(circuit)
+        for cycle in fundamental_cycles(graph):
+            weight = cycle_weight(cycle)
+            for shift in range(1, len(cycle)):
+                rotated = cycle[shift:] + cycle[:shift]
+                assert cycle_weight(rotated) == weight
+
+    def test_reversal_negates(self):
+        circuit = random_dag_circuit(8, num_inputs=4, num_gates=18)
+        graph = UndirectedNetworkGraph(circuit)
+        for cycle in fundamental_cycles(graph):
+            weight = cycle_weight(cycle)
+            reversed_cycle = list(reversed(cycle))
+            assert cycle_weight(reversed_cycle) == -weight
+
+
+class TestProgramSizeLaws:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pcset_statement_count_is_pc_mass(self, seed):
+        """Body statements == sum over gates of |PC-set(gate)|."""
+        circuit = random_dag_circuit(seed + 130, num_inputs=4,
+                                     num_gates=15)
+        program, variables = generate_pcset_program(circuit)
+        pc = variables.pc_sets
+        expected = sum(
+            len(pc.gate_pc_set(g.name))
+            for g in circuit.gates.values()
+            if g.fan_in > 0
+        )
+        assert len(program.body) == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pcset_state_vars_are_pc_elements(self, seed):
+        circuit = random_dag_circuit(seed + 140, num_inputs=4,
+                                     num_gates=15)
+        program, variables = generate_pcset_program(circuit)
+        assert len(program.state_vars) == \
+            variables.pc_sets.total_elements()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_parallel_state_words_match_layout(self, seed):
+        from repro.parallel.codegen import generate_parallel_program
+
+        circuit = random_dag_circuit(seed + 150, num_inputs=4,
+                                     num_gates=15)
+        program, layout = generate_parallel_program(circuit,
+                                                    word_width=8)
+        assert len(program.state_vars) == layout.total_words()

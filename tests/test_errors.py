@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AlignmentError,
+    BackendError,
+    BenchFormatError,
+    CodegenError,
+    CyclicCircuitError,
+    NetlistError,
+    ReproError,
+    SimulationError,
+    VectorError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(NetlistError, ReproError)
+    assert issubclass(CyclicCircuitError, NetlistError)
+    assert issubclass(BenchFormatError, NetlistError)
+    assert issubclass(SimulationError, ReproError)
+    assert issubclass(VectorError, SimulationError)
+    assert issubclass(CodegenError, ReproError)
+    assert issubclass(BackendError, CodegenError)
+    assert issubclass(AlignmentError, CodegenError)
+
+
+def test_cyclic_error_witness():
+    err = CyclicCircuitError("loop", cycle=["a", "b"])
+    assert err.cycle == ["a", "b"]
+    assert CyclicCircuitError("loop").cycle is None
+
+
+def test_bench_error_line_number():
+    err = BenchFormatError("bad", line_number=7)
+    assert err.line_number == 7
+    assert "line 7" in str(err)
+    assert BenchFormatError("bad").line_number is None
+
+
+def test_one_catch_all():
+    with pytest.raises(ReproError):
+        raise VectorError("shape")
+    with pytest.raises(ReproError):
+        raise AlignmentError("misaligned")

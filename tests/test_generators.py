@@ -1,0 +1,167 @@
+"""Tests for the structured circuit generators (truth tables & shapes)."""
+
+import random
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.eventsim.zerodelay import steady_state
+from repro.netlist.generators import (
+    array_multiplier,
+    carry_lookahead_adder,
+    decoder,
+    equality_comparator,
+    hamming_encoder,
+    majority_voter,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+
+
+def bits(value: int, width: int) -> list[int]:
+    return [(value >> i) & 1 for i in range(width)]
+
+
+class TestAdders:
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_ripple_exhaustive(self, width):
+        circuit = ripple_carry_adder(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                for cin in (0, 1):
+                    out = steady_state(
+                        circuit, bits(a, width) + bits(b, width) + [cin]
+                    )
+                    total = sum(
+                        out[f"S{i}"] << i for i in range(width)
+                    ) + (out["COUT"] << width)
+                    assert total == a + b + cin
+
+    @pytest.mark.parametrize("width,block", [(4, 4), (8, 4), (6, 3)])
+    def test_cla_random(self, width, block):
+        circuit = carry_lookahead_adder(width, block)
+        rng = random.Random(0)
+        for _ in range(100):
+            a = rng.randrange(1 << width)
+            b = rng.randrange(1 << width)
+            cin = rng.randint(0, 1)
+            out = steady_state(
+                circuit, bits(a, width) + bits(b, width) + [cin]
+            )
+            total = sum(out[f"S{i}"] << i for i in range(width)) + (
+                out["COUT"] << width
+            )
+            assert total == a + b + cin
+
+    def test_cla_shallower_than_ripple(self):
+        deep = ripple_carry_adder(16).stats().depth
+        shallow = carry_lookahead_adder(16).stats().depth
+        assert shallow < deep
+
+    def test_width_guard(self):
+        with pytest.raises(NetlistError):
+            ripple_carry_adder(0)
+        with pytest.raises(NetlistError):
+            carry_lookahead_adder(0)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_exhaustive(self, width):
+        circuit = array_multiplier(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                out = steady_state(circuit, bits(a, width) + bits(b, width))
+                product = sum(
+                    out[f"P{i}"] << i for i in range(2 * width)
+                )
+                assert product == a * b
+
+    def test_c6288_like_shape(self):
+        stats = array_multiplier(16).stats()
+        assert stats.num_inputs == 32
+        assert stats.num_outputs == 32
+        assert stats.depth > 60  # deep like c6288
+
+    def test_width_guard(self):
+        with pytest.raises(NetlistError):
+            array_multiplier(1)
+
+
+class TestCodingCircuits:
+    def test_parity_exhaustive(self):
+        circuit = parity_tree(7)
+        for value in range(1 << 7):
+            out = steady_state(circuit, bits(value, 7))
+            assert out["PARITY"] == bin(value).count("1") % 2
+
+    def test_parity_depth_logarithmic(self):
+        assert parity_tree(32).stats().depth <= 6
+
+    def test_hamming_check_bits(self):
+        circuit = hamming_encoder(11)
+        # Verify against a direct software Hamming computation.
+        positions = []
+        pos = 1
+        while len(positions) < 11:
+            pos += 1
+            if pos & (pos - 1):
+                positions.append(pos)
+        rng = random.Random(1)
+        for _ in range(50):
+            data = [rng.randint(0, 1) for _ in range(11)]
+            out = steady_state(circuit, data)
+            for c in range(4):
+                expected = 0
+                for k, p in enumerate(positions):
+                    if p & (1 << c):
+                        expected ^= data[k]
+                assert out[f"C{c}"] == expected
+
+
+class TestSelectors:
+    def test_comparator(self):
+        circuit = equality_comparator(3)
+        for a in range(8):
+            for b in range(8):
+                out = steady_state(circuit, bits(a, 3) + bits(b, 3))
+                assert out["EQ"] == int(a == b)
+
+    def test_mux(self):
+        circuit = mux_tree(2)
+        for code in range(16):
+            data = bits(code, 4)
+            for select in range(4):
+                out = steady_state(circuit, data + bits(select, 2))
+                assert out["Y"] == data[select]
+
+    def test_decoder(self):
+        circuit = decoder(2)
+        for select in range(4):
+            for enable in (0, 1):
+                out = steady_state(circuit, bits(select, 2) + [enable])
+                for code in range(4):
+                    assert out[f"Y{code}"] == int(
+                        enable and code == select
+                    )
+
+    def test_majority(self):
+        circuit = majority_voter(3)
+        for value in range(8):
+            out = steady_state(circuit, bits(value, 3))
+            assert out["MAJ"] == int(bin(value).count("1") >= 2)
+
+    def test_guards(self):
+        with pytest.raises(NetlistError):
+            mux_tree(0)
+        with pytest.raises(NetlistError):
+            decoder(0)
+        with pytest.raises(NetlistError):
+            majority_voter(4)
+        with pytest.raises(NetlistError):
+            parity_tree(1)
+        with pytest.raises(NetlistError):
+            equality_comparator(0)
+        with pytest.raises(NetlistError):
+            hamming_encoder(1)

@@ -1,0 +1,163 @@
+"""Tests for the undirected network graph, cycles, and cycle weights."""
+
+import pytest
+
+from repro.analysis.graph import (
+    UndirectedNetworkGraph,
+    cycle_weight,
+    fundamental_cycles,
+)
+from repro.netlist.builder import CircuitBuilder
+
+
+def test_fig13_graph_is_cyclic(fig11_circuit):
+    graph = UndirectedNetworkGraph(fig11_circuit)
+    # Vertices: nets A, B, C + gates B(NOT), C(AND) = 5; edges: NOT has
+    # 1 in + 1 out, AND has 2 in + 1 out = 5.
+    assert graph.num_vertices == 5
+    assert graph.num_edges == 5
+    assert graph.cycle_rank() == 1
+    assert not graph.is_acyclic()
+
+
+def test_fig11_cycle_weight_is_one(fig11_circuit):
+    graph = UndirectedNetworkGraph(fig11_circuit)
+    cycles = fundamental_cycles(graph)
+    assert len(cycles) == 1
+    assert abs(cycle_weight(cycles[0])) == 1
+
+
+def test_fig12_cycle_weight_is_three(fig12_circuit):
+    graph = UndirectedNetworkGraph(fig12_circuit)
+    cycles = fundamental_cycles(graph)
+    assert len(cycles) == 1
+    # "The cycle represented by the dotted lines in Fig. 12 has a
+    # weight of 3 or -3 depending on direction."
+    assert abs(cycle_weight(cycles[0])) == 3
+
+
+def test_fanout_free_circuit_is_acyclic(fig1_circuit):
+    graph = UndirectedNetworkGraph(fig1_circuit)
+    assert graph.cycle_rank() == 0
+    assert graph.is_acyclic()
+    assert fundamental_cycles(graph) == []
+
+
+def test_balanced_reconvergence_weight_zero():
+    # Two equal-length paths: cycle exists but weight 0 (no shift).
+    b = CircuitBuilder("balanced")
+    a = b.input("A")
+    p = b.not_("P", a)
+    q = b.not_("Q", a)
+    out = b.and_("OUT", p, q)
+    b.outputs(out)
+    graph = UndirectedNetworkGraph(b.build())
+    cycles = fundamental_cycles(graph)
+    assert len(cycles) == 1
+    assert cycle_weight(cycles[0]) == 0
+
+
+def test_parallel_edges_form_weight_zero_cycle():
+    # A net wired to both pins of one gate: a 2-edge cycle, weight 0.
+    b = CircuitBuilder("dup")
+    a = b.input("A")
+    out = b.and_("OUT", a, a)
+    b.outputs(out)
+    graph = UndirectedNetworkGraph(b.build())
+    assert graph.cycle_rank() == 1
+    cycles = fundamental_cycles(graph)
+    assert len(cycles) == 1
+    assert len(cycles[0]) == 2
+    assert cycle_weight(cycles[0]) == 0
+
+
+def test_cycle_rank_matches_components_formula(small_random_circuit):
+    graph = UndirectedNetworkGraph(small_random_circuit)
+    components = graph.components()
+    expected = graph.num_edges - graph.num_vertices + len(components)
+    assert graph.cycle_rank() == expected
+    assert len(fundamental_cycles(graph)) == expected
+
+
+def test_fundamental_cycles_are_closed_walks(small_random_circuit):
+    graph = UndirectedNetworkGraph(small_random_circuit)
+    for cycle in fundamental_cycles(graph):
+        # Consecutive edges share a vertex and the walk closes.
+        n = len(cycle)
+        for i in range(n):
+            a = cycle[i]
+            b = cycle[(i + 1) % n]
+            shared = (
+                {a.gate_vertex, a.net_vertex}
+                & {b.gate_vertex, b.net_vertex}
+            )
+            assert shared, (i, cycle)
+
+
+def test_edge_roles(fig11_circuit):
+    graph = UndirectedNetworkGraph(fig11_circuit)
+    roles = {
+        (edge.gate, edge.net): edge.role
+        for edge in graph.edges
+    }
+    assert roles[("B", "A")] == "input"
+    assert roles[("B", "B")] == "output"
+    assert roles[("C", "C")] == "output"
+
+
+def test_components_cover_all_vertices(small_random_circuit):
+    graph = UndirectedNetworkGraph(small_random_circuit)
+    union = set()
+    for component in graph.components():
+        assert not (union & component)
+        union |= component
+    assert union == set(graph.adjacency)
+
+
+def test_isolated_input_gets_vertex():
+    b = CircuitBuilder("iso")
+    a, unused = b.inputs("A", "UNUSED")
+    b.outputs(b.not_("Z", a))
+    graph = UndirectedNetworkGraph(b.build(validate=False))
+    assert ("net", "UNUSED") in graph.adjacency
+    assert graph.adjacency[("net", "UNUSED")] == []
+
+
+def test_to_networkx_export(fig11_circuit):
+    nx_graph = UndirectedNetworkGraph(fig11_circuit).to_networkx()
+    assert nx_graph.number_of_nodes() == 5
+    assert nx_graph.number_of_edges() == 5
+    assert "rank 1" in repr(UndirectedNetworkGraph(fig11_circuit))
+
+
+class TestShiftEliminability:
+    """§4's theorem: zero-weight cycles <=> all shifts removable."""
+
+    def test_fig4_network_is_fully_eliminable(self, fig4_circuit):
+        from repro.analysis.graph import can_eliminate_all_shifts
+
+        assert can_eliminate_all_shifts(fig4_circuit)
+
+    def test_fig11_and_fig12_are_not(self, fig11_circuit, fig12_circuit):
+        from repro.analysis.graph import can_eliminate_all_shifts
+
+        assert not can_eliminate_all_shifts(fig11_circuit)
+        assert not can_eliminate_all_shifts(fig12_circuit)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_theorem_matches_path_tracing(self, seed):
+        from repro.analysis.graph import can_eliminate_all_shifts
+        from repro.netlist.random_circuits import random_dag_circuit
+        from repro.parallel.pathtrace import path_tracing_alignment
+
+        circuit = random_dag_circuit(seed + 60, num_inputs=4,
+                                     num_gates=18)
+        eliminable = can_eliminate_all_shifts(circuit)
+        retained = path_tracing_alignment(circuit).retained_shifts()
+        if eliminable:
+            # Sufficient direction: a consistent alignment exists and
+            # the min-relaxation sweep finds it.
+            assert retained == 0, seed
+        else:
+            # Necessary direction: no algorithm can reach zero.
+            assert retained >= 1, seed

@@ -1,0 +1,150 @@
+"""Tests for the experiment harness (vectors, runner, compare, timing)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.harness.compare import (
+    Mismatch,
+    compare_histories,
+    cross_validate,
+    value_at,
+)
+from repro.harness.runner import TECHNIQUES, build_simulator, run_technique
+from repro.harness.tables import (
+    format_table,
+    geometric_mean,
+    improvement_percent,
+    ratio,
+)
+from repro.harness.timing import time_run
+from repro.harness.vectors import (
+    all_zeros,
+    random_vectors,
+    vectors_for,
+    walking_ones,
+)
+
+
+class TestVectors:
+    def test_deterministic(self):
+        assert random_vectors(5, 8, seed=1) == random_vectors(5, 8, seed=1)
+        assert random_vectors(5, 8, seed=1) != random_vectors(5, 8, seed=2)
+
+    def test_shapes(self, fig4_circuit):
+        vectors = vectors_for(fig4_circuit, 7, seed=0)
+        assert len(vectors) == 7
+        assert all(len(v) == 3 for v in vectors)
+        assert all(bit in (0, 1) for v in vectors for bit in v)
+
+    def test_walking_ones(self):
+        assert walking_ones(3) == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_all_zeros(self):
+        assert all_zeros(4) == [0, 0, 0, 0]
+
+
+class TestRunner:
+    def test_every_technique_builds(self, fig4_circuit):
+        for technique in TECHNIQUES:
+            sim = build_simulator(fig4_circuit, technique)
+            assert sim is not None
+
+    def test_unknown_technique(self, fig4_circuit):
+        with pytest.raises(SimulationError, match="unknown technique"):
+            build_simulator(fig4_circuit, "quantum")
+
+    @pytest.mark.parametrize("technique", TECHNIQUES)
+    def test_run_technique_executes(self, fig4_circuit, technique):
+        vectors = vectors_for(fig4_circuit, 6, seed=3)
+        run = run_technique(fig4_circuit, technique, vectors)
+        run()  # must not raise
+        run()  # and must be repeatable
+
+
+class TestCompare:
+    def test_value_at(self):
+        changes = [(0, 0), (3, 1), (7, 0)]
+        assert value_at(changes, 0) == 0
+        assert value_at(changes, 2) == 0
+        assert value_at(changes, 3) == 1
+        assert value_at(changes, 6) == 1
+        assert value_at(changes, 9) == 0
+
+    def test_compare_histories(self):
+        a = {"x": [(0, 0), (1, 1)], "y": [(0, 1)]}
+        b = {"x": [(0, 0), (1, 1)], "y": [(0, 0)]}
+        assert compare_histories(a, a) == []
+        assert compare_histories(a, b) == ["y"]
+
+    def test_cross_validate_passes(self, small_random_circuit):
+        vectors = vectors_for(small_random_circuit, 6, seed=4)
+        checks = cross_validate(
+            small_random_circuit, vectors,
+            techniques=("pcset", "parallel", "parallel-best"),
+        )
+        assert checks == 3 * 6
+
+    def test_cross_validate_reports_mismatch(self, fig4_circuit,
+                                             monkeypatch):
+        from repro.pcset import simulator as pcsim
+
+        real = pcsim.PCSetSimulator.apply_vector_history
+
+        def corrupted(self, vector):
+            history = real(self, vector)
+            history["E"] = [(0, 1 - history["E"][0][1])]
+            return history
+
+        monkeypatch.setattr(
+            pcsim.PCSetSimulator, "apply_vector_history", corrupted
+        )
+        with pytest.raises(Mismatch) as err:
+            cross_validate(fig4_circuit, [[1, 1, 1]],
+                           techniques=("pcset",))
+        assert err.value.technique == "pcset"
+        assert "E" in err.value.nets
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "time"],
+            [["c432", 1.5], ["c6288", 12.25]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert "c432" in lines[3]
+        assert "1.500" in lines[3]
+
+    def test_ratio_and_improvement(self):
+        assert ratio(10.0, 2.0) == 5.0
+        assert ratio(10.0, 0.0) == float("inf")
+        assert improvement_percent(10.0, 7.0) == pytest.approx(30.0)
+        assert improvement_percent(0.0, 7.0) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestTiming:
+    def test_time_run_statistics(self):
+        calls = []
+        result = time_run(
+            lambda: calls.append(1), label="t", num_vectors=10,
+            repeat=4, warmup=2,
+        )
+        assert len(calls) == 6  # 2 warmup + 4 timed
+        assert len(result.samples) == 4
+        assert result.best <= result.mean
+        assert result.per_vector == pytest.approx(result.mean / 10)
+        assert "t" in repr(result)
+
+    def test_speedup_over(self):
+        from repro.harness.timing import TimingResult
+
+        slow = TimingResult("slow", [1.0], 10)
+        fast = TimingResult("fast", [0.25], 10)
+        assert fast.speedup_over(slow) == pytest.approx(4.0)

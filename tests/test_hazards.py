@@ -1,0 +1,131 @@
+"""Tests for hazard analysis (the §3 binary-search suggestion)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.eventsim.simulator import EventDrivenSimulator
+from repro.hazards import (
+    HazardKind,
+    classify_changes,
+    classify_field,
+    field_is_monotone,
+    find_hazards,
+    transition_time_binary_search,
+)
+from repro.netlist.builder import CircuitBuilder
+from repro.parallel.simulator import ParallelSimulator
+
+
+class TestClassifyChanges:
+    def test_steady(self):
+        assert classify_changes([(0, 1)]) is HazardKind.STEADY
+
+    def test_clean(self):
+        assert classify_changes([(0, 0), (3, 1)]) is HazardKind.CLEAN
+
+    def test_static_hazard(self):
+        kind = classify_changes([(0, 0), (2, 1), (4, 0)])
+        assert kind is HazardKind.STATIC
+        assert kind.is_hazard
+
+    def test_dynamic_hazard(self):
+        kind = classify_changes([(0, 0), (1, 1), (2, 0), (5, 1)])
+        assert kind is HazardKind.DYNAMIC
+        assert kind.is_hazard
+
+    def test_clean_not_hazard(self):
+        assert not HazardKind.CLEAN.is_hazard
+        assert not HazardKind.STEADY.is_hazard
+
+
+class TestFieldClassification:
+    def test_monotone_patterns(self):
+        # The paper's comparison fields: 0...01...1 and 1...10...0.
+        assert field_is_monotone(0b0000, 4)
+        assert field_is_monotone(0b1111, 4)
+        assert field_is_monotone(0b1100, 4)
+        assert field_is_monotone(0b0011, 4)
+        assert not field_is_monotone(0b0101, 4)
+        assert not field_is_monotone(0b1001, 4)
+
+    def test_exhaustive_equivalence_with_changes(self):
+        # classify_field must agree with classify_changes on every
+        # 6-bit history.
+        for width in (2, 4, 6):
+            for field in range(1 << width):
+                bits = [(field >> t) & 1 for t in range(width)]
+                changes = [(0, bits[0])]
+                for t, value in enumerate(bits):
+                    if value != changes[-1][1]:
+                        changes.append((t, value))
+                assert classify_field(field, width) is \
+                    classify_changes(changes), (width, bin(field))
+
+    def test_width_guard(self):
+        with pytest.raises(SimulationError):
+            classify_field(0, 0)
+
+
+class TestBinarySearch:
+    @pytest.mark.parametrize("width", [4, 8, 32])
+    def test_finds_every_transition(self, width):
+        for t in range(1, width):
+            rising = ((1 << width) - 1) ^ ((1 << t) - 1)  # 1..10..0
+            assert transition_time_binary_search(rising, width) == t
+            falling = (1 << t) - 1  # 0..01..1 reversed in time
+            assert transition_time_binary_search(falling, width) == t
+
+    def test_rejects_non_clean(self):
+        with pytest.raises(SimulationError):
+            transition_time_binary_search(0b0101, 4)
+        with pytest.raises(SimulationError):
+            transition_time_binary_search(0b0000, 4)
+        with pytest.raises(SimulationError):
+            transition_time_binary_search(0b1111, 4)
+
+
+class TestFindHazards:
+    def _static_hazard_circuit(self):
+        """Classic static-1 hazard: OUT = (A & S) | (B & ~S)."""
+        b = CircuitBuilder("mux_hazard")
+        a, bb, s = b.inputs("A", "B", "S")
+        sn = b.not_("SN", s)
+        p = b.and_("P", a, s)
+        q = b.and_("Q", bb, sn)
+        out = b.or_("OUT", p, q)
+        b.outputs(out)
+        return b.build()
+
+    def test_detects_mux_glitch(self):
+        circuit = self._static_hazard_circuit()
+        sim = EventDrivenSimulator(circuit)
+        # A=B=1; S falls 1 -> 0: OUT should stay 1 but glitches low.
+        sim.reset([1, 1, 1])
+        history = sim.apply_vector([1, 1, 0], record=True)
+        hazards = find_hazards(history)
+        assert hazards.get("OUT") is HazardKind.STATIC
+
+    def test_parallel_fields_show_same_glitch(self):
+        circuit = self._static_hazard_circuit()
+        sim = ParallelSimulator(circuit, word_width=8)
+        sim.reset([1, 1, 1])
+        history = sim.apply_vector_history([1, 1, 0])
+        hazards = find_hazards(history)
+        assert hazards.get("OUT") is HazardKind.STATIC
+
+    def test_include_clean_mode(self):
+        circuit = self._static_hazard_circuit()
+        sim = EventDrivenSimulator(circuit)
+        sim.reset([1, 1, 1])
+        history = sim.apply_vector([1, 1, 0], record=True)
+        full = find_hazards(history, include_clean=True)
+        assert set(full) == set(history)
+        assert full["A"] is HazardKind.STEADY
+
+    def test_no_hazards_in_clean_run(self, fig4_circuit):
+        sim = EventDrivenSimulator(fig4_circuit)
+        sim.reset([0, 0, 0])
+        history = sim.apply_vector([1, 1, 1], record=True)
+        assert find_hazards(history) == {}

@@ -1,0 +1,185 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These exercise realistic flows: ISCAS85 analogs through every
+technique, bench-file round trips feeding compiled simulators, the
+multi-vector mode on the C backend, VCD export from compiled
+histories, and agreement between the structured generators and the
+compiled engines.
+"""
+
+import io
+
+import pytest
+
+from repro import (
+    EventDrivenSimulator,
+    LCCSimulator,
+    MultiVectorPCSetSimulator,
+    ParallelSimulator,
+    PCSetSimulator,
+    cross_validate,
+    make_circuit,
+    parse_bench,
+    random_vectors,
+    write_bench,
+    write_vcd,
+)
+from repro.codegen.runtime import have_c_compiler
+from repro.harness.vectors import vectors_for
+from repro.netlist.generators import (
+    array_multiplier,
+    carry_lookahead_adder,
+    ripple_carry_adder,
+)
+
+NEED_CC = pytest.mark.skipif(
+    have_c_compiler() is None, reason="no C compiler available"
+)
+
+
+class TestIscasAnalogsEndToEnd:
+    @pytest.mark.parametrize("name", ["c432", "c499"])
+    def test_cross_validate_scaled_analog(self, name):
+        circuit = make_circuit(name, scale_factor=0.15)
+        vectors = vectors_for(circuit, 4, seed=1)
+        checks = cross_validate(
+            circuit, vectors,
+            techniques=("pcset", "parallel", "parallel-best"),
+            word_width=32,
+        )
+        assert checks == 12
+
+    @NEED_CC
+    def test_cross_validate_c_backend(self):
+        circuit = make_circuit("c880", scale_factor=0.1)
+        vectors = vectors_for(circuit, 3, seed=2)
+        cross_validate(
+            circuit, vectors,
+            techniques=("pcset", "parallel", "parallel-pathtrace"),
+            backend="c",
+        )
+
+    def test_deep_multiword_analog(self):
+        # c6288's analog at tiny scale still has depth 124 -> 4+ words.
+        circuit = make_circuit("c6288", scale_factor=0.06)
+        assert circuit.stats().depth == 124
+        vectors = vectors_for(circuit, 2, seed=3)
+        cross_validate(
+            circuit, vectors,
+            techniques=("parallel", "parallel-best"),
+            word_width=32,
+        )
+
+
+class TestBenchRoundTripPipeline:
+    def test_file_to_compiled_simulation(self, tmp_path):
+        original = ripple_carry_adder(4)
+        path = tmp_path / "adder.bench"
+        path.write_text(write_bench(original))
+        loaded = parse_bench(path.read_text(), "adder")
+        sim = PCSetSimulator(loaded)
+        reference = EventDrivenSimulator(original)
+        vectors = vectors_for(original, 10, seed=4)
+        sim.reset()
+        reference.reset([0] * len(original.inputs))
+        for vector in vectors:
+            assert reference.apply_vector(vector, record=True) == \
+                sim.apply_vector_history(vector)
+
+
+class TestGeneratorsThroughCompiledEngines:
+    @pytest.mark.parametrize("factory,width", [
+        (ripple_carry_adder, 5),
+        (carry_lookahead_adder, 5),
+        (array_multiplier, 3),
+    ])
+    def test_datapath_blocks(self, factory, width):
+        circuit = factory(width)
+        vectors = vectors_for(circuit, 5, seed=6)
+        cross_validate(
+            circuit, vectors,
+            techniques=("pcset", "parallel", "parallel-pathtrace",
+                        "parallel-best"),
+            word_width=32,
+        )
+
+    def test_adder_arithmetic_through_parallel(self):
+        circuit = ripple_carry_adder(6)
+        sim = ParallelSimulator(circuit, optimization="pathtrace+trim",
+                                word_width=16)
+        sim.reset()
+        for a, b, cin in ((13, 25, 0), (63, 1, 1), (0, 0, 0)):
+            vector = (
+                [(a >> i) & 1 for i in range(6)]
+                + [(b >> i) & 1 for i in range(6)]
+                + [cin]
+            )
+            sim.apply_vector(vector)
+            finals = sim.final_values()
+            total = sum(finals[f"S{i}"] << i for i in range(6))
+            total += finals["COUT"] << 6
+            assert total == a + b + cin
+
+
+class TestMultiVectorIntegration:
+    @NEED_CC
+    def test_multivector_c_backend_matches_python(self):
+        circuit = make_circuit("c432", scale_factor=0.15)
+        vectors = vectors_for(circuit, 24, seed=7)
+        finals = {}
+        for backend in ("python", "c"):
+            sim = MultiVectorPCSetSimulator(
+                circuit, lanes=8, backend=backend
+            )
+            sim.reset()
+            sim.run_streams(vectors)
+            finals[backend] = sim.final_values_per_lane()
+        assert finals["python"] == finals["c"]
+
+    def test_multivector_matches_event_driven_per_lane(self):
+        circuit = ripple_carry_adder(3)
+        vectors = vectors_for(circuit, 12, seed=8)
+        lanes = 4
+        sim = MultiVectorPCSetSimulator(circuit, lanes=lanes)
+        sim.reset()
+        sim.run_streams(vectors)
+        packed = sim.final_values_per_lane()
+        for lane in range(lanes):
+            reference = EventDrivenSimulator(circuit)
+            reference.reset([0] * len(circuit.inputs))
+            for vector in vectors[lane::lanes]:
+                reference.apply_vector(vector)
+            expected = {
+                n: reference.value_of(n) for n in circuit.outputs
+            }
+            assert packed[lane] == expected
+
+
+class TestWaveformIntegration:
+    def test_vcd_from_parallel_simulator(self):
+        circuit = ripple_carry_adder(3)
+        sim = ParallelSimulator(circuit, optimization="pathtrace")
+        vectors = vectors_for(circuit, 5, seed=9)
+        sim.reset(vectors[0])
+        histories = [
+            sim.apply_vector_history(v) for v in vectors[1:]
+        ]
+        sink = io.StringIO()
+        write_vcd(histories, sim.depth, sink,
+                  nets=circuit.inputs + circuit.outputs)
+        text = sink.getvalue()
+        assert "$enddefinitions" in text
+        assert " S0 $end" in text
+
+
+class TestZeroDelayIntegration:
+    def test_lcc_matches_unit_delay_finals(self):
+        # Zero-delay settled values == unit-delay final values.
+        circuit = make_circuit("c499", scale_factor=0.15)
+        lcc = LCCSimulator(circuit)
+        unit = ParallelSimulator(circuit, word_width=32)
+        unit.reset()
+        vectors = vectors_for(circuit, 8, seed=10)
+        for vector in vectors:
+            unit.apply_vector(vector)
+            assert lcc.evaluate(vector) == unit.final_values()

@@ -1,0 +1,104 @@
+"""Tests for the synthetic ISCAS85-analog suite."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.bench import write_bench
+from repro.netlist.iscas85 import (
+    ISCAS85_SPECS,
+    SMALL_SUITE,
+    load_circuit,
+    make_circuit,
+    make_suite,
+)
+
+SMALL = ["c432", "c499", "c880", "c1355"]
+
+
+def test_spec_table_published_values():
+    spec = ISCAS85_SPECS["c6288"]
+    assert (spec.inputs, spec.outputs, spec.gates) == (32, 32, 2416)
+    assert spec.levels == 125
+    assert spec.depth == 124
+    assert spec.words(32) == 4
+    assert "multiplier" in spec.function
+    assert "c6288" in repr(spec)
+
+
+def test_fig20_word_counts():
+    expected = {
+        "c432": 1, "c499": 1, "c880": 1, "c1355": 1,
+        "c1908": 2, "c2670": 2, "c3540": 2, "c5315": 2,
+        "c6288": 4, "c7552": 2,
+    }
+    for name, words in expected.items():
+        assert ISCAS85_SPECS[name].words(32) == words, name
+    assert set(SMALL_SUITE) == {
+        n for n, w in expected.items() if w == 1
+    }
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_analog_matches_spec_exactly(name):
+    spec = ISCAS85_SPECS[name]
+    circuit = make_circuit(name)
+    stats = circuit.stats()
+    assert stats.num_inputs == spec.inputs
+    assert stats.num_outputs == spec.outputs
+    assert stats.num_gates == spec.gates
+    assert stats.depth == spec.depth
+
+
+def test_determinism():
+    a = make_circuit("c432")
+    b = make_circuit("c432")
+    assert write_bench(a) == write_bench(b)
+    c = make_circuit("c432", seed=7)
+    assert write_bench(a) != write_bench(c)
+
+
+def test_scale_factor_preserves_depth():
+    circuit = make_circuit("c1908", scale_factor=0.25)
+    stats = circuit.stats()
+    assert stats.depth == ISCAS85_SPECS["c1908"].depth
+    assert stats.num_gates == round(880 * 0.25)
+    assert "s0.25" in circuit.name
+
+
+def test_scale_factor_bounds():
+    with pytest.raises(NetlistError):
+        make_circuit("c432", scale_factor=0.0)
+    with pytest.raises(NetlistError):
+        make_circuit("c432", scale_factor=2.0)
+
+
+def test_unknown_name():
+    with pytest.raises(NetlistError, match="c9999"):
+        make_circuit("c9999")
+
+
+def test_make_suite_subset():
+    suite = make_suite(["c432", "c499"], scale_factor=0.5)
+    assert list(suite) == ["c432", "c499"]
+    assert all(c.is_acyclic() for c in suite.values())
+
+
+def test_load_circuit_prefers_real_bench(tmp_path):
+    real = make_circuit("c432", seed=1234)  # stand-in "real" netlist
+    path = tmp_path / "c432.bench"
+    path.write_text(write_bench(real))
+    loaded = load_circuit("c432", bench_dir=str(tmp_path))
+    assert write_bench(loaded) == write_bench(real)
+
+
+def test_load_circuit_falls_back_to_analog(tmp_path):
+    loaded = load_circuit("c499", bench_dir=str(tmp_path))
+    assert loaded.stats().num_gates == 202
+
+
+def test_load_circuit_env_var(tmp_path, monkeypatch):
+    real = make_circuit("c880", seed=77)
+    (tmp_path / "c880.bench").write_text(write_bench(real))
+    monkeypatch.setenv("REPRO_ISCAS85_DIR", str(tmp_path))
+    loaded = load_circuit("c880")
+    assert write_bench(loaded) == write_bench(real)

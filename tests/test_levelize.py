@@ -1,0 +1,106 @@
+"""Tests for levelization (level / minlevel)."""
+
+import pytest
+
+from repro.analysis.levelize import levelize
+from repro.errors import CyclicCircuitError
+from repro.netlist.builder import CircuitBuilder
+
+
+def test_fig1_levels(fig1_circuit):
+    lev = levelize(fig1_circuit)
+    assert lev.net_levels == {"A": 0, "B": 0, "C": 0, "D": 1, "E": 2}
+    assert lev.gate_levels == {"D": 1, "E": 2}
+    assert lev.depth == 2
+    assert lev.num_levels == 3
+
+
+def test_fig4_minlevels(fig4_circuit):
+    lev = levelize(fig4_circuit)
+    # E = AND(D, C): shortest path via C has length 1.
+    assert lev.net_minlevels["E"] == 1
+    assert lev.net_levels["E"] == 2
+    assert lev.net_minlevels["D"] == 1
+
+
+def test_level_is_longest_path_and_minlevel_shortest():
+    # Diamond with a long and a short arm.
+    b = CircuitBuilder("diamond")
+    a = b.input("A")
+    long1 = b.buf("L1", a)
+    long2 = b.buf("L2", long1)
+    long3 = b.buf("L3", long2)
+    short = b.buf("S1", a)
+    out = b.and_("OUT", long3, short)
+    b.outputs(out)
+    lev = levelize(b.build())
+    assert lev.net_levels["OUT"] == 4
+    assert lev.net_minlevels["OUT"] == 2
+
+
+def test_constants_sit_at_level_zero():
+    b = CircuitBuilder("consts")
+    a = b.input("A")
+    one = b.const1("ONE")
+    out = b.and_("OUT", a, one)
+    b.outputs(out)
+    lev = levelize(b.build())
+    assert lev.net_levels["ONE"] == 0
+    assert lev.net_minlevels["ONE"] == 0
+    assert lev.net_levels["OUT"] == 1
+
+
+def test_levels_bound_minlevels(small_random_circuit):
+    lev = levelize(small_random_circuit)
+    for net_name in small_random_circuit.nets:
+        assert 0 <= lev.net_minlevels[net_name] <= lev.net_levels[net_name]
+
+
+def test_gate_level_is_max_input_plus_one(small_random_circuit):
+    lev = levelize(small_random_circuit)
+    for gate in small_random_circuit.gates.values():
+        if gate.fan_in == 0:
+            continue
+        assert lev.gate_levels[gate.name] == 1 + max(
+            lev.net_levels[i] for i in gate.inputs
+        )
+        assert lev.gate_minlevels[gate.name] == 1 + min(
+            lev.net_minlevels[i] for i in gate.inputs
+        )
+        assert lev.net_levels[gate.output] == lev.gate_levels[gate.name]
+
+
+def test_gates_by_level_partition(small_random_circuit):
+    lev = levelize(small_random_circuit)
+    buckets = lev.gates_by_level(small_random_circuit)
+    flattened = [g for bucket in buckets for g in bucket]
+    assert sorted(flattened) == sorted(small_random_circuit.gates)
+    # Ascending level order.
+    previous = 0
+    for bucket in buckets:
+        level = lev.gate_levels[bucket[0]]
+        assert all(lev.gate_levels[g] == level for g in bucket)
+        assert level > previous
+        previous = level
+
+
+def test_levelize_rejects_cycles():
+    from repro.logic import GateType
+    from repro.netlist.circuit import Circuit
+    from repro.netlist.nets import Gate, Net
+
+    c = Circuit("cyc")
+    c.add_net("A", is_input=True)
+    c.nets["B"] = Net("B", driver="B")
+    c.gates["B"] = Gate("B", GateType.AND, ["A", "C"], "B")
+    c.nets["C"] = Net("C", driver="C")
+    c.gates["C"] = Gate("C", GateType.NOT, ["B"], "C")
+    c.nets["A"].fanout.append("B")
+    c.nets["C"].fanout.append("B")
+    c.nets["B"].fanout.append("C")
+    with pytest.raises(CyclicCircuitError):
+        levelize(c)
+
+
+def test_repr(fig1_circuit):
+    assert "depth=2" in repr(levelize(fig1_circuit))

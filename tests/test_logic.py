@@ -1,0 +1,143 @@
+"""Tests for the two- and three-valued logic model."""
+
+import itertools
+
+import pytest
+
+from repro.logic import (
+    CONTROLLING_VALUE,
+    GateType,
+    INVERTING_TYPES,
+    X,
+    bitwise_expression,
+    eval_gate,
+    eval_gate3,
+    eval_gate_scalar,
+    gate_function,
+    gate_function3,
+)
+
+BINARY_TYPES = [
+    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+    GateType.XOR, GateType.XNOR,
+]
+
+TRUTH = {
+    GateType.AND: lambda a, b: a & b,
+    GateType.NAND: lambda a, b: 1 - (a & b),
+    GateType.OR: lambda a, b: a | b,
+    GateType.NOR: lambda a, b: 1 - (a | b),
+    GateType.XOR: lambda a, b: a ^ b,
+    GateType.XNOR: lambda a, b: 1 - (a ^ b),
+}
+
+
+@pytest.mark.parametrize("gate_type", BINARY_TYPES)
+def test_two_valued_truth_tables(gate_type):
+    for a, b in itertools.product((0, 1), repeat=2):
+        assert eval_gate_scalar(gate_type, [a, b]) == TRUTH[gate_type](a, b)
+
+
+@pytest.mark.parametrize("gate_type", BINARY_TYPES)
+def test_three_input_folds_left(gate_type):
+    fn = TRUTH[gate_type]
+    base = {
+        GateType.AND: lambda a, b: a & b,
+        GateType.NAND: lambda a, b: a & b,
+        GateType.OR: lambda a, b: a | b,
+        GateType.NOR: lambda a, b: a | b,
+        GateType.XOR: lambda a, b: a ^ b,
+        GateType.XNOR: lambda a, b: a ^ b,
+    }[gate_type]
+    invert = gate_type in INVERTING_TYPES
+    for a, b, c in itertools.product((0, 1), repeat=3):
+        raw = base(base(a, b), c)
+        expected = (1 - raw) if invert else raw
+        assert eval_gate_scalar(gate_type, [a, b, c]) == expected
+
+
+def test_not_and_buf():
+    assert eval_gate_scalar(GateType.NOT, [0]) == 1
+    assert eval_gate_scalar(GateType.NOT, [1]) == 0
+    assert eval_gate_scalar(GateType.BUF, [0]) == 0
+    assert eval_gate_scalar(GateType.BUF, [1]) == 1
+
+
+def test_constants():
+    assert eval_gate_scalar(GateType.CONST0, []) == 0
+    assert eval_gate_scalar(GateType.CONST1, []) == 1
+
+
+def test_eval_gate_is_bit_parallel():
+    # Whole words evaluate lane-wise: check every lane of packed inputs.
+    a, b = 0b1100, 0b1010
+    for gate_type in BINARY_TYPES:
+        word = eval_gate(gate_type, [a, b]) & 0b1111
+        for lane in range(4):
+            expected = eval_gate_scalar(
+                gate_type, [(a >> lane) & 1, (b >> lane) & 1]
+            )
+            assert (word >> lane) & 1 == expected
+
+
+@pytest.mark.parametrize("gate_type", BINARY_TYPES)
+def test_three_valued_agrees_on_binary_inputs(gate_type):
+    for a, b in itertools.product((0, 1), repeat=2):
+        assert eval_gate3(gate_type, [a, b]) == TRUTH[gate_type](a, b)
+
+
+def test_three_valued_controlling_values():
+    # A controlling input decides the output despite X elsewhere.
+    assert eval_gate3(GateType.AND, [0, X]) == 0
+    assert eval_gate3(GateType.NAND, [0, X]) == 1
+    assert eval_gate3(GateType.OR, [1, X]) == 1
+    assert eval_gate3(GateType.NOR, [1, X]) == 0
+
+
+def test_three_valued_x_propagation():
+    assert eval_gate3(GateType.AND, [1, X]) == X
+    assert eval_gate3(GateType.OR, [0, X]) == X
+    assert eval_gate3(GateType.XOR, [0, X]) == X
+    assert eval_gate3(GateType.XOR, [1, X]) == X
+    assert eval_gate3(GateType.XNOR, [X, X]) == X
+    assert eval_gate3(GateType.NOT, [X]) == X
+    assert eval_gate3(GateType.BUF, [X]) == X
+
+
+def test_gate_function_wrappers():
+    fn2 = gate_function(GateType.NAND)
+    fn3 = gate_function3(GateType.NAND)
+    assert fn2([1, 1]) == 0
+    assert fn3([1, X]) == X
+
+
+def test_min_max_inputs():
+    assert GateType.AND.min_inputs == 2
+    assert GateType.AND.max_inputs is None
+    assert GateType.NOT.min_inputs == 1
+    assert GateType.NOT.max_inputs == 1
+    assert GateType.CONST0.min_inputs == 0
+    assert GateType.CONST0.max_inputs == 0
+
+
+def test_controlling_value_table():
+    assert CONTROLLING_VALUE[GateType.AND] == 0
+    assert CONTROLLING_VALUE[GateType.NOR] == 1
+    assert CONTROLLING_VALUE[GateType.XOR] is None
+
+
+def test_bitwise_expression_forms():
+    assert bitwise_expression(GateType.AND, ["a", "b"]) == "a & b"
+    assert bitwise_expression(GateType.NAND, ["a", "b"]) == "~(a & b)"
+    assert bitwise_expression(GateType.OR, ["a", "b", "c"]) == "a | b | c"
+    assert bitwise_expression(GateType.NOT, ["x"]) == "~x"
+    assert bitwise_expression(GateType.BUF, ["x"]) == "x"
+    assert bitwise_expression(GateType.CONST0, []) == "0"
+    assert bitwise_expression(GateType.CONST1, []) == "~0"
+
+
+def test_unknown_gate_type_rejected():
+    with pytest.raises(ValueError):
+        eval_gate("noise", [0, 1])  # type: ignore[arg-type]
+    with pytest.raises(ValueError):
+        eval_gate3("noise", [0, 1])  # type: ignore[arg-type]

@@ -1,0 +1,96 @@
+"""Tests for the per-gate-delay simulator (§6 future-work direction)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.eventsim.multidelay import MultiDelaySimulator
+from repro.eventsim.simulator import EventDrivenSimulator
+from repro.eventsim.zerodelay import steady_state
+from repro.harness.vectors import vectors_for
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.generators import ripple_carry_adder
+
+
+class TestUnitDelaySpecialCase:
+    def test_equals_unit_delay_simulator(self, small_random_circuit):
+        """With every delay = 1, histories match the unit-delay engine."""
+        reference = EventDrivenSimulator(small_random_circuit)
+        multi = MultiDelaySimulator(small_random_circuit, delays=1)
+        zeros = [0] * len(small_random_circuit.inputs)
+        reference.reset(zeros)
+        multi.reset(zeros)
+        for vector in vectors_for(small_random_circuit, 15, seed=2):
+            assert reference.apply_vector(vector, record=True) == \
+                multi.apply_vector(vector, record=True)
+
+
+class TestRealDelays:
+    def test_settles_to_zero_delay_values(self):
+        circuit = ripple_carry_adder(4)
+        delays = {g: (i % 3) + 1 for i, g in enumerate(circuit.gates)}
+        sim = MultiDelaySimulator(circuit, delays)
+        sim.reset([0] * len(circuit.inputs))
+        for vector in vectors_for(circuit, 10, seed=3):
+            sim.apply_vector(vector)
+            settled = steady_state(circuit, vector)
+            for net_name in circuit.outputs:
+                assert sim.value_of(net_name) == settled[net_name]
+
+    def test_change_arrival_times_respect_delays(self):
+        # A -> NOT(d=3) -> B: B changes exactly 3 units after A.
+        b = CircuitBuilder("d3")
+        a = b.input("A")
+        b.outputs(b.not_("B", a))
+        circuit = b.build()
+        sim = MultiDelaySimulator(circuit, {"B": 3})
+        sim.reset([0])
+        history = sim.apply_vector([1], record=True)
+        assert history["B"] == [(0, 1), (3, 0)]
+
+    def test_unequal_delays_expose_glitch_width(self):
+        # OUT = A AND NOT(A): slow inverter widens the glitch.
+        b = CircuitBuilder("pulse")
+        a = b.input("A")
+        bn = b.not_("N", a)
+        b.outputs(b.and_("OUT", a, bn))
+        circuit = b.build()
+        sim = MultiDelaySimulator(circuit, {"N": 4, "OUT": 1})
+        sim.reset([0])
+        history = sim.apply_vector([1], record=True)
+        # OUT pulses high at t=1 (A=1, N still 1) and falls after the
+        # inverter output arrives at t=4 -> OUT falls at t=5.
+        assert history["OUT"] == [(0, 0), (1, 1), (5, 0)]
+
+    def test_three_valued_mode(self):
+        b = CircuitBuilder("x3")
+        a, c = b.inputs("A", "C")
+        b.outputs(b.and_("Z", a, c))
+        sim = MultiDelaySimulator(b.build(), 2, logic="three")
+        sim.reset()
+        from repro.logic import X
+
+        sim.apply_vector([0, X])
+        assert sim.value_of("Z") == 0
+        assert sim.output_values() == {"Z": 0}
+
+
+class TestGuards:
+    def test_delays_must_be_positive(self, fig4_circuit):
+        with pytest.raises(SimulationError, match=">= 1"):
+            MultiDelaySimulator(fig4_circuit, {"D": 0})
+        with pytest.raises(SimulationError, match=">= 1"):
+            MultiDelaySimulator(fig4_circuit, 0)
+
+    def test_requires_reset(self, fig4_circuit):
+        sim = MultiDelaySimulator(fig4_circuit)
+        with pytest.raises(SimulationError, match="reset"):
+            sim.apply_vector([1, 1, 1])
+
+    def test_unknown_logic(self, fig4_circuit):
+        with pytest.raises(SimulationError):
+            MultiDelaySimulator(fig4_circuit, logic="nine")
+
+    def test_missing_gates_default_to_one(self, fig4_circuit):
+        sim = MultiDelaySimulator(fig4_circuit, {"E": 2})
+        assert sim.max_delay == 2
+        assert sim.delays[sim.indexed.gate_ids["D"]] == 1

@@ -1,0 +1,84 @@
+"""Tests for identifier allocation and the static circuit report."""
+
+import pytest
+
+from repro.analysis.stats import circuit_report
+from repro.codegen.naming import NameAllocator, sanitize_identifier
+from repro.netlist.builder import CircuitBuilder
+from repro.pcset.simulator import PCSetSimulator
+
+
+class TestSanitize:
+    def test_plain_names_pass_through(self):
+        assert sanitize_identifier("G17") == "G17"
+        assert sanitize_identifier("net_4") == "net_4"
+
+    def test_invalid_characters_replaced(self):
+        assert sanitize_identifier("I<3>") == "I_3_"
+        assert sanitize_identifier("a.b/c") == "a_b_c"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_identifier("118gat") == "n118gat"
+
+    def test_reserved_words_suffixed(self):
+        assert sanitize_identifier("V") == "V_"
+        assert sanitize_identifier("while") == "while_"
+        assert sanitize_identifier("word") == "word_"
+
+    def test_empty_name(self):
+        assert sanitize_identifier("") == "n"
+
+
+class TestNameAllocator:
+    def test_stable_per_key(self):
+        names = NameAllocator()
+        assert names.get("x") == names.get("x")
+
+    def test_collisions_get_suffixes(self):
+        names = NameAllocator()
+        first = names.get("a.b")
+        second = names.get("a/b")
+        assert first == "a_b"
+        assert second == "a_b_1"
+        assert "a.b" in names
+        assert "zzz" not in names
+
+    def test_suggestion_used(self):
+        names = NameAllocator()
+        assert names.get("net@3", "net_3") == "net_3"
+
+
+class TestAwkwardNetNames:
+    def test_pcset_handles_hostile_names(self):
+        b = CircuitBuilder("hostile")
+        b._circuit.add_net("1in", is_input=True)
+        b._circuit.add_net("V", is_input=True)
+        b._circuit.add_gate(
+            __import__("repro.logic", fromlist=["GateType"]).GateType.AND,
+            "out<0>", ["1in", "V"],
+        )
+        b._circuit.add_net("out<0>", is_output=True)
+        circuit = b.build()
+        sim = PCSetSimulator(circuit)
+        sim.reset([0, 0])
+        sim.apply_vector([1, 1])
+        assert sim.final_values() == {"out<0>": 1}
+
+
+class TestCircuitReport:
+    def test_full_report(self, fig4_circuit):
+        report = circuit_report(fig4_circuit, word_width=8)
+        assert report["gates"] == 2
+        assert report["depth"] == 2
+        assert report["levels"] == 3
+        assert report["words"] == 1
+        assert report["pc_elements"] == 6
+        assert report["shifts_unoptimized"] == 2
+        assert report["shifts_pathtrace"] == 0
+        assert report["width_unoptimized"] == 3
+        assert report["width_pathtrace"] == 2
+
+    def test_fast_report_skips_alignments(self, fig4_circuit):
+        report = circuit_report(fig4_circuit, include_alignments=False)
+        assert "shifts_pathtrace" not in report
+        assert report["nets"] == 5

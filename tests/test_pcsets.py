@@ -1,0 +1,164 @@
+"""Tests for the PC-set algorithm (§2) and zero insertion."""
+
+import pytest
+
+from repro.analysis.levelize import levelize
+from repro.analysis.pcsets import (
+    compute_pc_sets,
+    zero_insertion_targets,
+)
+from repro.netlist.builder import CircuitBuilder
+
+
+def brute_force_path_lengths(circuit, net_name):
+    """All path lengths from the primary inputs to ``net_name``.
+
+    Lemma 1 (§2) says this set *is* the PC-set; the recursive
+    enumeration below is the specification the queue algorithm must
+    match.
+    """
+    memo: dict[str, set[int]] = {}
+
+    def lengths(net: str) -> set[int]:
+        if net in memo:
+            return memo[net]
+        driver = circuit.nets[net].driver
+        if driver is None:
+            memo[net] = {0}
+            return memo[net]
+        gate = circuit.gates[driver]
+        if gate.fan_in == 0:
+            memo[net] = {0}
+            return memo[net]
+        union: set[int] = set()
+        for in_net in gate.inputs:
+            union |= {length + 1 for length in lengths(in_net)}
+        memo[net] = union
+        return union
+
+    return lengths(net_name)
+
+
+def test_fig4_pc_sets(fig4_circuit):
+    pc = compute_pc_sets(fig4_circuit)
+    assert pc.net_pc_set("A") == (0,)
+    assert pc.net_pc_set("D") == (1,)
+    assert pc.net_pc_set("E") == (1, 2)
+    assert pc.gate_pc_set("E") == (1, 2)
+
+
+def test_fig3_zero_insertion(fig4_circuit):
+    pc = compute_pc_sets(fig4_circuit)
+    added = pc.apply_zero_insertion()
+    # D (minlevel 1) feeds E together with C (minlevel 0): D retains.
+    assert added == {"D"}
+    assert pc.net_pc_set("D") == (0, 1)
+    assert pc.raw_net_pc_sets["D"] == (1,)
+    # Idempotent.
+    pc.apply_zero_insertion()
+    assert pc.net_pc_set("D") == (0, 1)
+
+
+def test_fig2_shape():
+    """A gate whose inputs have PC-sets {2,3}, {3}, {2,4} gets {3,4,5}."""
+    b = CircuitBuilder("fig2")
+    a = b.input("A")
+    # chains producing the desired PC-sets:
+    d1 = b.buf(None, a)            # {1}
+    d2 = b.buf(None, d1)           # {2}
+    d3 = b.buf(None, d2)           # {3}
+    in1 = b.or_("IN1", d1, d2)     # {2,3}
+    in2 = b.buf("IN2", d2)         # {3}
+    in3 = b.or_("IN3", d1, d3)     # {2,4}
+    g = b.and_("G", in1, in2, in3)
+    b.outputs(g)
+    pc = compute_pc_sets(b.build())
+    assert pc.net_pc_set("IN1") == (2, 3)
+    assert pc.net_pc_set("IN2") == (3,)
+    assert pc.net_pc_set("IN3") == (2, 4)
+    assert pc.net_pc_set("G") == (3, 4, 5)
+
+
+def test_pc_sets_match_brute_force(small_random_circuit):
+    pc = compute_pc_sets(small_random_circuit)
+    for net_name in small_random_circuit.nets:
+        expected = brute_force_path_lengths(small_random_circuit, net_name)
+        assert set(pc.net_pc_set(net_name)) == expected, net_name
+
+
+def test_pc_set_contains_level_and_minlevel(small_random_circuit):
+    lev = levelize(small_random_circuit)
+    pc = compute_pc_sets(small_random_circuit, lev)
+    for net_name in small_random_circuit.nets:
+        pcset = pc.net_pc_set(net_name)
+        assert pcset[0] == lev.net_minlevels[net_name]
+        assert pcset[-1] == lev.net_levels[net_name]
+        # Size bound from §2.
+        assert len(pcset) <= (
+            lev.net_levels[net_name] - lev.net_minlevels[net_name] + 1
+        )
+
+
+def test_latest_change_rules(fig4_circuit):
+    pc = compute_pc_sets(fig4_circuit)
+    pc.apply_zero_insertion()
+    assert pc.latest_change_before("D", 2) == 1
+    assert pc.latest_change_before("D", 1) == 0
+    assert pc.latest_change_at_or_before("D", 1) == 1
+    assert pc.latest_change_at_or_before("E", 1) == 1
+    with pytest.raises(ValueError, match="no PC element"):
+        pc.latest_change_before("A", 0)
+
+
+def test_latest_change_requires_zero_insertion(fig4_circuit):
+    pc = compute_pc_sets(fig4_circuit)
+    with pytest.raises(ValueError, match="zero insertion"):
+        pc.latest_change_before("D", 1)
+
+
+def test_output_pc_set_is_union(fig4_circuit):
+    pc = compute_pc_sets(fig4_circuit)
+    pc.apply_zero_insertion(["D", "E"])
+    assert pc.output_pc_set(["D", "E"]) == (1, 2)
+    assert pc.output_pc_set(["D"]) == (1,)
+
+
+def test_zero_insertion_monitored_as_print_gate():
+    # Monitored nets with differing minlevels behave like gate inputs.
+    b = CircuitBuilder("mon")
+    a, c = b.inputs("A", "C")
+    d = b.buf("D", a)
+    b.outputs(d, c)
+    circuit = b.build()
+    lev = levelize(circuit)
+    targets = zero_insertion_targets(circuit, lev)
+    assert targets == {"D"}
+
+
+def test_unary_gates_never_force_insertion():
+    b = CircuitBuilder("unary")
+    a = b.input("A")
+    n1 = b.not_("N1", a)
+    n2 = b.not_("N2", n1)
+    b.outputs(n2)
+    circuit = b.build()
+    pc = compute_pc_sets(circuit)
+    assert pc.apply_zero_insertion() == set()
+
+
+def test_constant_pc_set():
+    b = CircuitBuilder("const")
+    a = b.input("A")
+    one = b.const1("ONE")
+    out = b.and_("OUT", a, one)
+    b.outputs(out)
+    pc = compute_pc_sets(b.build())
+    assert pc.net_pc_set("ONE") == (0,)
+    assert pc.net_pc_set("OUT") == (1,)
+
+
+def test_totals(fig4_circuit):
+    pc = compute_pc_sets(fig4_circuit)
+    assert pc.total_elements() == 1 + 1 + 1 + 1 + 2  # A B C D E
+    assert pc.max_size() == 2
+    assert "fig4" in repr(pc)

@@ -1,0 +1,81 @@
+"""Tests for the random circuit generators."""
+
+import pytest
+
+from repro.analysis.levelize import levelize
+from repro.errors import NetlistError
+from repro.netlist.bench import write_bench
+from repro.netlist.random_circuits import layered_circuit, random_dag_circuit
+
+
+class TestRandomDag:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid_and_acyclic(self, seed):
+        circuit = random_dag_circuit(seed, num_inputs=5, num_gates=30)
+        circuit.validate()
+        assert circuit.is_acyclic()
+        assert circuit.num_gates == 30
+        assert len(circuit.inputs) == 5
+        assert circuit.outputs
+
+    def test_deterministic(self):
+        a = random_dag_circuit(3)
+        b = random_dag_circuit(3)
+        assert write_bench(a) == write_bench(b)
+
+    def test_sinks_monitored(self):
+        circuit = random_dag_circuit(0, num_inputs=4, num_gates=15)
+        for net_name, net in circuit.nets.items():
+            if net.driver is not None and not net.fanout:
+                assert net.is_output
+
+    def test_guards(self):
+        with pytest.raises(NetlistError):
+            random_dag_circuit(0, num_inputs=0)
+        with pytest.raises(NetlistError):
+            random_dag_circuit(0, num_gates=0)
+
+
+class TestLayered:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_gate_count_and_depth(self, seed):
+        circuit = layered_circuit(
+            seed, num_inputs=8, num_gates=120, depth=17, num_outputs=5
+        )
+        circuit.validate()
+        stats = circuit.stats()
+        assert stats.num_gates == 120
+        assert stats.depth == 17
+        assert stats.num_inputs == 8
+        assert stats.num_outputs == 5
+
+    def test_minimal_chain(self):
+        circuit = layered_circuit(
+            1, num_inputs=2, num_gates=10, depth=10
+        )
+        assert circuit.stats().depth == 10
+
+    def test_every_level_populated(self):
+        circuit = layered_circuit(
+            2, num_inputs=4, num_gates=50, depth=12
+        )
+        lev = levelize(circuit)
+        populated = {lev.gate_levels[g] for g in circuit.gates}
+        assert populated == set(range(1, 13))
+
+    def test_deterministic(self):
+        a = layered_circuit(9, num_inputs=4, num_gates=30, depth=6)
+        b = layered_circuit(9, num_inputs=4, num_gates=30, depth=6)
+        assert write_bench(a) == write_bench(b)
+
+    def test_guards(self):
+        with pytest.raises(NetlistError, match="depth"):
+            layered_circuit(0, num_inputs=2, num_gates=5, depth=0)
+        with pytest.raises(NetlistError, match="cannot reach"):
+            layered_circuit(0, num_inputs=2, num_gates=3, depth=5)
+
+    def test_output_padding_beyond_sinks(self):
+        circuit = layered_circuit(
+            4, num_inputs=4, num_gates=40, depth=8, num_outputs=20
+        )
+        assert len(circuit.outputs) == 20

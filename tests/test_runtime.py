@@ -1,0 +1,125 @@
+"""Tests for the execution backends (Machine protocol)."""
+
+import pytest
+
+from repro.codegen.program import Assign, Bin, Const, Emit, Input, Program, Var
+from repro.codegen.runtime import (
+    CMachine,
+    PythonMachine,
+    compile_program,
+    have_c_compiler,
+)
+from repro.errors import BackendError
+
+NEED_CC = pytest.mark.skipif(
+    have_c_compiler() is None, reason="no C compiler available"
+)
+
+
+def _counter_program() -> Program:
+    """x' = x | V[0]; emits x."""
+    p = Program("counter", word_width=16, inputs=["IN"])
+    p.declare("x", 0)
+    p.body.append(Assign("x", Bin("|", Var("x"), Input(0))))
+    p.output.append(Emit(Var("x"), ("x",)))
+    return p
+
+
+class TestPythonMachine:
+    def test_step_and_outputs(self):
+        machine = PythonMachine(_counter_program())
+        assert machine.step([0b01]) == [0b01]
+        assert machine.step([0b10]) == [0b11]
+        assert machine.num_inputs == 1
+        assert machine.num_state == 1
+        assert machine.output_labels() == [("x",)]
+
+    def test_state_roundtrip(self):
+        machine = PythonMachine(_counter_program())
+        machine.step([7])
+        assert machine.dump_state() == [7]
+        machine.load_state([0x1FFFF])  # masked to 16 bits
+        assert machine.dump_state() == [0xFFFF]
+        assert machine.state_dict() == {"x": 0xFFFF}
+
+    def test_load_state_length_checked(self):
+        machine = PythonMachine(_counter_program())
+        with pytest.raises(BackendError, match="state has 1"):
+            machine.load_state([1, 2])
+
+    def test_source_attached(self):
+        machine = PythonMachine(_counter_program())
+        assert "def machine():" in machine.source
+
+
+@NEED_CC
+class TestCMachine:
+    def test_step_and_state(self):
+        machine = CMachine(_counter_program())
+        assert machine.step([5]) == [5]
+        assert machine.dump_state() == [5]
+        machine.load_state([0])
+        assert machine.step([2]) == [2]
+        machine.cleanup()
+
+    def test_step_many(self):
+        machine = CMachine(_counter_program())
+        machine.step_many([[1], [2], [4]])
+        assert machine.dump_state() == [7]
+
+    def test_compile_failure_reported(self, monkeypatch):
+        program = _counter_program()
+        # Sabotage the source through a bogus variable name that only
+        # the C compiler rejects.
+        program.state_vars.append("1bad")
+        program.state_init["1bad"] = 0
+        with pytest.raises(BackendError, match="compilation failed"):
+            CMachine(program)
+
+    def test_keep_artifacts(self, tmp_path):
+        machine = CMachine(
+            _counter_program(), keep_artifacts=True,
+            work_dir=str(tmp_path),
+        )
+        machine.cleanup()
+        assert list(tmp_path.glob("*.c"))
+        assert list(tmp_path.glob("*.so"))
+
+    def test_load_state_length_checked(self):
+        machine = CMachine(_counter_program())
+        with pytest.raises(BackendError):
+            machine.load_state([])
+
+
+class TestCompileProgram:
+    def test_backend_selection(self):
+        assert isinstance(
+            compile_program(_counter_program(), "python"), PythonMachine
+        )
+        with pytest.raises(BackendError, match="unknown backend"):
+            compile_program(_counter_program(), "fortran")
+
+    @NEED_CC
+    def test_c_selection(self):
+        assert isinstance(
+            compile_program(_counter_program(), "c"), CMachine
+        )
+
+    def test_have_c_compiler_cached(self):
+        first = have_c_compiler()
+        assert have_c_compiler() == first
+
+
+def test_opt_level_auto_downgrade():
+    from repro.codegen.program import Assign, Bin, Program, Var
+
+    small = _counter_program()
+    assert CMachine(small).opt_level == "-O1"
+    # A synthetic program over the line threshold drops to -O0.
+    big = Program("big", word_width=32, inputs=["IN"])
+    big.declare("x")
+    for _ in range(CMachine.O0_LINE_THRESHOLD + 1):
+        big.body.append(Assign("x", Bin("&", Var("x"), Var("x"))))
+    machine = CMachine(big)
+    assert machine.opt_level == "-O0"
+    machine.cleanup()

@@ -1,0 +1,105 @@
+"""Tests for the §1 flip-flop-breaking transform and clocked stepping."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.eventsim.zerodelay import steady_state
+from repro.netlist.bench import parse_bench_sequential
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.sequential import SequentialCircuit, break_at_flipflops
+
+
+def _toggle_core():
+    """D = XOR(Q, EN): a 1-bit counter with enable, Q as pseudo-PI."""
+    b = CircuitBuilder("toggle")
+    en = b.input("EN")
+    q = b.input("Q")
+    d = b.xor("D", q, en)
+    out = b.buf("OUT", q)
+    b.outputs(out)
+    return b.build()
+
+
+def test_break_at_flipflops_marks_pins():
+    seq = break_at_flipflops(_toggle_core(), {"Q": "D"})
+    assert seq.num_flipflops == 1
+    assert seq.external_inputs == ["EN"]
+    assert seq.external_outputs == ["OUT"]
+    assert "D" in seq.core.outputs
+
+
+def test_break_requires_q_as_core_input():
+    b = CircuitBuilder("bad")
+    a = b.input("A")
+    q = b.not_("Qn", a)  # driven net, not a pseudo input
+    b.outputs(q)
+    with pytest.raises(NetlistError, match="not a core input"):
+        break_at_flipflops(b.build(), {"Qn": "A"})
+
+
+def test_break_requires_existing_d_net():
+    with pytest.raises(NetlistError, match="MISSING"):
+        break_at_flipflops(_toggle_core(), {"Q": "MISSING"})
+
+
+def _evaluate(core):
+    return lambda inputs: steady_state(core, inputs)
+
+
+def test_toggle_counts_clock_cycles():
+    seq = break_at_flipflops(_toggle_core(), {"Q": "D"})
+    evaluate = _evaluate(seq.core)
+    state = seq.initial_state()
+    observed = []
+    for cycle in range(6):
+        state, outputs = seq.step(evaluate, state, {"EN": 1})
+        observed.append(outputs["OUT"])
+    # OUT shows Q *before* the clock edge: 0,1,0,1,...
+    assert observed == [0, 1, 0, 1, 0, 1]
+
+
+def test_enable_holds_state():
+    seq = break_at_flipflops(_toggle_core(), {"Q": "D"})
+    evaluate = _evaluate(seq.core)
+    state = {"Q": 1}
+    state, outputs = seq.step(evaluate, state, {"EN": 0})
+    assert state == {"Q": 1}
+    assert outputs == {"OUT": 1}
+
+
+def test_three_bit_counter_from_bench():
+    text = """
+INPUT(EN)
+OUTPUT(B0)
+OUTPUT(B1)
+OUTPUT(B2)
+Q0 = DFF(D0)
+Q1 = DFF(D1)
+Q2 = DFF(D2)
+D0 = XOR(Q0, EN)
+T1 = AND(Q0, EN)
+D1 = XOR(Q1, T1)
+T2 = AND(Q1, T1)
+D2 = XOR(Q2, T2)
+B0 = BUF(Q0)
+B1 = BUF(Q1)
+B2 = BUF(Q2)
+"""
+    seq = parse_bench_sequential(text, "counter3")
+    assert seq.num_flipflops == 3
+    evaluate = _evaluate(seq.core)
+    state = seq.initial_state()
+    values = []
+    for _ in range(10):
+        state, outputs = seq.step(evaluate, state, {"EN": 1})
+        values.append(
+            outputs["B0"] | (outputs["B1"] << 1) | (outputs["B2"] << 2)
+        )
+    assert values == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+
+def test_initial_state_value():
+    seq = break_at_flipflops(_toggle_core(), {"Q": "D"})
+    assert seq.initial_state() == {"Q": 0}
+    assert seq.initial_state(1) == {"Q": 1}
+    assert "toggle" in repr(seq)

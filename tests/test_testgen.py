@@ -1,0 +1,92 @@
+"""Tests for random-pattern test generation and compaction."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults.model import Fault, full_fault_list
+from repro.faults.simulator import run_fault_simulation
+from repro.faults.testgen import compact_tests, generate_tests
+from repro.harness.vectors import vectors_for
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.generators import ripple_carry_adder
+from repro.netlist.random_circuits import random_dag_circuit
+
+
+class TestGenerateTests:
+    def test_reaches_full_coverage_on_adder(self):
+        circuit = ripple_carry_adder(3)
+        tests = generate_tests(circuit, max_vectors=400, seed=1,
+                               word_width=32)
+        assert tests.coverage == 1.0
+        assert len(tests) < 400  # only useful vectors kept
+        # The kept set really achieves the reported coverage.
+        regraded = run_fault_simulation(
+            circuit, tests.vectors, word_width=32
+        )
+        assert regraded.coverage == 1.0
+
+    def test_respects_budget(self):
+        circuit = ripple_carry_adder(4)
+        tests = generate_tests(circuit, max_vectors=3, chunk=3, seed=2)
+        assert tests.coverage < 1.0
+        assert len(tests) <= 3
+
+    def test_target_coverage_stops_early(self):
+        circuit = ripple_carry_adder(3)
+        tests = generate_tests(circuit, target_coverage=0.5,
+                               max_vectors=400, chunk=4, seed=3)
+        assert 0.5 <= tests.coverage <= 1.0
+
+    def test_redundant_fault_never_blocks(self):
+        b = CircuitBuilder("mux_rc")
+        a, bb, s = b.inputs("A", "B", "S")
+        sn = b.not_("SN", s)
+        b.outputs(b.or_(
+            "OUT", b.and_("P", a, s), b.and_("Q", bb, sn),
+            b.and_("R", a, bb),
+        ))
+        circuit = b.build()
+        tests = generate_tests(circuit, max_vectors=64, chunk=8,
+                               seed=4, word_width=8)
+        assert Fault("R", 0) in tests.report.undetected
+        assert tests.coverage < 1.0
+
+    def test_bad_target(self):
+        with pytest.raises(SimulationError):
+            generate_tests(ripple_carry_adder(2), target_coverage=1.5)
+
+    def test_repr(self):
+        tests = generate_tests(ripple_carry_adder(2), max_vectors=50,
+                               seed=5)
+        assert "coverage" in repr(tests)
+
+
+class TestCompactTests:
+    def test_coverage_preserved(self):
+        circuit = ripple_carry_adder(3)
+        vectors = vectors_for(circuit, 120, seed=6)
+        before = run_fault_simulation(circuit, vectors, word_width=32)
+        compacted = compact_tests(circuit, vectors, word_width=32)
+        assert compacted.coverage == before.coverage
+        assert len(compacted) < len(vectors)
+
+    def test_reverse_pass_not_worse(self):
+        circuit = ripple_carry_adder(2)
+        vectors = vectors_for(circuit, 60, seed=7)
+        stage1 = compact_tests(circuit, vectors, reverse_pass=False)
+        stage2 = compact_tests(circuit, vectors, reverse_pass=True)
+        assert stage2.coverage == stage1.coverage
+        assert len(stage2) <= len(stage1)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_circuits(self, seed):
+        circuit = random_dag_circuit(seed + 90, num_inputs=4,
+                                     num_gates=12)
+        vectors = vectors_for(circuit, 40, seed=seed)
+        faults = full_fault_list(circuit)
+        before = run_fault_simulation(circuit, vectors, faults,
+                                      word_width=8)
+        compacted = compact_tests(circuit, vectors, faults=faults,
+                                  word_width=8)
+        assert compacted.coverage == pytest.approx(before.coverage)
+        assert len(compacted) <= len(vectors)

@@ -1,0 +1,161 @@
+"""Tests for netlist transformations (cones, pruning, constants)."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.eventsim.zerodelay import steady_state
+from repro.harness.vectors import vectors_for
+from repro.logic import GateType
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.random_circuits import random_dag_circuit
+from repro.netlist.transform import (
+    fanin_cone,
+    propagate_constants,
+    prune_dead_logic,
+)
+
+
+class TestFaninCone:
+    def test_extracts_only_needed_logic(self):
+        b = CircuitBuilder("two_cones")
+        a, c, e = b.inputs("A", "C", "E")
+        left = b.not_("L", a)
+        right = b.not_("R", e)
+        b.outputs(b.and_("OL", left, c), b.and_("OR", right, c))
+        circuit = b.build()
+        cone = fanin_cone(circuit, ["OL"])
+        assert set(cone.gates) == {"L", "OL"}
+        assert cone.inputs == ["A", "C"]
+        assert cone.outputs == ["OL"]
+
+    def test_cone_function_preserved(self, small_random_circuit):
+        target = small_random_circuit.outputs[0]
+        cone = fanin_cone(small_random_circuit, [target])
+        for vector in vectors_for(small_random_circuit, 10, seed=1):
+            full = steady_state(small_random_circuit, vector)
+            sub = steady_state(
+                cone, {n: full[n] for n in cone.inputs}
+            )
+            assert sub[target] == full[target]
+
+    def test_unknown_target(self, fig4_circuit):
+        with pytest.raises(NetlistError):
+            fanin_cone(fig4_circuit, ["GHOST"])
+
+
+class TestPruneDeadLogic:
+    def test_drops_unobserved_gates(self):
+        b = CircuitBuilder("dead")
+        a, c = b.inputs("A", "C")
+        live = b.and_("LIVE", a, c)
+        b.not_("DEAD1", a)
+        b.outputs(live)
+        circuit = b.build()
+        pruned = prune_dead_logic(circuit)
+        assert "DEAD1" not in pruned.gates
+        assert pruned.inputs == ["A", "C"]  # interface preserved
+        assert pruned.outputs == ["LIVE"]
+
+    def test_function_preserved(self, small_random_circuit):
+        pruned = prune_dead_logic(small_random_circuit)
+        for vector in vectors_for(small_random_circuit, 10, seed=2):
+            full = steady_state(small_random_circuit, vector)
+            slim = steady_state(pruned, vector)
+            for net_name in small_random_circuit.outputs:
+                assert slim[net_name] == full[net_name]
+
+    def test_requires_outputs(self):
+        b = CircuitBuilder("none")
+        a = b.input("A")
+        b.not_("N", a)
+        with pytest.raises(NetlistError, match="monitored"):
+            prune_dead_logic(b.build(validate=False))
+
+
+class TestPropagateConstants:
+    def build_with_constants(self):
+        b = CircuitBuilder("consts")
+        a, c = b.inputs("A", "C")
+        one = b.const1("ONE")
+        zero = b.const0("ZERO")
+        b.outputs(
+            b.and_("P", a, one),        # identity -> BUF(A)
+            b.and_("Q", a, zero),       # controlled -> CONST0
+            b.or_("R", c, one),         # controlled -> CONST1
+            b.xor("S", a, one),         # parity flip -> NOT(A)
+            b.nand("T", a, zero),       # controlled -> CONST1
+            b.xnor("U", a, c, one),     # parity flip -> XOR(A, C)
+        )
+        return b.build()
+
+    def test_folding_shapes(self):
+        folded = propagate_constants(self.build_with_constants())
+        assert folded.gates["P"].gate_type is GateType.BUF
+        assert folded.gates["Q"].gate_type is GateType.CONST0
+        assert folded.gates["R"].gate_type is GateType.CONST1
+        assert folded.gates["S"].gate_type is GateType.NOT
+        assert folded.gates["T"].gate_type is GateType.CONST1
+        assert folded.gates["U"].gate_type is GateType.XOR
+        assert folded.gates["U"].inputs == ["A", "C"]
+
+    def test_function_preserved_exhaustively(self):
+        circuit = self.build_with_constants()
+        folded = propagate_constants(circuit)
+        for v in range(4):
+            vector = [v & 1, (v >> 1) & 1]
+            assert steady_state(circuit, vector) | {} and True
+            full = steady_state(circuit, vector)
+            slim = steady_state(folded, vector)
+            for net_name in circuit.outputs:
+                assert slim[net_name] == full[net_name], (vector,
+                                                          net_name)
+
+    def test_cascaded_constants_collapse(self):
+        b = CircuitBuilder("cascade")
+        a = b.input("A")
+        one = b.const1()
+        n1 = b.not_("N1", one)          # -> 0
+        n2 = b.or_("N2", n1, b.const0())  # -> 0
+        b.outputs(b.or_("Z", a, n2))    # -> BUF(A)
+        folded = propagate_constants(b.build())
+        assert folded.gates["Z"].gate_type is GateType.BUF
+        assert folded.gates["N1"].gate_type is GateType.CONST0
+        assert folded.gates["N2"].gate_type is GateType.CONST0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_with_injected_constants(self, seed):
+        base = random_dag_circuit(seed + 80, num_inputs=3,
+                                  num_gates=12)
+        # Splice constants into a copy by rebuilding with two extra
+        # constant nets wired into the first two gates.
+        b = CircuitBuilder(base.name + "_k")
+        for net_name in base.inputs:
+            b.input(net_name)
+        one = b.const1("K1")
+        zero = b.const0("K0")
+        for index, gate in enumerate(base.topological_gates()):
+            inputs = list(gate.inputs)
+            if index == 0 and gate.fan_in >= 2:
+                inputs[0] = one
+            elif index == 1 and gate.fan_in >= 2:
+                inputs[1] = zero
+            b._circuit.add_gate(gate.gate_type, gate.output, inputs,
+                                name=gate.name)
+        for net_name in base.outputs:
+            b.output(net_name)
+        circuit = b.build()
+        folded = propagate_constants(circuit)
+        for vector in vectors_for(circuit, 12, seed=seed):
+            full = steady_state(circuit, vector)
+            slim = steady_state(folded, vector)
+            for net_name in circuit.outputs:
+                assert slim[net_name] == full[net_name]
+
+    def test_folded_circuit_still_compiles(self):
+        circuit = propagate_constants(self.build_with_constants())
+        from repro.harness.compare import cross_validate
+
+        cross_validate(
+            circuit, vectors_for(circuit, 5, seed=3),
+            techniques=("pcset", "parallel-best"),
+        )

@@ -1,0 +1,98 @@
+"""Tests for the packed equivalence checker."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.generators import carry_lookahead_adder, ripple_carry_adder
+from repro.netlist.random_circuits import random_dag_circuit
+from repro.netlist.transform import propagate_constants, prune_dead_logic
+from repro.verify import check_equivalence
+
+
+class TestExhaustive:
+    def test_adder_architectures_equivalent(self):
+        # Ripple vs carry-lookahead: same function, different structure
+        # (CLA output/net names differ internally but the S*/COUT
+        # interface matches).
+        golden = ripple_carry_adder(4)
+        candidate = carry_lookahead_adder(4)
+        result = check_equivalence(golden, candidate)
+        assert result
+        assert result.exhaustive
+        assert result.vectors_checked == 1 << 9
+
+    def test_detects_single_minterm_difference(self):
+        b1 = CircuitBuilder("g")
+        a, c = b1.inputs("A", "B")
+        b1.outputs(b1.and_("Z", a, c))
+        golden = b1.build()
+        b2 = CircuitBuilder("c")
+        a, c = b2.inputs("A", "B")
+        b2.outputs(b2.or_("Z", a, c))
+        candidate = b2.build()
+        result = check_equivalence(golden, candidate)
+        assert not result
+        assert result.mismatched_outputs == ["Z"]
+        # AND and OR differ exactly where one input is high.
+        values = result.counterexample
+        assert values["A"] != values["B"]
+
+    def test_demorgan_identity(self):
+        b1 = CircuitBuilder("nand")
+        a, c = b1.inputs("A", "B")
+        b1.outputs(b1.nand("Z", a, c))
+        b2 = CircuitBuilder("demorgan")
+        a, c = b2.inputs("A", "B")
+        b2.outputs(b2.or_("Z", b2.not_("NA", a), b2.not_("NB", c)))
+        assert check_equivalence(b1.build(), b2.build())
+
+
+class TestTransformsAreEquivalent:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_prune_equivalent(self, seed):
+        circuit = random_dag_circuit(seed + 100, num_inputs=5,
+                                     num_gates=16)
+        result = check_equivalence(circuit, prune_dead_logic(circuit))
+        assert result and result.exhaustive
+
+    def test_constant_propagation_equivalent(self):
+        b = CircuitBuilder("k")
+        a, c = b.inputs("A", "C")
+        one = b.const1("ONE")
+        b.outputs(b.and_("P", a, one), b.xor("S", c, one))
+        circuit = b.build()
+        assert check_equivalence(circuit, propagate_constants(circuit))
+
+
+class TestSampledMode:
+    def test_wide_circuit_uses_sampling(self):
+        golden = ripple_carry_adder(12)   # 25 inputs > 20
+        result = check_equivalence(
+            golden, golden.copy(), random_vectors=512
+        )
+        assert result
+        assert not result.exhaustive
+        assert result.vectors_checked == 512
+
+
+class TestGuards:
+    def test_interface_mismatch(self):
+        with pytest.raises(SimulationError, match="inputs"):
+            check_equivalence(ripple_carry_adder(2),
+                              ripple_carry_adder(3))
+
+    def test_output_mismatch(self):
+        b1 = CircuitBuilder("x")
+        a = b1.input("A")
+        b1.outputs(b1.not_("Z", a))
+        b2 = CircuitBuilder("y")
+        a = b2.input("A")
+        b2.outputs(b2.not_("W", a))
+        with pytest.raises(SimulationError, match="outputs"):
+            check_equivalence(b1.build(), b2.build())
+
+    def test_repr(self):
+        result = check_equivalence(ripple_carry_adder(2),
+                                   ripple_carry_adder(2))
+        assert "exhaustively" in repr(result)

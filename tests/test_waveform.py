@@ -1,0 +1,94 @@
+"""Tests for the VCD waveform exporter."""
+
+import io
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.eventsim.simulator import EventDrivenSimulator
+from repro.waveform import VCDWriter, _identifier, write_vcd
+
+
+class TestIdentifier:
+    def test_first_identifiers(self):
+        assert _identifier(0) == "!"
+        assert _identifier(1) == '"'
+
+    def test_distinct_for_many_signals(self):
+        ids = {_identifier(i) for i in range(5000)}
+        assert len(ids) == 5000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _identifier(-1)
+
+
+class TestVCDWriter:
+    def sample_history(self):
+        return {
+            "A": [(0, 1)],
+            "E": [(0, 0), (2, 1)],
+        }
+
+    def test_header_and_definitions(self):
+        writer = VCDWriter(2, ["A", "E"])
+        writer.add_vector(self.sample_history())
+        text = writer.render()
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 1 ! A $end" in text
+        assert '$var wire 1 " E $end' in text
+        assert "$enddefinitions $end" in text
+
+    def test_change_emission(self):
+        writer = VCDWriter(2, ["A", "E"])
+        writer.add_vector(self.sample_history())
+        text = writer.render()
+        assert "#0\n1!\n0\"" in text
+        assert "#2\n1\"" in text
+
+    def test_vector_spacing_and_dedup(self):
+        writer = VCDWriter(2, ["A", "E"])
+        writer.add_vector(self.sample_history())
+        # Second vector: A unchanged (no re-emission at its time 0),
+        # E falls at t=1 (absolute 4 + 1).
+        writer.add_vector({"A": [(0, 1)], "E": [(0, 1), (1, 0)]})
+        text = writer.render()
+        span = 2 + 2
+        assert f"#{span + 1}\n0\"" in text
+        # A's unchanged value is not re-dumped at the vector boundary.
+        assert text.count("1!") == 1
+
+    def test_nets_inferred_and_sorted(self):
+        writer = VCDWriter(2)
+        writer.add_vector(self.sample_history())
+        assert writer.render().index(" A ") < writer.render().index(" E ")
+
+    def test_missing_net_rejected(self):
+        writer = VCDWriter(2, ["A", "MISSING"])
+        with pytest.raises(SimulationError, match="MISSING"):
+            writer.add_vector(self.sample_history())
+
+    def test_empty_rejected(self):
+        writer = VCDWriter(2, ["A"])
+        with pytest.raises(SimulationError, match="no vectors"):
+            writer.render()
+        with pytest.raises(SimulationError):
+            VCDWriter(-1)
+
+
+def test_write_vcd_end_to_end(fig4_circuit):
+    sim = EventDrivenSimulator(fig4_circuit)
+    sim.reset([0, 0, 0])
+    histories = [
+        sim.apply_vector(v, record=True)
+        for v in ([1, 1, 1], [1, 1, 0], [0, 1, 1])
+    ]
+    sink = io.StringIO()
+    write_vcd(histories, circuit_depth=2, stream=sink)
+    text = sink.getvalue()
+    assert text.startswith("$date")
+    # Every net of the circuit is declared once.
+    for net_name in fig4_circuit.nets:
+        assert f" {net_name} $end" in text
+    # Three vectors x span 4 -> final timestamp marker.
+    assert "#12\n" in text

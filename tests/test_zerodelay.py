@@ -1,0 +1,96 @@
+"""Tests for zero-delay simulation: interpreted and compiled LCC."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.eventsim.zerodelay import ZeroDelaySimulator, steady_state
+from repro.harness.vectors import vectors_for
+from repro.lcc.zerodelay import LCCSimulator, generate_lcc_program
+from repro.logic import X
+from repro.netlist.builder import CircuitBuilder
+
+
+def test_fig1_generated_code(fig1_circuit):
+    program = generate_lcc_program(fig1_circuit)
+    source = program.python_source()
+    # The exact Fig. 1 statements, in levelized order.
+    assert "D = A & B" in source
+    assert "E = C & D" in source
+    assert source.index("D = A & B") < source.index("E = C & D")
+
+
+def test_steady_state_is_fixed_point(small_random_circuit):
+    vector = [1] * len(small_random_circuit.inputs)
+    settled = steady_state(small_random_circuit, vector)
+    for gate in small_random_circuit.gates.values():
+        from repro.logic import eval_gate
+
+        expected = eval_gate(
+            gate.gate_type, [settled[i] for i in gate.inputs]
+        ) & 1
+        assert settled[gate.output] == expected
+
+
+def test_interpreted_matches_compiled(small_random_circuit):
+    interp = ZeroDelaySimulator(small_random_circuit)
+    compiled = LCCSimulator(small_random_circuit)
+    for vector in vectors_for(small_random_circuit, 25, seed=3):
+        expected = interp.evaluate(vector)
+        got = compiled.evaluate(vector)
+        for net_name in small_random_circuit.outputs:
+            assert expected[net_name] == got[net_name]
+
+
+def test_run_batch_checksums_agree(small_random_circuit):
+    vectors = vectors_for(small_random_circuit, 40, seed=9)
+    interp = ZeroDelaySimulator(small_random_circuit)
+    compiled = LCCSimulator(small_random_circuit)
+    assert interp.run_batch(vectors) == compiled.run_batch(vectors)
+
+
+def test_lcc_evaluate_all_nets(fig1_circuit):
+    sim = LCCSimulator(fig1_circuit)
+    values = sim.evaluate_all_nets([1, 1, 0])
+    assert values == {"A": 1, "B": 1, "C": 0, "D": 1, "E": 0}
+
+
+def test_lcc_packed_mode(fig1_circuit):
+    sim = LCCSimulator(fig1_circuit, word_width=32)
+    # Lane 0: A=B=C=1 -> E=1; lane 1: A=1,B=0,C=1 -> E=0.
+    packed = sim.evaluate_packed([0b11, 0b01, 0b11])
+    assert packed["E"] & 1 == 1
+    assert (packed["E"] >> 1) & 1 == 0
+
+
+def test_three_valued_zero_delay(fig1_circuit):
+    sim = ZeroDelaySimulator(fig1_circuit, logic="three")
+    out = sim.evaluate([0, X, X])
+    assert out["D"] == 0  # controlling 0
+    assert out["E"] == 0  # D=0 controls E = AND(C, D) despite C being X
+    out = sim.evaluate([1, X, X])
+    assert out["D"] == X
+    assert out["E"] == X
+
+
+def test_bad_logic_model(fig1_circuit):
+    with pytest.raises(SimulationError):
+        ZeroDelaySimulator(fig1_circuit, logic="five")
+
+
+def test_vector_shape_errors(fig1_circuit):
+    sim = LCCSimulator(fig1_circuit)
+    with pytest.raises(SimulationError, match="missing"):
+        sim.evaluate({"A": 1})
+    with pytest.raises(SimulationError, match="expected 3"):
+        sim.evaluate([1])
+
+
+def test_lcc_with_constants():
+    b = CircuitBuilder("k")
+    a = b.input("A")
+    one = b.const1("ONE")
+    b.outputs(b.and_("OUT", a, one), b.nor("N", a, b.const0("ZERO")))
+    circuit = b.build()
+    sim = LCCSimulator(circuit)
+    assert sim.evaluate([1]) == {"OUT": 1, "N": 0}
+    assert sim.evaluate([0]) == {"OUT": 0, "N": 1}
