@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick examples lint clean
+.PHONY: install check test bench bench-quick examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -10,6 +10,22 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# The pre-merge gate: byte-compile everything, run the tier-1 suite,
+# and import-smoke every benchmark module (catches drift in the
+# benchmark drivers without paying for a timed run).
+check:
+	PYTHONPATH=src $(PYTHON) -m compileall -q src
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
+	@for bench in benchmarks/bench_*.py; do \
+		echo "import $$bench"; \
+		PYTHONPATH=src:benchmarks $(PYTHON) -c \
+			"import importlib, os; \
+			 importlib.import_module( \
+			     os.path.splitext(os.path.basename('$$bench'))[0])" \
+			|| exit 1; \
+	done
+	@echo "check passed"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -8,7 +8,19 @@ packing/unpacking of state is needed.  The protocol:
 - prime with ``next(gen)``;
 - ``gen.send((0, V))`` runs one vector and returns the output list;
 - ``gen.send((1,))`` returns the persistent state (masked words);
-- ``gen.send((2, values))`` loads persistent state.
+- ``gen.send((2, values))`` loads persistent state;
+- ``gen.send((3, VS, OUT))`` runs the whole batch ``VS`` with the
+  vector loop *inside* the generated code, appending every emitted
+  word to the caller-supplied list ``OUT`` (flat, in vector order) and
+  returning ``OUT``.
+
+The batch opcode is what makes ``Machine.step_many`` cheap on this
+backend: one ``send`` drives thousands of vectors, so the per-vector
+generator-protocol round trip (tuple allocation, resume, yield,
+output-list allocation) disappears from the hot path.  Both opcodes
+share a single copy of the statement body — opcode 0 is just a batch
+of one — so generated source size (and ``compile()`` time) does not
+grow.
 
 Python ints are unbounded, so programs that shift left must mask each
 assignment to the word width (``Program.mask_assignments``); purely
@@ -155,16 +167,26 @@ def emit_python(program: Program) -> str:
         lines.append(f"    {name} = {program.state_init[name]}")
     lines.append("    cmd = yield None")
     lines.append("    while 1:")
-    lines.append("        if cmd[0] == 0:")
-    lines.append("            V = cmd[1]")
-    lines.append("            OUT = []")
+    lines.append("        op = cmd[0]")
+    lines.append("        if op == 0 or op == 3:")
+    lines.append("            if op == 0:")
+    lines.append("                VS = (cmd[1],)")
+    lines.append("                OUT = []")
+    lines.append("            else:")
+    lines.append("                VS = cmd[1]")
+    lines.append("                OUT = cmd[2]")
     lines.append("            _append = OUT.append")
-    body_indent = "            "
+    lines.append("            for V in VS:")
+    body_indent = "                "
     lines += _statement_lines(program.init, program, body_indent)
     lines += _statement_lines(program.body, program, body_indent)
     lines += _statement_lines(program.output, program, body_indent)
+    # A bare ``pass`` keeps the loop syntactically valid when every
+    # section is empty (or holds only comments); it compiles to no
+    # bytecode, so populated programs pay nothing for it.
+    lines.append(f"{body_indent}pass")
     lines.append("            cmd = yield OUT")
-    lines.append("        elif cmd[0] == 1:")
+    lines.append("        elif op == 1:")
     if program.state_vars:
         dump = ", ".join(f"{name} & MASK" for name in program.state_vars)
         lines.append(f"            cmd = yield [{dump}]")

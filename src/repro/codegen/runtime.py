@@ -11,16 +11,49 @@ Two backends share the :class:`Machine` interface:
   original work; use it for absolute performance numbers.
 
 ``compile_program(program, backend=...)`` picks one.
+
+Batched execution
+-----------------
+Both machines expose the same batch entry points, mirroring the
+generated ``run_block`` routine each backend compiles in:
+
+- ``run_block(vectors, out=None)`` drives the whole batch from inside
+  the generated code (the C library's compiled loop, or the Python
+  coroutine's in-frame loop); emitted words are appended flat to the
+  caller-supplied list ``out``, or discarded when ``out`` is ``None``
+  (the timing fast path).
+- ``step_many(vectors)`` returns per-vector output lists, bit-identical
+  to an equivalent per-vector ``step()`` loop.
+
+Every batch updates ``machine.counters`` (vectors run, wall time,
+vectors/second) so harness and benchmark reports can quote throughput
+without re-instrumenting call sites.
+
+Program cache
+-------------
+Repeated harness/benchmark runs rebuild identical programs; the
+module-level :class:`ProgramCache` memoizes the expensive compilation
+step keyed by ``(program fingerprint, backend, opt_level)``.  The
+fingerprint is a hash of the generated source, so any change to the
+program invalidates the entry.  Python entries cache the ``compile()``d
+code object; C entries cache the built artifacts, and every cache hit
+*copies* the shared library to a fresh path before ``dlopen`` — the
+dynamic loader dedupes loaded objects by inode, and a shared handle
+would alias the per-machine static state.
 """
 
 from __future__ import annotations
 
+import atexit
 import ctypes
+import hashlib
 import os
 import shutil
 import subprocess
 import tempfile
+import time
 import uuid
+from collections import OrderedDict
 from typing import Optional, Sequence
 
 from repro.codegen.program import Program
@@ -30,6 +63,11 @@ __all__ = [
     "Machine",
     "PythonMachine",
     "CMachine",
+    "BatchCounters",
+    "ProgramCache",
+    "program_cache",
+    "clear_program_cache",
+    "program_fingerprint",
     "compile_program",
     "have_c_compiler",
 ]
@@ -38,16 +76,19 @@ _C_COMPILER: Optional[str] = None
 _C_COMPILER_PROBED = False
 
 
-def have_c_compiler() -> Optional[str]:
+def have_c_compiler(force: bool = False) -> Optional[str]:
     """Path of a usable C compiler, or ``None``.
 
     Checks ``$CC`` then ``cc`` then ``gcc`` then ``clang``; probes once
-    and caches.
+    and caches.  Pass ``force=True`` to reprobe — needed when ``$CC``
+    changes after the first call (test fixtures and CI matrix jobs do
+    this), since the cached negative would otherwise stick forever.
     """
     global _C_COMPILER, _C_COMPILER_PROBED
-    if _C_COMPILER_PROBED:
+    if _C_COMPILER_PROBED and not force:
         return _C_COMPILER
     _C_COMPILER_PROBED = True
+    _C_COMPILER = None
     candidates = [os.environ.get("CC"), "cc", "gcc", "clang"]
     for candidate in candidates:
         if not candidate:
@@ -56,8 +97,137 @@ def have_c_compiler() -> Optional[str]:
         if path:
             _C_COMPILER = path
             return path
-    _C_COMPILER = None
     return None
+
+
+def program_fingerprint(source: str) -> str:
+    """Content hash of a generated source text (the cache key core)."""
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+class BatchCounters:
+    """Running totals of batched execution on one machine.
+
+    Updated by every ``run_block``/``step_many`` call; benchmark and
+    harness reports read ``vectors_per_second`` instead of timing the
+    call sites themselves.
+    """
+
+    __slots__ = ("batches", "vectors", "seconds")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.batches = 0
+        self.vectors = 0
+        self.seconds = 0.0
+
+    def record(self, vectors: int, seconds: float) -> None:
+        self.batches += 1
+        self.vectors += vectors
+        self.seconds += seconds
+
+    @property
+    def vectors_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.vectors / self.seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "vectors": self.vectors,
+            "seconds": self.seconds,
+            "vectors_per_second": self.vectors_per_second,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchCounters({self.vectors} vectors in {self.batches} "
+            f"batches, {self.seconds:.4f}s, "
+            f"{self.vectors_per_second:.0f} vec/s)"
+        )
+
+
+class ProgramCache:
+    """LRU cache of compiled artifacts keyed by program content.
+
+    Keys are ``(fingerprint, backend, opt_level)``.  Python entries are
+    code objects (each machine still ``exec``s its own namespace, so
+    machines never share state).  C entries are ``(c_path, so_path)``
+    pairs living in a cache-owned directory; machines copy the library
+    out before loading it, so each instance gets private statics.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._dir: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def artifact_dir(self) -> str:
+        """The cache-owned directory for C artifacts (lazily created)."""
+        if self._dir is None or not os.path.isdir(self._dir):
+            self._dir = tempfile.mkdtemp(prefix="repro_cache_")
+            atexit.register(shutil.rmtree, self._dir, ignore_errors=True)
+        return self._dir
+
+    def get(self, key: tuple):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            _key, evicted = self._entries.popitem(last=False)
+            self._discard(evicted)
+
+    def _discard(self, entry) -> None:
+        if isinstance(entry, tuple):
+            for path in entry:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    def clear(self) -> None:
+        for entry in self._entries.values():
+            self._discard(entry)
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_PROGRAM_CACHE = ProgramCache()
+
+
+def program_cache() -> ProgramCache:
+    """The process-wide compiled-program cache."""
+    return _PROGRAM_CACHE
+
+
+def clear_program_cache() -> None:
+    """Drop every cached artifact (mainly for tests)."""
+    _PROGRAM_CACHE.clear()
 
 
 class Machine:
@@ -65,12 +235,22 @@ class Machine:
 
     ``step(V)`` runs one vector (``V`` is a sequence of input words in
     the program's input order) and returns the emitted output words.
+    ``step_many(VS)``/``run_block(VS, out)`` run whole batches with the
+    vector loop inside the generated code (see the module docstring).
     ``dump_state()``/``load_state()`` expose the persistent variables in
     declaration order — this is how simulators seed the previous-vector
     steady state.
+
+    Machines are context managers: ``with compile_program(...) as m:``
+    guarantees backend artifacts are cleaned up (a no-op on the Python
+    backend).
     """
 
     program: Program
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.counters = BatchCounters()
 
     @property
     def num_inputs(self) -> int:
@@ -80,11 +260,50 @@ class Machine:
     def num_state(self) -> int:
         return len(self.program.state_vars)
 
+    @property
+    def num_outputs(self) -> int:
+        return len(self.program.output_labels())
+
     def output_labels(self) -> list[tuple]:
         return self.program.output_labels()
 
     def step(self, vector: Sequence[int]) -> list[int]:
         raise NotImplementedError
+
+    def run_block(
+        self,
+        vectors: Sequence[Sequence[int]],
+        out: Optional[list[int]] = None,
+        *,
+        masked: bool = False,
+    ) -> Optional[list[int]]:
+        """Run a batch inside the generated code.
+
+        Emitted words are appended flat (vector order) to ``out``;
+        ``out=None`` discards them — the timing fast path.  ``masked``
+        promises the vectors are already word-masked lists of the right
+        length (the simulator layer marshals once, outside any timed
+        region) and skips re-validation.
+        """
+        raise NotImplementedError
+
+    def step_many(
+        self,
+        vectors: Sequence[Sequence[int]],
+        *,
+        masked: bool = False,
+    ) -> list[list[int]]:
+        """Run a batch; return per-vector output lists.
+
+        Bit-identical to ``[self.step(v) for v in vectors]``, minus the
+        per-vector dispatch overhead.
+        """
+        flat: list[int] = []
+        self.run_block(vectors, flat, masked=masked)
+        n = self.num_outputs
+        if n == 0:
+            return [[] for _ in vectors]
+        return [flat[i:i + n] for i in range(0, len(flat), n)]
 
     def dump_state(self) -> list[int]:
         raise NotImplementedError
@@ -96,21 +315,66 @@ class Machine:
         """Persistent state keyed by variable name."""
         return dict(zip(self.program.state_vars, self.dump_state()))
 
+    def cleanup(self) -> None:
+        """Release backend artifacts (no-op unless a backend overrides)."""
+
+    def __enter__(self) -> "Machine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.cleanup()
+
 
 class PythonMachine(Machine):
     """Generated Python coroutine backend."""
 
-    def __init__(self, program: Program) -> None:
-        self.program = program
+    def __init__(self, program: Program, *, use_cache: bool = True) -> None:
+        super().__init__(program)
         self.source = program.python_source()
+        filename = f"<repro:{program.name}>"
+        code = None
+        key = None
+        if use_cache:
+            key = (program_fingerprint(self.source), "python", "")
+            code = _PROGRAM_CACHE.get(key)
+        if code is None:
+            code = compile(self.source, filename, "exec")
+            if key is not None:
+                _PROGRAM_CACHE.put(key, code)
         namespace: dict = {}
-        code = compile(self.source, f"<repro:{program.name}>", "exec")
         exec(code, namespace)
         self._gen = namespace["machine"]()
         next(self._gen)  # prime
 
+    def _marshal(self, vector: Sequence[int]) -> list[int]:
+        # Mask to the word width: Python ints are unbounded, while the
+        # C backend's ctypes buffers truncate silently — without this
+        # the two backends diverge on oversized inputs.
+        if len(vector) != self.num_inputs:
+            raise BackendError(
+                f"vector has {len(vector)} words, expected "
+                f"{self.num_inputs}"
+            )
+        mask = self.program.word_mask
+        return [value & mask for value in vector]
+
     def step(self, vector: Sequence[int]) -> list[int]:
-        return self._gen.send((0, vector))
+        return self._gen.send((0, self._marshal(vector)))
+
+    def run_block(
+        self,
+        vectors: Sequence[Sequence[int]],
+        out: Optional[list[int]] = None,
+        *,
+        masked: bool = False,
+    ) -> Optional[list[int]]:
+        if not masked:
+            vectors = [self._marshal(vector) for vector in vectors]
+        sink = [] if out is None else out
+        start = time.perf_counter()
+        self._gen.send((3, vectors, sink))
+        self.counters.record(len(vectors), time.perf_counter() - start)
+        return out
 
     def dump_state(self) -> list[int]:
         return self._gen.send((1,))
@@ -125,7 +389,14 @@ class PythonMachine(Machine):
 
 
 class CMachine(Machine):
-    """Generated C + system compiler + ctypes backend."""
+    """Generated C + system compiler + ctypes backend.
+
+    Owns a work directory holding the generated ``.c`` and the built
+    ``.so``.  The lifecycle contract: ``cleanup()`` removes both and —
+    when the directory was tool-created — the directory itself; it runs
+    automatically on ``__del__`` and on context-manager exit, and is
+    idempotent.  ``keep_artifacts=True`` disables all of it.
+    """
 
     _CTYPE = {
         8: ctypes.c_uint8,
@@ -147,25 +418,68 @@ class CMachine(Machine):
         opt_level: Optional[str] = None,
         keep_artifacts: bool = False,
         work_dir: Optional[str] = None,
+        use_cache: bool = True,
     ) -> None:
+        super().__init__(program)
+        self._cleaned = True  # nothing to clean until paths exist
         compiler = have_c_compiler()
         if compiler is None:
             raise BackendError(
                 "no C compiler found; use the python backend instead"
             )
-        self.program = program
         self.source = program.c_source()
         if opt_level is None:
             big = program.stats().source_lines > self.O0_LINE_THRESHOLD
             opt_level = "-O0" if big else "-O1"
         self.opt_level = opt_level
+        self._dir_owned = work_dir is None
         self._dir = work_dir or tempfile.mkdtemp(prefix="repro_c_")
         self._keep = keep_artifacts
         tag = uuid.uuid4().hex[:8]
         c_path = os.path.join(self._dir, f"{program.name}_{tag}.c")
         so_path = os.path.join(self._dir, f"{program.name}_{tag}.so")
-        with open(c_path, "w") as handle:
-            handle.write(self.source)
+        self._c_path = c_path
+        self._so_path = so_path
+        self._cleaned = False
+        key = (program_fingerprint(self.source), "c", opt_level)
+        cached = _PROGRAM_CACHE.get(key) if use_cache else None
+        if cached is not None:
+            # Copy (never link): the dynamic loader dedupes by inode,
+            # and a shared load would alias the static state words.
+            shutil.copy(cached[0], c_path)
+            shutil.copy(cached[1], so_path)
+        else:
+            with open(c_path, "w") as handle:
+                handle.write(self.source)
+            self._compile(compiler, opt_level, c_path, so_path)
+            if use_cache:
+                cache_dir = _PROGRAM_CACHE.artifact_dir()
+                cached_c = os.path.join(cache_dir, f"{key[0]}.c")
+                cached_so = os.path.join(
+                    cache_dir, f"{key[0]}_{opt_level.lstrip('-')}.so"
+                )
+                shutil.copy(c_path, cached_c)
+                shutil.copy(so_path, cached_so)
+                _PROGRAM_CACHE.put(key, (cached_c, cached_so))
+        self._lib = ctypes.CDLL(so_path)
+        word = self._CTYPE[program.word_width]
+        self._word = word
+        self._lib.step.argtypes = [
+            ctypes.POINTER(word), ctypes.POINTER(word)
+        ]
+        self._lib.dump_state.argtypes = [ctypes.POINTER(word)]
+        self._lib.load_state.argtypes = [ctypes.POINTER(word)]
+        self._lib.run_block.argtypes = [
+            ctypes.POINTER(word), ctypes.c_long, ctypes.POINTER(word)
+        ]
+        self._num_outputs = int(self._lib.num_outputs())
+        self._v_buffer = (word * max(1, self.num_inputs))()
+        self._out_buffer = (word * max(1, self._num_outputs))()
+        self._state_buffer = (word * max(1, self.num_state))()
+
+    def _compile(
+        self, compiler: str, opt_level: str, c_path: str, so_path: str
+    ) -> None:
         # -Bsymbolic binds the intra-library run_block -> step call at
         # link time; some sandboxed loaders cannot lazily resolve PLT
         # entries of dlopen'd libraries and would crash otherwise.
@@ -179,34 +493,18 @@ class CMachine(Machine):
             raise BackendError(
                 f"C compilation failed ({' '.join(cmd)}):\n{result.stderr}"
             )
-        self._lib = ctypes.CDLL(so_path)
-        word = self._CTYPE[program.word_width]
-        self._word = word
-        self._lib.step.argtypes = [
-            ctypes.POINTER(word), ctypes.POINTER(word)
-        ]
-        self._lib.dump_state.argtypes = [ctypes.POINTER(word)]
-        self._lib.load_state.argtypes = [ctypes.POINTER(word)]
-        self._lib.run_block.argtypes = [
-            ctypes.POINTER(word), ctypes.c_long
-        ]
-        self._num_outputs = int(self._lib.num_outputs())
-        self._v_buffer = (word * max(1, self.num_inputs))()
-        self._out_buffer = (word * max(1, self._num_outputs))()
-        self._state_buffer = (word * max(1, self.num_state))()
-        self._c_path = c_path
-        self._so_path = so_path
 
     def step(self, vector: Sequence[int]) -> list[int]:
+        if len(vector) != self.num_inputs:
+            raise BackendError(
+                f"vector has {len(vector)} words, expected "
+                f"{self.num_inputs}"
+            )
         buf = self._v_buffer
         for i, value in enumerate(vector):
-            buf[i] = value
+            buf[i] = value  # ctypes truncates to the word width
         self._lib.step(buf, self._out_buffer)
         return list(self._out_buffer[: self._num_outputs])
-
-    def step_many(self, vectors: Sequence[Sequence[int]]) -> None:
-        """Run many vectors, discarding outputs (timing fast path)."""
-        self.run_block(self.pack_block(vectors), len(vectors))
 
     def pack_block(self, vectors: Sequence[Sequence[int]]):
         """Marshal a vector batch into one contiguous C buffer.
@@ -215,20 +513,55 @@ class CMachine(Machine):
         ``run_block`` then drives the whole batch from inside the
         shared library with no per-vector interpreter work — matching
         the paper's timing, whose per-vector loop was compiled too.
+
+        Every vector must have exactly ``num_inputs`` words: a
+        mismatched vector would silently overrun into (or underfill)
+        the next vector's slot.
         """
-        width = max(1, self.num_inputs)
-        flat = (self._word * (width * max(1, len(vectors))))()
+        width = self.num_inputs
+        count = max(1, len(vectors))
+        flat = (self._word * (max(1, width) * count))()
         pos = 0
-        for vector in vectors:
+        for index, vector in enumerate(vectors):
+            if len(vector) != width:
+                raise BackendError(
+                    f"vector {index} has {len(vector)} words, expected "
+                    f"{width}"
+                )
             for value in vector:
                 flat[pos] = value
                 pos += 1
-            pos += width - len(vector)
         return flat
 
-    def run_block(self, packed, count: int) -> None:
-        """Run ``count`` packed vectors entirely inside the library."""
-        self._lib.run_block(packed, count)
+    def run_packed(
+        self, packed, count: int, out_buffer=None
+    ) -> None:
+        """Run ``count`` packed vectors entirely inside the library.
+
+        ``out_buffer`` is an optional ctypes array of at least
+        ``count * num_outputs`` words; ``None`` discards outputs.
+        """
+        start = time.perf_counter()
+        self._lib.run_block(packed, count, out_buffer)
+        self.counters.record(count, time.perf_counter() - start)
+
+    def run_block(
+        self,
+        vectors: Sequence[Sequence[int]],
+        out: Optional[list[int]] = None,
+        *,
+        masked: bool = False,
+    ) -> Optional[list[int]]:
+        # ``masked`` is accepted for interface symmetry; the ctypes
+        # buffer truncates to the word width either way.
+        packed = self.pack_block(vectors)
+        if out is None:
+            self.run_packed(packed, len(vectors))
+            return None
+        buffer = (self._word * max(1, len(vectors) * self._num_outputs))()
+        self.run_packed(packed, len(vectors), buffer)
+        out.extend(buffer[: len(vectors) * self._num_outputs])
+        return out
 
     def dump_state(self) -> list[int]:
         self._lib.dump_state(self._state_buffer)
@@ -246,14 +579,27 @@ class CMachine(Machine):
         self._lib.load_state(buf)
 
     def cleanup(self) -> None:
-        """Remove generated artifacts (no-op with keep_artifacts)."""
-        if self._keep:
+        """Remove generated artifacts (no-op with keep_artifacts).
+
+        Idempotent; called automatically by ``__del__`` and on context
+        exit.  Tool-created work directories are removed outright.
+        """
+        if self._cleaned or self._keep:
             return
+        self._cleaned = True
         for path in (self._c_path, self._so_path):
             try:
                 os.unlink(path)
             except OSError:
                 pass
+        if self._dir_owned:
+            shutil.rmtree(self._dir, ignore_errors=True)
+
+    def __del__(self) -> None:
+        try:
+            self.cleanup()
+        except Exception:
+            pass
 
 
 def compile_program(
@@ -261,9 +607,13 @@ def compile_program(
     backend: str = "python",
     **kwargs,
 ) -> Machine:
-    """Compile a program with the chosen backend (``python`` or ``c``)."""
+    """Compile a program with the chosen backend (``python`` or ``c``).
+
+    Both backends accept ``use_cache=False`` to bypass the process-wide
+    :class:`ProgramCache`.
+    """
     if backend == "python":
-        return PythonMachine(program)
+        return PythonMachine(program, **kwargs)
     if backend == "c":
         return CMachine(program, **kwargs)
     raise BackendError(f"unknown backend: {backend!r}")

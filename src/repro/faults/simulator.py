@@ -99,6 +99,11 @@ class ParallelFaultSimulator:
       step, worthwhile when the fault list is short.
     """
 
+    #: Vectors per batched machine call.  Large enough to amortize the
+    #: dispatch into the generated ``run_block`` loop, small enough that
+    #: ``drop_detected`` still exits early on easy fault batches.
+    CHUNK_VECTORS = 128
+
     def __init__(
         self,
         circuit: Circuit,
@@ -311,21 +316,34 @@ class ParallelFaultSimulator:
         ])
         machine.step(vector_words(initial))
 
+        # Vectors run through the machine in chunks: one batched
+        # ``step_many`` call keeps the vector loop inside the generated
+        # code, and the detection scan walks the collected outputs
+        # afterwards.  Chunking (rather than one giant batch) preserves
+        # the drop_detected early exit to within a chunk.
         first_detection: list[Optional[int]] = [None] * len(batch)
         remaining = len(batch)
-        for index, vector in enumerate(vectors):
-            out = machine.step(vector_words(vector))
-            diff = 0
-            for word in out:
-                good = -(word & 1)  # lane-0 value replicated
-                diff |= (word ^ good) & mask
-            if not diff:
-                continue
-            for k, lane in enumerate(lane_of):
-                if first_detection[k] is None and (diff >> lane) & 1:
-                    first_detection[k] = index
-                    remaining -= 1
-            if drop_detected and remaining == 0:
+        for start in range(0, len(vectors), self.CHUNK_VECTORS):
+            chunk = vectors[start:start + self.CHUNK_VECTORS]
+            outputs = machine.step_many(
+                [vector_words(vector) for vector in chunk], masked=True
+            )
+            done = False
+            for offset, out in enumerate(outputs):
+                diff = 0
+                for word in out:
+                    good = -(word & 1)  # lane-0 value replicated
+                    diff |= (word ^ good) & mask
+                if not diff:
+                    continue
+                for k, lane in enumerate(lane_of):
+                    if first_detection[k] is None and (diff >> lane) & 1:
+                        first_detection[k] = start + offset
+                        remaining -= 1
+                if drop_detected and remaining == 0:
+                    done = True
+                    break
+            if done:
                 break
         return first_detection
 

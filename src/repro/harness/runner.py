@@ -21,6 +21,12 @@ name                      meaning
 Compiled techniques accept ``backend="python"|"c"`` and ``word_width``;
 timing callers pass ``with_outputs=False`` to match the paper's
 methodology.
+
+Everything here drives *batches*: :func:`run_technique` builds its
+timed runnable over the prepared-batch fast path (the vector loop runs
+inside the generated code on both backends), and
+:func:`simulate_outputs` is the output-collecting counterpart used by
+cross-validation tooling.
 """
 
 from __future__ import annotations
@@ -36,7 +42,12 @@ from repro.parallel.simulator import ParallelSimulator
 from repro.pcset.multivector import MultiVectorPCSetSimulator
 from repro.pcset.simulator import PCSetSimulator
 
-__all__ = ["TECHNIQUES", "build_simulator", "run_technique"]
+__all__ = [
+    "TECHNIQUES",
+    "build_simulator",
+    "run_technique",
+    "simulate_outputs",
+]
 
 TECHNIQUES = (
     "interp3",
@@ -122,3 +133,29 @@ def run_technique(
     sim.reset(zeros)
     prepared = sim.prepare_batch(vectors)
     return lambda: sim.run_prepared(prepared)
+
+
+def simulate_outputs(
+    circuit: Circuit,
+    technique: str,
+    vectors: Sequence[Sequence[int]],
+    **options,
+) -> list[list[int]]:
+    """Simulate ``vectors`` on a *compiled* technique; return each
+    vector's raw output words.
+
+    The whole batch runs through ``apply_vectors`` — one dispatch into
+    the generated ``run_block`` loop.  State (where the technique keeps
+    any) is seeded from the all-zeros steady state, as the timing
+    harness does.  Interpreted techniques have no raw output-word
+    protocol and are rejected.
+    """
+    sim = build_simulator(circuit, technique, **options)
+    if not hasattr(sim, "apply_vectors"):
+        raise SimulationError(
+            f"{technique!r} is not a compiled technique; it has no "
+            "batched output protocol"
+        )
+    if hasattr(sim, "reset"):
+        sim.reset([0] * len(circuit.inputs))
+    return sim.apply_vectors(vectors)

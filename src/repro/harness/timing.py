@@ -39,6 +39,17 @@ class TimingResult:
         """Mean seconds per vector."""
         return self.mean / max(1, self.num_vectors)
 
+    @property
+    def vectors_per_second(self) -> float:
+        """Mean throughput — the batching API's headline number.
+
+        Comparable with ``machine.counters.vectors_per_second``, which
+        the backends accumulate per ``run_block`` batch.
+        """
+        if self.mean == 0:
+            return float("inf")
+        return self.num_vectors / self.mean
+
     def speedup_over(self, other: "TimingResult") -> float:
         """How many times faster than ``other`` (per vector)."""
         if self.per_vector == 0:

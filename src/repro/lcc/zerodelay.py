@@ -72,8 +72,10 @@ class LCCSimulator:
     """Compiled zero-delay simulator.
 
     ``backend`` is ``"python"`` or ``"c"``.  ``evaluate`` settles one
-    vector and returns the monitored outputs; ``run_batch`` times many
-    vectors and folds a checksum compatible with the interpreted
+    vector and returns the monitored outputs; ``apply_vectors`` settles
+    a whole batch with the vector loop inside the generated code;
+    ``run_batch`` times many vectors and folds a checksum compatible
+    with the interpreted
     :class:`repro.eventsim.zerodelay.ZeroDelaySimulator`.
     """
 
@@ -138,12 +140,21 @@ class LCCSimulator:
             )
         return values
 
+    def apply_vectors(
+        self, vectors: Sequence[Mapping[str, int] | Sequence[int]]
+    ) -> list[list[int]]:
+        """Settle a batch; returns per-vector raw output words.
+
+        Bit-identical to ``[self.machine.step(v) for v in vectors]``
+        but driven by the generated ``run_block`` loop.
+        """
+        words = [self._vector_list(vector) for vector in vectors]
+        return self.machine.step_many(words)
+
     def run_batch(self, vectors: Sequence[Sequence[int]]) -> int:
         """Simulate many (unpacked) vectors; fold outputs to a checksum."""
         checksum = 0
-        step = self.machine.step
-        for vector in vectors:
-            out = step(vector)
+        for out in self.apply_vectors(vectors):
             folded = 0
             for value in out:
                 folded = ((folded << 1) | (folded >> 61)) & (2**62 - 1)

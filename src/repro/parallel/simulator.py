@@ -40,6 +40,13 @@ class ParallelSimulator(CompiledSimulator):
         ``"python"`` or ``"c"``.
     word_width:
         Bits per machine word (8, 16, 32 or 64; the paper used 32).
+
+    Multi-vector traffic should go through the inherited batch API —
+    ``apply_vectors`` for outputs, ``run_batch``/``prepare_batch`` +
+    ``run_prepared`` for timing — which keeps the vector loop inside
+    the generated code on both backends.  The per-vector methods below
+    (``apply_vector_history``, ``output_trace``) stay scalar because
+    they decode the machine *state* between vectors.
     """
 
     def __init__(

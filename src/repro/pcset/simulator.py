@@ -28,6 +28,13 @@ class PCSetSimulator(CompiledSimulator):
 
     ``backend="c"`` compiles the generated code with the system C
     compiler instead of running it as Python.
+
+    Multi-vector traffic should use the inherited batch API
+    (``apply_vectors``, ``run_batch``, ``prepare_batch`` +
+    ``run_prepared``): one dispatch drives the whole batch through the
+    generated ``run_block`` loop.  ``apply_vector_history`` stays
+    scalar — it reads the persistent state before and after each
+    vector.
     """
 
     def __init__(

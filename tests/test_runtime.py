@@ -1,5 +1,7 @@
 """Tests for the execution backends (Machine protocol)."""
 
+import os
+
 import pytest
 
 from repro.codegen.program import Assign, Bin, Const, Emit, Input, Program, Var
@@ -8,6 +10,8 @@ from repro.codegen.runtime import (
     PythonMachine,
     compile_program,
     have_c_compiler,
+    program_cache,
+    program_fingerprint,
 )
 from repro.errors import BackendError
 
@@ -51,6 +55,46 @@ class TestPythonMachine:
         machine = PythonMachine(_counter_program())
         assert "def machine():" in machine.source
 
+    def test_inputs_masked_to_word_width(self):
+        # Oversized Python ints must behave like the C backend's
+        # fixed-width words (ctypes truncates silently).
+        machine = PythonMachine(_counter_program())
+        assert machine.step([0x1_0002]) == [0x0002]
+
+    def test_step_rejects_wrong_vector_length(self):
+        machine = PythonMachine(_counter_program())
+        with pytest.raises(BackendError, match="expected 1"):
+            machine.step([1, 2])
+
+    def test_step_many_matches_step_loop(self):
+        batched = PythonMachine(_counter_program())
+        scalar = PythonMachine(_counter_program())
+        vectors = [[1], [4], [2], [8]]
+        expected = [scalar.step(v) for v in vectors]
+        assert batched.step_many(vectors) == expected
+        assert batched.dump_state() == scalar.dump_state()
+
+    def test_run_block_flat_buffer_and_discard(self):
+        machine = PythonMachine(_counter_program())
+        out: list = []
+        assert machine.run_block([[1], [2]], out) is out
+        assert out == [1, 3]
+        # out=None discards but still advances state.
+        assert machine.run_block([[4]]) is None
+        assert machine.dump_state() == [7]
+
+    def test_counters_accumulate(self):
+        machine = PythonMachine(_counter_program())
+        assert machine.counters.batches == 0
+        machine.step_many([[1], [2], [4]])
+        machine.run_block([[8]])
+        assert machine.counters.batches == 2
+        assert machine.counters.vectors == 4
+        assert machine.counters.seconds > 0
+        assert machine.counters.vectors_per_second > 0
+        machine.counters.reset()
+        assert machine.counters.as_dict()["vectors"] == 0
+
 
 @NEED_CC
 class TestCMachine:
@@ -64,8 +108,57 @@ class TestCMachine:
 
     def test_step_many(self):
         machine = CMachine(_counter_program())
-        machine.step_many([[1], [2], [4]])
+        outs = machine.step_many([[1], [2], [4]])
+        assert outs == [[1], [3], [7]]
         assert machine.dump_state() == [7]
+
+    def test_run_block_collects_or_discards(self):
+        machine = CMachine(_counter_program())
+        out: list = []
+        machine.run_block([[1], [2]], out)
+        assert out == [1, 3]
+        machine.run_block([[4]])  # discarded, state still advances
+        assert machine.dump_state() == [7]
+        assert machine.counters.vectors == 3
+
+    def test_pack_block_rejects_ragged_vectors(self):
+        # Regression: a short vector used to shift every later vector
+        # into the wrong slot (pos ran backwards); a long one overran
+        # into the next vector's words.
+        machine = CMachine(_counter_program())
+        with pytest.raises(BackendError, match="vector 1"):
+            machine.pack_block([[1], [1, 2]])
+        with pytest.raises(BackendError, match="vector 0"):
+            machine.pack_block([[], [1]])
+
+    def test_context_manager_removes_workdir(self):
+        with CMachine(_counter_program()) as machine:
+            work_dir = machine._dir
+            assert os.path.isdir(work_dir)
+            assert machine.step([1]) == [1]
+        assert not os.path.exists(work_dir)
+
+    def test_cleanup_removes_tool_created_dir(self):
+        machine = CMachine(_counter_program())
+        work_dir = machine._dir
+        machine.cleanup()
+        machine.cleanup()  # idempotent
+        assert not os.path.exists(work_dir)
+
+    def test_cleanup_keeps_caller_dir(self, tmp_path):
+        machine = CMachine(_counter_program(), work_dir=str(tmp_path))
+        machine.cleanup()
+        assert tmp_path.is_dir()  # caller-owned directory survives
+        assert not list(tmp_path.glob("*.so"))
+
+    def test_del_cleans_up(self):
+        machine = CMachine(_counter_program())
+        work_dir = machine._dir
+        del machine
+        import gc
+
+        gc.collect()
+        assert not os.path.exists(work_dir)
 
     def test_compile_failure_reported(self, monkeypatch):
         program = _counter_program()
@@ -108,6 +201,73 @@ class TestCompileProgram:
     def test_have_c_compiler_cached(self):
         first = have_c_compiler()
         assert have_c_compiler() == first
+
+    def test_have_c_compiler_force_reprobes(self, monkeypatch):
+        import shutil as _shutil
+
+        try:
+            # With every candidate unresolvable the reprobe must
+            # return None even though a positive result was cached ...
+            monkeypatch.setattr(_shutil, "which", lambda name: None)
+            assert have_c_compiler(force=True) is None
+            # ... and without force, the (now negative) cache sticks.
+            monkeypatch.undo()
+            assert have_c_compiler() is None
+        finally:
+            have_c_compiler(force=True)  # restore the real probe
+
+
+class TestProgramCache:
+    def test_python_code_object_reused(self):
+        program = _counter_program()
+        fingerprint = program_fingerprint(program.python_source())
+        key = (fingerprint, "python", "")
+        cache = program_cache()
+        a = PythonMachine(program)
+        hits = cache.hits
+        b = PythonMachine(_counter_program())
+        assert cache.hits == hits + 1
+        assert cache.get(key) is not None
+        # Cached code, independent coroutine state.
+        assert a.step([1]) == [1]
+        assert b.step([2]) == [2]
+        assert a.dump_state() == [1]
+        assert b.dump_state() == [2]
+
+    def test_use_cache_false_bypasses(self):
+        cache = program_cache()
+        before = (cache.hits, cache.misses)
+        PythonMachine(_counter_program(), use_cache=False)
+        assert (cache.hits, cache.misses) == before
+
+    @NEED_CC
+    def test_c_artifact_reused_with_private_state(self):
+        cache = program_cache()
+        with CMachine(_counter_program()) as first:
+            hits = cache.hits
+            with CMachine(_counter_program()) as second:
+                assert cache.hits == hits + 1  # .so reused, not rebuilt
+                # Static state must NOT be shared between instances.
+                assert first.step([5]) == [5]
+                assert second.dump_state() == [0]
+                assert second.step([2]) == [2]
+                assert first.dump_state() == [5]
+
+    def test_lru_eviction_and_stats(self):
+        from repro.codegen.runtime import ProgramCache
+
+        cache = ProgramCache(capacity=2)
+        cache.put(("a", "python", ""), object())
+        cache.put(("b", "python", ""), object())
+        assert cache.get(("a", "python", "")) is not None
+        cache.put(("c", "python", ""), object())  # evicts "b" (LRU)
+        assert cache.get(("b", "python", "")) is None
+        assert cache.get(("a", "python", "")) is not None
+        assert len(cache) == 2
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        cache.clear()
+        assert len(cache) == 0
 
 
 def test_opt_level_auto_downgrade():
