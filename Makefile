@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test bench bench-quick examples lint clean
+.PHONY: install check test bench bench-json bench-quick examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -25,10 +25,18 @@ check:
 			     os.path.splitext(os.path.basename('$$bench'))[0])" \
 			|| exit 1; \
 	done
+	$(MAKE) bench-json REPRO_BENCH_SCALE=0.1
 	@echo "check passed"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Reduced-scale packed-throughput measurement: refreshes
+# benchmarks/results/packed_throughput.{txt,json} and the repo-root
+# BENCH_packed.json snapshot, then schema-validates the emitted JSON.
+# Scale/vector knobs pass through the REPRO_BENCH_* environment.
+bench-json:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_packed_throughput.py
 
 bench-quick:
 	REPRO_BENCH_SUITE=c432,c880 REPRO_BENCH_VECTORS=64 \

@@ -22,6 +22,7 @@ can quote the numbers.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -59,9 +60,29 @@ def full_circuit(name: str):
     return circuit(name, 1.0)
 
 
-def write_report(figure: str, text: str) -> None:
-    """Persist a figure's table under benchmarks/results/ and print it."""
+def write_report(
+    figure: str,
+    text: str,
+    *,
+    backend: str | None = None,
+    metrics: dict | None = None,
+) -> None:
+    """Persist a figure's table under benchmarks/results/ and print it.
+
+    Alongside the human-readable ``<figure>.txt``, a machine-readable
+    ``<figure>.json`` is always written with the shape
+    ``{"figure": ..., "backend": ..., "metrics": {...}}`` so downstream
+    tooling never has to scrape the tables.  ``backend`` defaults to
+    the suite-wide ``BACKEND``; pass ``metrics`` to record the numbers
+    the table was built from.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{figure}.txt"
     path.write_text(text + "\n")
-    print(f"\n{text}\n[written to {path}]")
+    json_path = RESULTS_DIR / f"{figure}.json"
+    json_path.write_text(json.dumps({
+        "figure": figure,
+        "backend": backend if backend is not None else BACKEND,
+        "metrics": metrics if metrics is not None else {},
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"\n{text}\n[written to {path} and {json_path}]")

@@ -1,0 +1,167 @@
+"""Pattern-lane packed vs scalar throughput — the headline measurement.
+
+The zero-delay LCC program is shift-free, so its lanes can carry one
+pattern each (:mod:`repro.codegen.packing`): one compiled pass settles
+``word_width`` vectors.  This benchmark times both configurations over
+the *same prepared batches* — transposition and marshalling happen
+outside the timed region on both sides, matching the paper's
+methodology — and reports scalar vs packed vectors/second per backend
+and word width.
+
+Output lands three ways: the usual table + JSON pair under
+``benchmarks/results/packed_throughput.{txt,json}``, and a repo-root
+``BENCH_packed.json`` snapshot (same payload) that EXPERIMENTS.md and
+``make bench-json`` point at.  Running the module as a script
+(``make bench-json``) collects a reduced-scale measurement and
+schema-validates the emitted JSON; under pytest the full-scale run
+also asserts the acceptance floor — packed is at least 4x scalar on
+the C backend at width 64.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _common import NUM_VECTORS, RESULTS_DIR, circuit, write_report
+from repro.codegen.runtime import have_c_compiler
+from repro.harness.tables import format_table
+from repro.harness.vectors import vectors_for
+from repro.lcc.zerodelay import LCCSimulator
+
+ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_packed.json"
+
+CIRCUIT = "c880"
+WIDTHS = (8, 32, 64)
+REPEATS = 5
+
+#: The C backend runs a whole scalar batch in a handful of
+#: microseconds at the suite's default 256 vectors — pure dispatch
+#: overhead, not compiled passes.  Keep the batch large enough that
+#: the timed region is dominated by the generated code on both sides.
+MIN_VECTORS = 8192
+
+
+def _best_of(run, repeats: int = REPEATS) -> float:
+    """Minimum wall time of ``repeats`` invocations (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def collect_metrics(num_vectors: int) -> dict:
+    """Measure scalar vs packed throughput; returns the metrics dict."""
+    num_vectors = max(num_vectors, MIN_VECTORS)
+    target = circuit(CIRCUIT)
+    vectors = vectors_for(target, num_vectors, seed=44)
+    backends = ("python",) + (("c",) if have_c_compiler() else ())
+    results = []
+    for backend in backends:
+        for width in WIDTHS:
+            scalar = LCCSimulator(
+                target, backend=backend, word_width=width, packed=False
+            )
+            packed = LCCSimulator(
+                target, backend=backend, word_width=width, packed=True
+            )
+            prepared_scalar = scalar.prepare_batch(vectors)
+            prepared_packed = packed.prepare_packed(vectors)
+            t_scalar = _best_of(lambda: scalar.run_prepared(prepared_scalar))
+            t_packed = _best_of(lambda: packed.run_prepared(prepared_packed))
+            results.append({
+                "backend": backend,
+                "word_width": width,
+                "scalar_vectors_per_s": num_vectors / t_scalar,
+                "packed_vectors_per_s": num_vectors / t_packed,
+                "speedup": t_scalar / max(t_packed, 1e-12),
+            })
+    return {
+        "circuit": CIRCUIT,
+        "num_vectors": num_vectors,
+        "results": results,
+    }
+
+
+def validate_payload(payload: dict) -> None:
+    """Schema check for the emitted JSON (used by ``make bench-json``)."""
+    assert set(payload) == {"figure", "backend", "metrics"}, payload.keys()
+    assert payload["figure"] == "packed_throughput"
+    assert isinstance(payload["backend"], str)
+    metrics = payload["metrics"]
+    assert isinstance(metrics["circuit"], str)
+    assert isinstance(metrics["num_vectors"], int)
+    assert metrics["results"], "no measurements recorded"
+    for entry in metrics["results"]:
+        assert set(entry) == {
+            "backend", "word_width", "scalar_vectors_per_s",
+            "packed_vectors_per_s", "speedup",
+        }, entry.keys()
+        assert entry["backend"] in ("python", "c")
+        assert entry["word_width"] in WIDTHS
+        for key in (
+            "scalar_vectors_per_s", "packed_vectors_per_s", "speedup"
+        ):
+            assert isinstance(entry[key], float) and entry[key] > 0
+
+
+def _emit(metrics: dict) -> dict:
+    """Write table + results JSON + repo-root snapshot; returns payload."""
+    backends = sorted({e["backend"] for e in metrics["results"]})
+    rows = [
+        [
+            f"{e['backend']}/w{e['word_width']}",
+            e["scalar_vectors_per_s"],
+            e["packed_vectors_per_s"],
+            e["speedup"],
+        ]
+        for e in metrics["results"]
+    ]
+    table = format_table(
+        ["backend/width", "scalar vec/s", "packed vec/s", "speedup"],
+        rows,
+        title=(f"Pattern-lane packing — {CIRCUIT}, "
+               f"{metrics['num_vectors']} vectors, one pass per "
+               f"word_width vectors when packed"),
+        float_format="{:.1f}",
+    )
+    write_report(
+        "packed_throughput", table,
+        backend="+".join(backends), metrics=metrics,
+    )
+    payload = json.loads(
+        (RESULTS_DIR / "packed_throughput.json").read_text()
+    )
+    ROOT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[snapshot written to {ROOT_JSON}]")
+    return payload
+
+
+def _assert_floor(metrics: dict) -> None:
+    """The acceptance floor: >=4x on the C backend at width 64."""
+    for entry in metrics["results"]:
+        if entry["backend"] == "c" and entry["word_width"] == 64:
+            assert entry["speedup"] >= 4.0, entry
+            return
+
+
+def test_packed_throughput_report():
+    metrics = collect_metrics(NUM_VECTORS)
+    payload = _emit(metrics)
+    validate_payload(payload)
+    _assert_floor(metrics)
+
+
+def main(num_vectors: int | None = None) -> None:
+    metrics = collect_metrics(num_vectors or NUM_VECTORS)
+    payload = _emit(metrics)
+    validate_payload(payload)
+    _assert_floor(metrics)
+    print("bench-json: schema valid, floor met")
+
+
+if __name__ == "__main__":
+    main()

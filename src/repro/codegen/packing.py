@@ -1,0 +1,261 @@
+"""Pattern-lane packing: bit-matrix transposition for compiled passes.
+
+The paper observes (§3) that the generated straight-line code is
+"amenable to bit-parallel simulation": every operator the generators
+emit except the shifts acts on each bit position independently, so one
+pass through the compiled code can evaluate ``word_width`` *different*
+input vectors at once if the inputs are transposed — bit ``j`` of input
+word ``k`` carries the value of primary input ``k`` in vector ``j``.
+This module owns that transposition (packing scalar vectors into lane
+words and unpacking lane words back into scalar outputs) and the
+eligibility analysis that decides when a program may be driven packed.
+
+Eligibility — the shift-free rule
+---------------------------------
+Lane independence holds exactly for ``&``, ``|``, ``^`` and ``~``.
+Two IR operators cross lanes and disqualify a program:
+
+- shifts (``<<``, ``>>``, ``sar``) — the §3 parallel technique's
+  time-shift operations deliberately move history *across* bit
+  positions, which is the opposite of keeping lanes independent;
+- unary ``-`` (two's-complement negate) — borrow propagation smears
+  lane 0 into every higher lane (that is precisely why the parallel
+  technique uses it to replicate a bit through the word).
+
+:func:`packing_mode` classifies a program:
+
+``"full"``
+    Shift-free *and* memoryless: every variable an expression reads has
+    already been written earlier in the same pass.  Packed evaluation
+    is bit-identical to a scalar pass in every lane, for every emitted
+    output and every state word.  Zero-delay LCC programs are of this
+    kind.
+``"settled"``
+    Shift-free but stateful: some variable is read before it is written
+    (the PC-set method's zero-element moves read the *previous*
+    vector's final values).  Lanes still evolve independently, but a
+    lane's intermediate-time values depend on state the scalar chain
+    would have threaded vector-by-vector.  Only the *settled final*
+    values — which in an acyclic circuit depend on the current inputs
+    alone — are reproduced exactly; callers may pack only when they
+    observe nothing else (fault grading does: it compares settled
+    monitored outputs).
+``"none"``
+    The program contains shifts or negates; run it scalar
+    (``run_block``), never packed.
+
+All packing entry points validate their words against the program's
+word width and raise :class:`~repro.errors.SimulationError` on overflow
+rather than relying on backend-dependent truncation (ctypes truncates
+silently; Python ints do not truncate at all).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.codegen.program import (
+    Assign,
+    Bin,
+    Emit,
+    Expr,
+    Program,
+    Un,
+    Var,
+)
+from repro.errors import SimulationError
+
+__all__ = [
+    "is_shift_free",
+    "packing_mode",
+    "validate_packed_words",
+    "pack_patterns",
+    "unpack_patterns",
+    "packed_apply",
+    "packed_bits",
+]
+
+
+# ----------------------------------------------------------------------
+# eligibility analysis
+# ----------------------------------------------------------------------
+def is_shift_free(program: Program) -> bool:
+    """True when no operator of ``program`` crosses bit lanes.
+
+    Shifts move bits between lanes by construction; unary negate does
+    too (borrow propagation).  Everything else the IR can express is
+    lane-wise.
+    """
+    stats = program.stats()
+    return stats.shifts == 0 and stats.negates == 0
+
+
+def _reads(expr: Expr):
+    if isinstance(expr, Var):
+        yield expr.name
+    elif isinstance(expr, Bin):
+        yield from _reads(expr.a)
+        yield from _reads(expr.b)
+    elif isinstance(expr, Un):
+        yield from _reads(expr.a)
+
+
+def _reads_state_before_write(program: Program) -> bool:
+    """Does any expression read a variable not yet assigned this pass?
+
+    Such a read observes the *previous* vector's value (or the declared
+    initial value) — the program carries state between passes.
+    """
+    written: set[str] = set()
+    for stmt in program.statements():
+        if isinstance(stmt, (Assign, Emit)):
+            for name in _reads(stmt.expr):
+                if name not in written:
+                    return True
+        if isinstance(stmt, Assign):
+            written.add(stmt.dest)
+    return False
+
+
+def packing_mode(program: Program) -> str:
+    """``"full"``, ``"settled"`` or ``"none"`` (see module docstring)."""
+    if not is_shift_free(program):
+        return "none"
+    if _reads_state_before_write(program):
+        return "settled"
+    return "full"
+
+
+# ----------------------------------------------------------------------
+# transposition
+# ----------------------------------------------------------------------
+def validate_packed_words(
+    words: Sequence[int], word_width: int, *, context: str = "packed word"
+) -> None:
+    """Raise :class:`SimulationError` unless every word fits the width."""
+    limit = 1 << word_width
+    for index, word in enumerate(words):
+        if not 0 <= word < limit:
+            raise SimulationError(
+                f"{context} {index} = {word:#x} does not fit "
+                f"word_width={word_width}"
+            )
+
+
+def pack_patterns(
+    vectors: Sequence[Sequence[int]], word_width: int
+) -> tuple[list[list[int]], list[int]]:
+    """Transpose scalar 0/1 vectors into per-input lane words.
+
+    Returns ``(groups, lane_counts)``: ``groups[g][k]`` is the packed
+    word for input ``k`` of pattern group ``g`` — bit ``j`` holds the
+    value of input ``k`` in vector ``g * word_width + j`` — and
+    ``lane_counts[g]`` is how many real vectors group ``g`` carries
+    (only the last group may be partial; its unused high lanes are
+    zero, i.e. they simulate the all-zeros vector).
+
+    Every vector value must be 0 or 1 — a wider value cannot occupy a
+    single lane — and every vector must have the same length.
+    """
+    groups: list[list[int]] = []
+    lane_counts: list[int] = []
+    total = len(vectors)
+    if total == 0:
+        return groups, lane_counts
+    num_inputs = len(vectors[0])
+    for start in range(0, total, word_width):
+        chunk = vectors[start:start + word_width]
+        words = [0] * num_inputs
+        for j, vector in enumerate(chunk):
+            if len(vector) != num_inputs:
+                raise SimulationError(
+                    f"vector {start + j} has {len(vector)} values, "
+                    f"expected {num_inputs}"
+                )
+            bit = 1 << j
+            for k, value in enumerate(vector):
+                if value == 1:
+                    words[k] |= bit
+                elif value != 0:
+                    raise SimulationError(
+                        f"vector {start + j}, input {k}: pattern value "
+                        f"{value!r} is not a single bit (pack one "
+                        f"vector per lane, values must be 0/1)"
+                    )
+        groups.append(words)
+        lane_counts.append(len(chunk))
+    return groups, lane_counts
+
+
+def unpack_patterns(
+    flat: Sequence[int], num_outputs: int, lane_counts: Sequence[int]
+) -> list[list[int]]:
+    """Inverse transposition of packed output words.
+
+    ``flat`` holds ``len(lane_counts) * num_outputs`` packed words in
+    group order (what ``run_packed_block`` appended).  Returns one
+    0/1 output list per original scalar vector, in vector order.
+    """
+    results: list[list[int]] = []
+    for g, lanes in enumerate(lane_counts):
+        base = g * num_outputs
+        words = flat[base:base + num_outputs]
+        for j in range(lanes):
+            results.append([(word >> j) & 1 for word in words])
+    return results
+
+
+# ----------------------------------------------------------------------
+# machine drivers
+# ----------------------------------------------------------------------
+def packed_bits(machine, vectors: Sequence[Sequence[int]]) -> list[list[int]]:
+    """Run ``vectors`` pattern-packed; return per-vector output *bits*.
+
+    One compiled pass per ``word_width`` vectors.  Each returned list
+    holds the low bit of every emitted output word — the logical values
+    a scalar pass would produce in lane 0.  The caller is responsible
+    for eligibility (``packing_mode`` full, or settled with final-value
+    outputs only).
+    """
+    width = machine.program.word_width
+    groups, lane_counts = pack_patterns(vectors, width)
+    if not groups:
+        return []
+    flat: list[int] = []
+    machine.run_packed_block(groups, flat, vectors_represented=len(vectors))
+    return unpack_patterns(flat, machine.num_outputs, lane_counts)
+
+
+def packed_apply(machine, vectors: Sequence[Sequence[int]]) -> list[list[int]]:
+    """Run ``vectors`` packed; return *scalar-identical* raw output words.
+
+    Requires a ``"full"``-mode program.  A scalar pass on vector ``v``
+    feeds input words with bit 0 = the input's value and all higher
+    bits 0 — exactly a packed pass over lanes ``[v, 0, 0, ...]``.  So
+    the raw word a scalar pass emits is the packed lane-``j`` bit in
+    bit 0 plus the all-zeros vector's emitted word in the high bits.
+    One extra all-zeros group appended to the batch supplies that fill
+    word, making the reconstruction exact for every word width and
+    backend.
+    """
+    width = machine.program.word_width
+    groups, lane_counts = pack_patterns(vectors, width)
+    if not groups:
+        return []
+    num_inputs = len(groups[0])
+    groups.append([0] * num_inputs)  # fill group: every lane all-zeros
+    flat: list[int] = []
+    machine.run_packed_block(groups, flat, vectors_represented=len(vectors))
+    n = machine.num_outputs
+    fill = flat[len(lane_counts) * n:]
+    mask = machine.program.word_mask
+    high = mask ^ 1
+    results: list[list[int]] = []
+    for g, lanes in enumerate(lane_counts):
+        words = flat[g * n:(g + 1) * n]
+        for j in range(lanes):
+            results.append([
+                ((word >> j) & 1) | (fill[o] & high)
+                for o, word in enumerate(words)
+            ])
+    return results

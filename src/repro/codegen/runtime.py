@@ -24,10 +24,19 @@ generated ``run_block`` routine each backend compiles in:
   (the timing fast path).
 - ``step_many(vectors)`` returns per-vector output lists, bit-identical
   to an equivalent per-vector ``step()`` loop.
+- ``run_packed_block(groups, out=None)`` drives *pattern-packed*
+  groups — per-input lane words carrying up to ``word_width`` scalar
+  vectors each (see :mod:`repro.codegen.packing`) — through the
+  generated packed entry point (Python opcode 4, C
+  ``run_packed_block``).  Packed words are validated against the word
+  width up front (silent ctypes truncation would corrupt whole lanes,
+  not just one vector).
 
 Every batch updates ``machine.counters`` (vectors run, wall time,
 vectors/second) so harness and benchmark reports can quote throughput
-without re-instrumenting call sites.
+without re-instrumenting call sites.  Packed batches record the number
+of *scalar vectors represented*, not passes, so ``vectors_per_second``
+states true pattern throughput.
 
 Program cache
 -------------
@@ -56,6 +65,7 @@ import uuid
 from collections import OrderedDict
 from typing import Optional, Sequence
 
+from repro.codegen.packing import validate_packed_words
 from repro.codegen.program import Program
 from repro.errors import BackendError
 
@@ -287,6 +297,46 @@ class Machine:
         """
         raise NotImplementedError
 
+    def run_packed_block(
+        self,
+        groups: Sequence[Sequence[int]],
+        out: Optional[list[int]] = None,
+        *,
+        vectors_represented: Optional[int] = None,
+    ) -> Optional[list[int]]:
+        """Run pattern-packed groups inside the generated code.
+
+        Each group is a list of ``num_inputs`` lane words (bit ``j`` of
+        word ``k`` = input ``k`` of packed vector ``j``); emitted packed
+        words are appended flat to ``out`` in group order.  Every word
+        is validated against the word width (:class:`SimulationError`
+        on overflow) — an oversized lane word would silently corrupt
+        every lane on the C backend.  ``vectors_represented`` is what
+        the throughput counters record (default: full groups,
+        ``len(groups) * word_width``).
+        """
+        raise NotImplementedError
+
+    def _packed_count(
+        self,
+        groups: Sequence[Sequence[int]],
+        vectors_represented: Optional[int],
+    ) -> int:
+        if vectors_represented is not None:
+            return vectors_represented
+        return len(groups) * self.program.word_width
+
+    def _validate_group(self, index: int, group: Sequence[int]) -> None:
+        if len(group) != self.num_inputs:
+            raise BackendError(
+                f"packed group {index} has {len(group)} words, expected "
+                f"{self.num_inputs}"
+            )
+        validate_packed_words(
+            group, self.program.word_width,
+            context=f"packed group {index}, input word",
+        )
+
     def step_many(
         self,
         vectors: Sequence[Sequence[int]],
@@ -374,6 +424,24 @@ class PythonMachine(Machine):
         start = time.perf_counter()
         self._gen.send((3, vectors, sink))
         self.counters.record(len(vectors), time.perf_counter() - start)
+        return out
+
+    def run_packed_block(
+        self,
+        groups: Sequence[Sequence[int]],
+        out: Optional[list[int]] = None,
+        *,
+        vectors_represented: Optional[int] = None,
+    ) -> Optional[list[int]]:
+        for index, group in enumerate(groups):
+            self._validate_group(index, group)
+        sink = [] if out is None else out
+        start = time.perf_counter()
+        self._gen.send((4, groups, sink))
+        self.counters.record(
+            self._packed_count(groups, vectors_represented),
+            time.perf_counter() - start,
+        )
         return out
 
     def dump_state(self) -> list[int]:
@@ -472,6 +540,9 @@ class CMachine(Machine):
         self._lib.run_block.argtypes = [
             ctypes.POINTER(word), ctypes.c_long, ctypes.POINTER(word)
         ]
+        self._lib.run_packed_block.argtypes = [
+            ctypes.POINTER(word), ctypes.c_long, ctypes.POINTER(word)
+        ]
         self._num_outputs = int(self._lib.num_outputs())
         self._v_buffer = (word * max(1, self.num_inputs))()
         self._out_buffer = (word * max(1, self._num_outputs))()
@@ -534,16 +605,23 @@ class CMachine(Machine):
         return flat
 
     def run_packed(
-        self, packed, count: int, out_buffer=None
+        self, packed, count: int, out_buffer=None,
+        *, vectors_represented: Optional[int] = None,
     ) -> None:
-        """Run ``count`` packed vectors entirely inside the library.
+        """Run ``count`` marshalled vectors entirely inside the library.
 
         ``out_buffer`` is an optional ctypes array of at least
-        ``count * num_outputs`` words; ``None`` discards outputs.
+        ``count * num_outputs`` words; ``None`` discards outputs.  When
+        the buffer holds pattern-packed groups rather than scalar
+        vectors, pass ``vectors_represented`` so the throughput
+        counters record lanes instead of passes.
         """
         start = time.perf_counter()
         self._lib.run_block(packed, count, out_buffer)
-        self.counters.record(count, time.perf_counter() - start)
+        self.counters.record(
+            count if vectors_represented is None else vectors_represented,
+            time.perf_counter() - start,
+        )
 
     def run_block(
         self,
@@ -561,6 +639,30 @@ class CMachine(Machine):
         buffer = (self._word * max(1, len(vectors) * self._num_outputs))()
         self.run_packed(packed, len(vectors), buffer)
         out.extend(buffer[: len(vectors) * self._num_outputs])
+        return out
+
+    def run_packed_block(
+        self,
+        groups: Sequence[Sequence[int]],
+        out: Optional[list[int]] = None,
+        *,
+        vectors_represented: Optional[int] = None,
+    ) -> Optional[list[int]]:
+        for index, group in enumerate(groups):
+            self._validate_group(index, group)
+        buffer = self.pack_block(groups)
+        count = self._packed_count(groups, vectors_represented)
+        start = time.perf_counter()
+        if out is None:
+            self._lib.run_packed_block(buffer, len(groups), None)
+            self.counters.record(count, time.perf_counter() - start)
+            return None
+        out_buffer = (
+            self._word * max(1, len(groups) * self._num_outputs)
+        )()
+        self._lib.run_packed_block(buffer, len(groups), out_buffer)
+        self.counters.record(count, time.perf_counter() - start)
+        out.extend(out_buffer[: len(groups) * self._num_outputs])
         return out
 
     def dump_state(self) -> list[int]:

@@ -17,12 +17,45 @@ value differs from lane 0's.
 :func:`serial_fault_simulation` is the brute-force reference — one
 full event-driven simulation per fault on an injected circuit — used
 to validate the parallel engine and for small jobs.
+
+Pattern-lane packed grading (PPSFP shape)
+-----------------------------------------
+The PC-set program is shift-free, so its lanes can carry *patterns*
+instead of faults (see :mod:`repro.codegen.packing`).  Detection only
+compares settled monitored values, and in an acyclic circuit an
+input-driven net's settled value depends on the current inputs alone —
+so packed passes need no vector-to-vector state threading and are
+exactly equivalent to the scalar lane loop.  (Constant-cone nets are
+the one exception: their settled values live in state variables, so
+every scan reloads the replicated good steady state first — the packed
+counterpart of the scalar mode's per-batch seeding.)  With
+``patterns="packed"`` (the ``"auto"`` default picks it whenever the
+program is shift-free) grading becomes:
+
+1. *good-machine pre-pass*: the instrumented machine with no fault
+   pinned runs all ``N`` vectors pattern-packed —
+   ``ceil(N / W)`` compiled passes total;
+2. *per-fault detection screen*: each fault is pinned in **every**
+   lane (``FMASK = 0``, ``FVAL`` replicated) and pattern groups run
+   packed in order; the first group whose outputs differ from the good
+   words yields the detecting lane, i.e. the first detecting vector,
+   and the remaining groups are skipped.
+
+Cost drops from ``ceil(F / (W-1)) × N`` passes toward
+``ceil(N / W)`` + one pass per easily-detected fault (bounded by
+``F × ceil(N / W)`` when nothing is detectable) — the classic
+parallel-pattern single-fault-propagation trade.  Fault batches are
+retained purely to share the instrumented machine (they still bound
+compilation with ``instrument="batch"``).  Programs with shifts could
+never take this path; the constructor refuses ``patterns="packed"``
+for them and ``"auto"`` falls back to the scalar lane loop.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
+from repro.codegen.packing import is_shift_free, pack_patterns
 from repro.codegen.program import Assign, Bin, Emit, Input, Program, Var
 from repro.codegen.runtime import compile_program
 from repro.errors import SimulationError
@@ -97,6 +130,17 @@ class ParallelFaultSimulator:
     - ``"batch"``: a lean program instrumented only at the nets of the
       current batch, recompiled per batch — smaller and faster per
       step, worthwhile when the fault list is short.
+
+    ``patterns`` selects what the bit lanes carry:
+
+    - ``"scalar"``: lanes carry faults, vectors run one per pass — the
+      original lane-per-fault loop;
+    - ``"packed"``: lanes carry patterns (PPSFP shape, see the module
+      docstring): a packed good pre-pass plus per-fault packed
+      detection screens with the fault pinned in every lane.  Raises
+      if the program is not shift-free;
+    - ``"auto"`` (default): ``"packed"`` when eligible, else
+      ``"scalar"``.  The two modes produce identical reports.
     """
 
     #: Vectors per batched machine call.  Large enough to amortize the
@@ -112,10 +156,16 @@ class ParallelFaultSimulator:
         backend: str = "python",
         monitored: Optional[list[str]] = None,
         instrument: str = "all",
+        patterns: str = "auto",
     ) -> None:
         if instrument not in ("all", "batch"):
             raise SimulationError(
                 f"instrument must be 'all' or 'batch': {instrument!r}"
+            )
+        if patterns not in ("auto", "packed", "scalar"):
+            raise SimulationError(
+                f"patterns must be 'auto', 'packed' or 'scalar': "
+                f"{patterns!r}"
             )
         self.circuit = circuit
         self.word_width = word_width
@@ -142,6 +192,17 @@ class ParallelFaultSimulator:
         self.lanes_per_batch = word_width - 1
         self._all_machine = None
         self._all_nets = sorted(circuit.nets)
+        # The instrumentation only splices in &/| masking statements, so
+        # pattern-packing eligibility is decided by the base program.
+        self._pack_eligible = (
+            is_shift_free(self._base) and bool(circuit.inputs)
+        )
+        if patterns == "packed" and not self._pack_eligible:
+            raise SimulationError(
+                "patterns='packed' requires a shift-free program with "
+                "primary inputs"
+            )
+        self.patterns = patterns
 
     def _machine_for(self, faulted_nets: list[str]):
         """(machine, net -> (mask_slot, value_slot)) for a batch."""
@@ -249,7 +310,10 @@ class ParallelFaultSimulator:
         ``initial`` seeds the pre-existing steady state (default all
         zeros); it is not a detection opportunity.  With
         ``drop_detected`` a batch stops early once all its faults are
-        detected.
+        detected.  (In packed-pattern mode detection compares only
+        settled values, so ``initial`` cannot influence the report and
+        each fault's scan always stops at its first detecting group —
+        ``drop_detected`` has nothing further to drop.)
         """
         if faults is None:
             faults = full_fault_list(self.circuit)
@@ -260,14 +324,43 @@ class ParallelFaultSimulator:
             initial = [0] * len(self.circuit.inputs)
         settled = steady_state(self.circuit, initial)
         mask = (1 << self.word_width) - 1
+        packed = self.patterns == "packed" or (
+            self.patterns == "auto" and self._pack_eligible
+        )
+        if packed:
+            groups, lane_counts = pack_patterns(
+                [[v & 1 for v in vector] for vector in vectors],
+                self.word_width,
+            )
+            # Nets in a constant cone keep their settled value in a
+            # *state* variable that passes read but (when unfaulted)
+            # never recompute; a fault pinned on such a net would
+            # poison it for every later fault.  Each scan therefore
+            # reloads this replicated steady state, like the scalar
+            # mode does per batch.  For input-driven nets the load is
+            # scratch (overwritten every pass), so any settled state
+            # gives the same — serial-identical — finals.
+            state_words = [
+                (-(settled[net_name] & 1)) & mask
+                for net_name, _t, _i in self.variables.ordered
+            ]
+            # The good words are fault-independent (every mask input is
+            # all-ones, so the splices are identities) — computed once,
+            # shared by every batch whichever machine it compiles.
+            goods: Optional[list[list[int]]] = None
 
         detected: dict[Fault, int] = {}
         undetected: list[Fault] = []
         for start in range(0, len(faults), self.lanes_per_batch):
             batch = list(faults[start:start + self.lanes_per_batch])
-            outcome = self._run_batch(
-                batch, vectors, initial, settled, mask, drop_detected
-            )
+            if packed:
+                outcome, goods = self._run_batch_packed(
+                    batch, groups, lane_counts, mask, goods, state_words
+                )
+            else:
+                outcome = self._run_batch(
+                    batch, vectors, initial, settled, mask, drop_detected
+                )
             for fault, first in zip(batch, outcome):
                 if first is None:
                     undetected.append(fault)
@@ -347,6 +440,87 @@ class ParallelFaultSimulator:
                 break
         return first_detection
 
+    # ------------------------------------------------------------------
+    # packed-pattern mode (PPSFP shape)
+    # ------------------------------------------------------------------
+    def _run_batch_packed(
+        self,
+        batch: list[Fault],
+        groups: list[list[int]],
+        lane_counts: list[int],
+        mask: int,
+        goods: Optional[list[int]],
+        state_words: list[int],
+    ) -> tuple[list[Optional[int]], list[int]]:
+        """First detections for a fault batch, patterns in the lanes.
+
+        Input-driven finals depend on the current lane inputs alone
+        (the circuit is acyclic and the fault is pinned at every
+        write), so no warm-up pass is needed.  Constant-cone finals
+        live in state variables instead; ``state_words`` (the
+        replicated good steady state) is reloaded before every scan so
+        a fault pinned on a constant net cannot leak into the next
+        fault's comparison.
+        """
+        faulted_nets = sorted({fault.net for fault in batch})
+        machine, nets, _slots = self._machine_for(faulted_nets)
+        if goods is None:
+            goods = self._good_packed(
+                machine, nets, groups, lane_counts, state_words
+            )
+        n_out = machine.num_outputs
+        first_detection: list[Optional[int]] = []
+        for fault in batch:
+            # Pin the fault in *every* lane: FMASK drops to zero and
+            # FVAL replicates the stuck value across the word.
+            extra = [0 if n == fault.net else mask for n in nets] + [
+                (mask if fault.value else 0) if n == fault.net else 0
+                for n in nets
+            ]
+            machine.load_state(state_words)
+            first: Optional[int] = None
+            for g, group in enumerate(groups):
+                out: list[int] = []
+                machine.run_packed_block(
+                    [list(group) + extra], out,
+                    vectors_represented=lane_counts[g],
+                )
+                diff = 0
+                for word, good in zip(out, goods[g * n_out:(g + 1) * n_out]):
+                    diff |= word ^ good
+                lanes = lane_counts[g]
+                diff &= mask if lanes == self.word_width else (1 << lanes) - 1
+                if diff:
+                    lowest = (diff & -diff).bit_length() - 1
+                    first = g * self.word_width + lowest
+                    break
+            first_detection.append(first)
+        return first_detection, goods
+
+    def _good_packed(
+        self,
+        machine,
+        nets: list[str],
+        groups: list[list[int]],
+        lane_counts: list[int],
+        state_words: list[int],
+    ) -> list[int]:
+        """Good-machine pre-pass: packed output words, all groups flat.
+
+        All-ones masks and zero values leave every lane unfaulted, so
+        these are the fault-free settled outputs of every pattern.
+        """
+        mask = (1 << self.word_width) - 1
+        extra = [mask] * len(nets) + [0] * len(nets)
+        flat: list[int] = []
+        if groups:
+            machine.load_state(state_words)
+            machine.run_packed_block(
+                [list(group) + extra for group in groups], flat,
+                vectors_represented=sum(lane_counts),
+            )
+        return flat
+
 
 def serial_fault_simulation(
     circuit: Circuit,
@@ -398,9 +572,10 @@ def run_fault_simulation(
     word_width: int = 32,
     backend: str = "python",
     initial: Optional[Sequence[int]] = None,
+    patterns: str = "auto",
 ) -> FaultReport:
     """Convenience wrapper around :class:`ParallelFaultSimulator`."""
     simulator = ParallelFaultSimulator(
-        circuit, word_width=word_width, backend=backend
+        circuit, word_width=word_width, backend=backend, patterns=patterns
     )
     return simulator.run(vectors, faults, initial=initial)

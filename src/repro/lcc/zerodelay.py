@@ -17,8 +17,15 @@ from typing import Mapping, Sequence
 from repro.analysis.levelize import levelize
 from repro.codegen.gates import gate_expression
 from repro.codegen.naming import NameAllocator
+from repro.codegen.packing import (
+    pack_patterns,
+    packed_apply,
+    packing_mode,
+    unpack_patterns,
+    validate_packed_words,
+)
 from repro.codegen.program import Assign, Emit, Input, Program, Var
-from repro.codegen.runtime import Machine, compile_program
+from repro.codegen.runtime import CMachine, Machine, compile_program
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 
@@ -77,6 +84,19 @@ class LCCSimulator:
     ``run_batch`` times many vectors and folds a checksum compatible
     with the interpreted
     :class:`repro.eventsim.zerodelay.ZeroDelaySimulator`.
+
+    Pattern-lane packing: the LCC program is shift-free and memoryless
+    (:func:`repro.codegen.packing.packing_mode` returns ``"full"``), so
+    batches of plain 0/1 vectors are automatically transposed into lane
+    words and driven ``word_width`` vectors per compiled pass.
+    ``packed="auto"`` (default) packs whenever the batch is eligible
+    (all values 0/1); ``packed=False`` forces the scalar
+    ``run_block`` path — the paper's one-vector-per-pass
+    configuration; ``packed=True`` requires packing and raises
+    :class:`SimulationError` when a batch is ineligible.  Both paths
+    are bit-identical in their results; only the per-pass lane count
+    differs.  (The machine's persistent state is scratch for this
+    memoryless program, so only outputs are specified across paths.)
     """
 
     def __init__(
@@ -85,12 +105,47 @@ class LCCSimulator:
         *,
         backend: str = "python",
         word_width: int = 32,
+        packed: bool | str = "auto",
     ) -> None:
+        if packed not in (True, False, "auto"):
+            raise SimulationError(
+                f"packed must be True, False or 'auto': {packed!r}"
+            )
         self.circuit = circuit
         self.program = generate_lcc_program(circuit, word_width=word_width)
         self.machine: Machine = compile_program(self.program, backend)
+        self.word_width = word_width
+        self.packed = packed
+        #: ``"full"`` for every LCC program; kept as an attribute so the
+        #: auto-pack decision reads as policy, not as an LCC special case.
+        self.packing_mode = packing_mode(self.program)
         self._inputs = circuit.inputs
         self._outputs = circuit.outputs
+
+    def _packable(self, words: list[list[int]]) -> bool:
+        """May this batch take the packed path?
+
+        ``apply_vectors`` accepts multi-bit words too (the classic
+        packed-input mode of :meth:`evaluate_packed`); those already
+        occupy all lanes and must go through the scalar path unchanged.
+        """
+        if self.packed is False or self.packing_mode != "full":
+            if self.packed is True:
+                raise SimulationError(
+                    f"packed=True but program mode is "
+                    f"{self.packing_mode!r}"
+                )
+            return False
+        if not self._inputs:
+            return False
+        eligible = all(
+            value in (0, 1) for word in words for value in word
+        )
+        if not eligible and self.packed is True:
+            raise SimulationError(
+                "packed=True requires plain 0/1 vectors (one lane each)"
+            )
+        return eligible
 
     def evaluate(
         self, vector: Mapping[str, int] | Sequence[int]
@@ -107,9 +162,15 @@ class LCCSimulator:
 
         Slot ``k`` of ``vector`` carries bit ``j`` = value of input ``k``
         in packed vector ``j``; the returned words are packed the same
-        way.
+        way.  Words are validated against the word width up front —
+        an oversized word would be truncated by the C backend (and not
+        by the Python one), silently corrupting whole lanes.
         """
-        out = self.machine.step(self._vector_list(vector))
+        words = self._vector_list(vector)
+        validate_packed_words(
+            words, self.word_width, context="packed input word"
+        )
+        out = self.machine.step(words)
         return dict(zip(self._outputs, out))
 
     def evaluate_all_nets(
@@ -145,19 +206,118 @@ class LCCSimulator:
     ) -> list[list[int]]:
         """Settle a batch; returns per-vector raw output words.
 
-        Bit-identical to ``[self.machine.step(v) for v in vectors]``
-        but driven by the generated ``run_block`` loop.
+        Bit-identical to ``[self.machine.step(v) for v in vectors]``.
+        Eligible 0/1 batches are pattern-packed — ``word_width``
+        vectors per compiled pass — and the exact scalar words are
+        reconstructed on unpacking (:func:`packed_apply`); everything
+        else runs through the scalar ``run_block`` loop.
         """
         words = [self._vector_list(vector) for vector in vectors]
+        if self._packable(words):
+            return packed_apply(self.machine, words)
         return self.machine.step_many(words)
 
+    # ------------------------------------------------------------------
+    # checksum folding
+    # ------------------------------------------------------------------
+    @property
+    def _fold_bits(self) -> int:
+        """Width of the checksum accumulator, derived from the word.
+
+        ``2 * word_width - 2`` — at the historical default width of 32
+        this is the 62-bit fold the interpreted
+        :class:`~repro.eventsim.zerodelay.ZeroDelaySimulator` uses, so
+        the two engines stay checksum-compatible; wider/narrower
+        programs get a proportionally sized accumulator instead of a
+        hardcoded rotate.
+        """
+        return 2 * self.word_width - 2
+
+    def _fold(self, folded: int, bit: int) -> int:
+        bits = self._fold_bits
+        folded = ((folded << 1) | (folded >> (bits - 1))) & ((1 << bits) - 1)
+        return folded ^ bit
+
     def run_batch(self, vectors: Sequence[Sequence[int]]) -> int:
-        """Simulate many (unpacked) vectors; fold outputs to a checksum."""
+        """Simulate many (unpacked) vectors; fold outputs to a checksum.
+
+        The checksum folds each output's *logical* (bit-0) value, so the
+        packed and scalar paths produce the same result; eligible
+        batches run packed (one pass per ``word_width`` vectors).
+        """
+        words = [self._vector_list(vector) for vector in vectors]
+        if self._packable(words):
+            groups, lane_counts = pack_patterns(words, self.word_width)
+            flat: list[int] = []
+            self.machine.run_packed_block(
+                groups, flat, vectors_represented=len(words)
+            )
+            rows = unpack_patterns(
+                flat, self.machine.num_outputs, lane_counts
+            )
+        else:
+            rows = self.machine.step_many(words)
         checksum = 0
-        for out in self.apply_vectors(vectors):
+        for out in rows:
             folded = 0
             for value in out:
-                folded = ((folded << 1) | (folded >> 61)) & (2**62 - 1)
-                folded ^= value & 1
+                folded = self._fold(folded, value & 1)
             checksum ^= folded
         return checksum
+
+    # ------------------------------------------------------------------
+    # prepared batches (timing fast path)
+    # ------------------------------------------------------------------
+    def prepare_batch(self, vectors: Sequence[Sequence[int]]):
+        """Marshal a scalar batch once, outside any timed region.
+
+        Mirrors :meth:`repro.simbase.CompiledSimulator.prepare_batch`:
+        on the C backend the batch becomes one contiguous native
+        buffer; on the Python backend a pre-marshalled word list.
+        """
+        words = [self._vector_list(vector) for vector in vectors]
+        if isinstance(self.machine, CMachine):
+            return ("c", self.machine.pack_block(words), len(words), None)
+        mask = self.program.word_mask
+        masked = [[value & mask for value in word] for word in words]
+        return ("py", masked, len(words), None)
+
+    def prepare_packed(self, vectors: Sequence[Sequence[int]]):
+        """Transpose + marshal a pattern batch outside the timed region.
+
+        The timed run is then pure compiled passes —
+        ``ceil(len(vectors) / word_width)`` of them.  Raises
+        :class:`SimulationError` when the batch is not packable (the
+        caller asked for the packed configuration explicitly).
+        """
+        words = [self._vector_list(vector) for vector in vectors]
+        if self.packing_mode != "full" or not self._inputs:
+            raise SimulationError(
+                f"program {self.program.name!r} is not pattern-packable "
+                f"(mode {self.packing_mode!r})"
+            )
+        groups, _lane_counts = pack_patterns(words, self.word_width)
+        if isinstance(self.machine, CMachine):
+            return (
+                "c", self.machine.pack_block(groups), len(groups),
+                len(words),
+            )
+        return ("py", groups, len(groups), len(words))
+
+    def run_prepared(self, prepared) -> None:
+        """Run a batch from :meth:`prepare_batch`/:meth:`prepare_packed`.
+
+        Outputs are discarded — this is the timing fast path; the
+        throughput counters record scalar vectors simulated either way.
+        """
+        kind, payload, count, represented = prepared
+        if kind == "c":
+            self.machine.run_packed(
+                payload, count, vectors_represented=represented
+            )
+        elif represented is None:
+            self.machine.run_block(payload, masked=True)
+        else:
+            self.machine.run_packed_block(
+                payload, vectors_represented=represented
+            )

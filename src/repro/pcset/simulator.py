@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
+from repro.codegen.packing import packed_bits
+from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.pcset.codegen import generate_pcset_program
 from repro.simbase import CompiledSimulator
@@ -134,6 +136,46 @@ class PCSetSimulator(CompiledSimulator):
         for (net_name, time), value in zip(self.output_labels(), out):
             trace.setdefault(time, {})[net_name] = value & 1
         return sorted(trace.items())
+
+    def settled_outputs(
+        self, vectors: Sequence[Mapping[str, int] | Sequence[int]]
+    ) -> list[dict[str, int]]:
+        """Per-vector settled values of the monitored nets.
+
+        Equivalent to calling :meth:`apply_vector` on each vector and
+        reading :meth:`final_values` after it — but observing *only*
+        settled values, which in an acyclic circuit depend on the
+        current inputs alone.  That is exactly the boundary of
+        ``"settled"`` packing eligibility (see
+        :mod:`repro.codegen.packing`): the PC-set program's
+        intermediate-time samples ride on the vector-to-vector state
+        chain and cannot be packed, but this method never looks at
+        them, so the batch runs pattern-packed — ``word_width``
+        vectors per compiled pass.
+        """
+        if not self.with_outputs:
+            raise SimulationError(
+                "simulator was built without outputs; cannot observe "
+                "settled values"
+            )
+        labels = self.output_labels()
+        final_time = max(time for _net, time in labels)
+        slots = [
+            (net_name, index)
+            for index, (net_name, time) in enumerate(labels)
+            if time == final_time
+        ]
+        words = [self._vector_words(vector) for vector in vectors]
+        if self.packing_mode in ("full", "settled") and self._inputs:
+            rows = packed_bits(self.machine, words)
+        else:
+            if not self._settled:
+                raise SimulationError("call reset() before settled_outputs()")
+            rows = self.machine.step_many(words, masked=True)
+        return [
+            {net_name: row[index] & 1 for net_name, index in slots}
+            for row in rows
+        ]
 
     def final_values(self) -> dict[str, int]:
         """Settled values of the monitored nets after the last vector."""

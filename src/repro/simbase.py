@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
+from repro.codegen.packing import packed_apply, packing_mode
 from repro.codegen.program import Program
 from repro.codegen.runtime import CMachine, Machine, compile_program
 from repro.errors import SimulationError
@@ -60,6 +61,14 @@ class CompiledSimulator:
         self.machine: Machine = compile_program(
             compiled, backend, **backend_kwargs
         )
+        #: Pattern-lane packing eligibility of the *compiled* program
+        #: (``"full"``/``"settled"``/``"none"`` — see
+        #: :mod:`repro.codegen.packing`).  Programs with shifts or
+        #: negates (the §3 parallel technique's time-shift code) are
+        #: ``"none"`` and always run scalar; the PC-set method is
+        #: ``"settled"`` (its zero-element moves read previous-vector
+        #: finals), so only settled-value observers may pack it.
+        self.packing_mode = packing_mode(compiled)
         self._inputs = circuit.inputs
         self._settled = False
 
@@ -117,13 +126,21 @@ class CompiledSimulator:
     ) -> list[list[int]]:
         """Simulate a batch; returns per-vector raw output words.
 
-        Bit-identical to ``[self.apply_vector(v) for v in vectors]``,
-        but the whole vector loop runs inside the generated code
-        (``run_block``), so the per-vector dispatch overhead is gone.
+        Bit-identical to ``[self.apply_vector(v) for v in vectors]``.
+        When the compiled program is ``"full"``-mode packable
+        (shift-free *and* memoryless), the batch is auto-packed —
+        ``word_width`` vectors per compiled pass, exact scalar words
+        reconstructed on unpacking.  ``"settled"`` programs (the PC-set
+        method) emit intermediate-time values that depend on the
+        vector-to-vector state chain, and ``"none"`` programs (the §3
+        parallel technique) shift across lanes; both fall back to the
+        scalar ``run_block`` loop with no behavior change.
         """
         if not self._settled:
             raise SimulationError("call reset() before apply_vectors()")
         words = [self._vector_words(vector) for vector in vectors]
+        if self.packing_mode == "full" and self._inputs:
+            return packed_apply(self.machine, words)
         return self.machine.step_many(words, masked=True)
 
     def prepare_batch(self, vectors: Sequence[Sequence[int]]):

@@ -217,3 +217,108 @@ class TestInstrumentationModes:
     def test_bad_instrument_rejected(self):
         with pytest.raises(SimulationError, match="instrument"):
             ParallelFaultSimulator(and_gate(), instrument="sideways")
+
+
+class TestPackedPatternGrading:
+    """patterns="packed" (PPSFP shape) vs the scalar lane loop.
+
+    Detection compares settled monitored values only, so grading with
+    patterns in the lanes and the fault pinned everywhere must produce
+    the same report — same first-detecting vector per fault — as the
+    lane-per-fault loop and as serial injection.
+    """
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("width", [8, 32])
+    def test_packed_matches_serial_and_scalar(self, seed, width):
+        circuit = random_dag_circuit(seed + 40, num_inputs=5,
+                                     num_gates=18)
+        # Not a multiple of the width: the last pattern group is
+        # partial and its idle lanes must not fake detections.
+        vectors = vectors_for(circuit, width + 5, seed=seed)
+        faults = full_fault_list(circuit)
+        serial = serial_fault_simulation(circuit, vectors, faults)
+        scalar = ParallelFaultSimulator(
+            circuit, word_width=width, patterns="scalar"
+        ).run(vectors, faults)
+        packed = ParallelFaultSimulator(
+            circuit, word_width=width, patterns="packed"
+        ).run(vectors, faults)
+        assert packed.detected == scalar.detected == serial.detected
+        assert set(packed.undetected) == set(serial.undetected)
+
+    def test_auto_takes_packed_path(self):
+        sim = ParallelFaultSimulator(and_gate())
+        assert sim.patterns == "auto"
+        assert sim._pack_eligible
+
+    def test_instrument_batch_packed(self):
+        circuit = ripple_carry_adder(2)
+        vectors = vectors_for(circuit, 21, seed=2)
+        faults = full_fault_list(circuit)
+        packed = ParallelFaultSimulator(
+            circuit, word_width=8, instrument="batch", patterns="packed"
+        ).run(vectors, faults)
+        scalar = ParallelFaultSimulator(
+            circuit, word_width=8, instrument="batch", patterns="scalar"
+        ).run(vectors, faults)
+        assert packed.detected == scalar.detected
+        assert set(packed.undetected) == set(scalar.undetected)
+
+    def test_nonzero_initial_state_is_irrelevant_when_packed(self):
+        # Settled values do not depend on the pre-existing state, so
+        # the report must be identical for any initial vector — and
+        # still match the serial reference run with that initial.
+        circuit = ripple_carry_adder(2)
+        vectors = vectors_for(circuit, 10, seed=3)
+        initial = [1] * len(circuit.inputs)
+        serial = serial_fault_simulation(circuit, vectors, initial=initial)
+        packed = run_fault_simulation(
+            circuit, vectors, word_width=16, initial=initial,
+            patterns="packed",
+        )
+        assert serial.detected == packed.detected
+
+    def test_empty_vector_list(self):
+        report = ParallelFaultSimulator(
+            and_gate(), patterns="packed"
+        ).run([])
+        assert report.detected == {}
+        assert report.num_vectors == 0
+        assert len(report.undetected) == report.num_faults
+
+    def test_bad_patterns_rejected(self):
+        with pytest.raises(SimulationError, match="patterns"):
+            ParallelFaultSimulator(and_gate(), patterns="sideways")
+
+    def test_constant_cone_state_not_poisoned_between_faults(self):
+        # Regression: a constant net's settled value lives in a state
+        # variable the passes read but never recompute.  A fault
+        # pinned on that net (N1/sa1 here) rewrites the variable in
+        # every lane; without reloading the steady state before the
+        # next fault's scan, the later comparison against the good
+        # words diffs in every lane and fakes a detection at vector 0.
+        from repro.logic import GateType
+        from repro.netlist.circuit import Circuit
+
+        circuit = Circuit("constcone")
+        for i in range(3):
+            circuit.add_net(f"I{i}", is_input=True)
+        circuit.add_gate(GateType.AND, "N0", ["I0", "I2"])
+        circuit.add_gate(GateType.CONST0, "N1", [])
+        circuit.add_gate(GateType.NOT, "N2", ["N1"])
+        circuit.add_gate(GateType.BUF, "N3", ["I2"])
+        for name in ("N0", "N2", "N3"):
+            circuit.add_net(name, is_output=True)
+        circuit.validate()
+        vectors = [[0, 0, 1], [1, 0, 0], [1, 1, 0], [1, 0, 1]]
+        faults = full_fault_list(circuit)
+        serial = serial_fault_simulation(circuit, vectors, faults)
+        packed = ParallelFaultSimulator(
+            circuit, word_width=16, patterns="packed"
+        ).run(vectors, faults)
+        assert packed.detected == serial.detected
+        assert set(packed.undetected) == set(serial.undetected)
+        # The poisoned run reported N3/sa1 at vector 0; the true first
+        # detecting vector is 1 (N3 follows I2, which drops to 0 there).
+        assert packed.first_detection(Fault("N3", 1)) == 1

@@ -1,0 +1,308 @@
+"""Pattern-lane packing: transposition, eligibility, bit-identity.
+
+The contract under test (see ``repro.codegen.packing``): a shift-free
+program evaluates ``word_width`` transposed vectors in one compiled
+pass, bit-identically to the scalar per-vector loop — across word
+widths, backends, batch sizes that don't divide the width, and the
+settled-observer boundary for stateful (PC-set) programs.  Shifted
+programs must fall back with no behavior change.
+"""
+
+import pytest
+
+from repro.codegen.packing import (
+    pack_patterns,
+    packed_apply,
+    packing_mode,
+    unpack_patterns,
+    validate_packed_words,
+)
+from repro.codegen.program import Assign, Bin, Emit, Input, Program, Var
+from repro.codegen.runtime import compile_program, have_c_compiler
+from repro.errors import BackendError, SimulationError
+from repro.eventsim.zerodelay import ZeroDelaySimulator
+from repro.harness.runner import run_technique, simulate_outputs
+from repro.harness.vectors import vectors_for
+from repro.lcc.zerodelay import LCCSimulator, generate_lcc_program
+from repro.netlist.iscas85 import make_circuit
+from repro.netlist.random_circuits import random_dag_circuit
+from repro.parallel.simulator import ParallelSimulator
+from repro.pcset.codegen import generate_pcset_program
+from repro.pcset.simulator import PCSetSimulator
+from repro.simbase import CompiledSimulator
+
+BACKENDS = ("python",) + (("c",) if have_c_compiler() else ())
+WIDTHS = (8, 16, 32, 64)
+
+
+class TestTransposition:
+    def test_round_trip(self):
+        vectors = [[1, 0, 1], [0, 1, 1], [1, 1, 0], [0, 0, 1], [1, 0, 0]]
+        groups, lane_counts = pack_patterns(vectors, 4)
+        assert lane_counts == [4, 1]
+        # bit j of word k = input k of vector j
+        assert groups[0] == [0b0101, 0b0110, 0b1011]
+        assert groups[1] == [1, 0, 0]
+        flat = [word for group in groups for word in group]
+        assert unpack_patterns(flat, 3, lane_counts) == vectors
+
+    def test_empty_batch(self):
+        assert pack_patterns([], 8) == ([], [])
+        assert unpack_patterns([], 3, []) == []
+
+    def test_partial_group_high_lanes_zero(self):
+        groups, lane_counts = pack_patterns([[1, 1]], 32)
+        assert lane_counts == [1]
+        assert groups == [[1, 1]]
+
+    def test_non_bit_value_rejected(self):
+        with pytest.raises(SimulationError, match="not a single bit"):
+            pack_patterns([[0, 2]], 8)
+
+    def test_ragged_vectors_rejected(self):
+        with pytest.raises(SimulationError, match="expected 2"):
+            pack_patterns([[0, 1], [1]], 8)
+
+    def test_validate_packed_words_overflow(self):
+        validate_packed_words([255], 8)
+        with pytest.raises(SimulationError, match="does not fit"):
+            validate_packed_words([256], 8)
+        with pytest.raises(SimulationError, match="does not fit"):
+            validate_packed_words([-1], 8)
+
+
+class TestPackingMode:
+    def test_lcc_is_full(self, fig1_circuit):
+        assert packing_mode(generate_lcc_program(fig1_circuit)) == "full"
+
+    def test_pcset_is_settled(self, fig4_circuit):
+        program, _variables = generate_pcset_program(fig4_circuit)
+        assert packing_mode(program) == "settled"
+
+    @pytest.mark.parametrize(
+        "optimization", ["none", "trim", "pathtrace", "pathtrace+trim"]
+    )
+    def test_parallel_is_none(self, fig4_circuit, optimization):
+        sim = ParallelSimulator(fig4_circuit, optimization=optimization)
+        assert sim.packing_mode == "none"
+
+
+class TestMachineEntry:
+    """The run_packed_block entry on both backends."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_group_length_validated(self, fig1_circuit, backend):
+        machine = compile_program(
+            generate_lcc_program(fig1_circuit), backend
+        )
+        with pytest.raises(BackendError, match="expected 3"):
+            machine.run_packed_block([[1, 1]])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_oversized_lane_word_rejected(self, fig1_circuit, backend):
+        program = generate_lcc_program(fig1_circuit, word_width=8)
+        machine = compile_program(program, backend)
+        with pytest.raises(SimulationError, match="does not fit"):
+            machine.run_packed_block([[256, 0, 0]])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_counters_record_represented_vectors(
+        self, fig1_circuit, backend
+    ):
+        program = generate_lcc_program(fig1_circuit, word_width=8)
+        machine = compile_program(program, backend)
+        machine.run_packed_block([[1, 2, 3]], vectors_represented=5)
+        assert machine.counters.vectors == 5
+        machine.run_packed_block([[1, 2, 3]])
+        assert machine.counters.vectors == 5 + 8
+
+
+class TestPackedEqualsScalar:
+    """The tentpole bit-identity property."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("width", WIDTHS)
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_random_circuits(self, backend, width, seed):
+        circuit = random_dag_circuit(
+            num_inputs=6, num_gates=30, seed=seed
+        )
+        # Deliberately not a multiple of the width: the last group is
+        # partial and its unused lanes must not leak into results.
+        vectors = vectors_for(circuit, 2 * width + 5, seed=seed + 1)
+        packed = LCCSimulator(
+            circuit, backend=backend, word_width=width, packed=True
+        )
+        scalar = LCCSimulator(
+            circuit, backend=backend, word_width=width, packed=False
+        )
+        assert packed.apply_vectors(vectors) == scalar.apply_vectors(vectors)
+        assert packed.run_batch(vectors) == scalar.run_batch(vectors)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("width", (32, 64))
+    def test_scaled_c880(self, backend, width):
+        circuit = make_circuit("c880", scale_factor=0.25)
+        vectors = vectors_for(circuit, 70, seed=7)
+        packed = LCCSimulator(
+            circuit, backend=backend, word_width=width, packed=True
+        )
+        scalar = LCCSimulator(
+            circuit, backend=backend, word_width=width, packed=False
+        )
+        assert packed.apply_vectors(vectors) == scalar.apply_vectors(vectors)
+
+    def test_packed_apply_matches_per_vector_step(self, fig1_circuit):
+        machine = compile_program(
+            generate_lcc_program(fig1_circuit, word_width=8), "python"
+        )
+        vectors = vectors_for(fig1_circuit, 13, seed=2)
+        expected = [machine.step(list(v)) for v in vectors]
+        assert packed_apply(machine, vectors) == expected
+
+    def test_auto_mode_packs_and_matches(self, fig1_circuit):
+        vectors = vectors_for(fig1_circuit, 50, seed=4)
+        auto = LCCSimulator(fig1_circuit, word_width=16)  # packed="auto"
+        scalar = LCCSimulator(fig1_circuit, word_width=16, packed=False)
+        assert auto.apply_vectors(vectors) == scalar.apply_vectors(vectors)
+        # 50 vectors, width 16 -> 4 groups + 1 fill group, not 50 steps.
+        assert auto.machine.counters.batches < len(vectors)
+
+
+class TestEligibilityBoundary:
+    def test_multibit_words_fall_back_under_auto(self, fig1_circuit):
+        sim = LCCSimulator(fig1_circuit, word_width=8)
+        packed_input = [3, 3, 1]  # classic packed-input mode, not 0/1
+        out = sim.apply_vectors([packed_input])
+        assert out == [sim.machine.step(packed_input)]
+
+    def test_multibit_words_rejected_under_packed_true(self, fig1_circuit):
+        sim = LCCSimulator(fig1_circuit, word_width=8, packed=True)
+        with pytest.raises(SimulationError, match="0/1"):
+            sim.apply_vectors([[3, 3, 1]])
+
+    def test_bad_packed_option_rejected(self, fig1_circuit):
+        with pytest.raises(SimulationError, match="packed must be"):
+            LCCSimulator(fig1_circuit, packed="yes")
+
+    def test_evaluate_packed_overflow_rejected(self, fig1_circuit):
+        sim = LCCSimulator(fig1_circuit, word_width=8)
+        with pytest.raises(SimulationError, match="does not fit"):
+            sim.evaluate_packed([256, 0, 0])
+
+    def test_shift_program_falls_back_unchanged(self, fig11_circuit):
+        # The parallel technique's program shifts across lanes; the
+        # simbase auto-pack must leave it on the exact scalar path.
+        vectors = vectors_for(fig11_circuit, 20, seed=6)
+        outputs = simulate_outputs(fig11_circuit, "parallel", vectors)
+        reference = simulate_outputs(
+            fig11_circuit, "parallel", list(vectors)
+        )
+        assert outputs == reference
+        run = run_technique(fig11_circuit, "parallel", vectors)
+        run()  # still executes scalar run_block without error
+
+    def test_settled_program_not_auto_packed(self, fig4_circuit):
+        sim = PCSetSimulator(fig4_circuit)
+        assert sim.packing_mode == "settled"
+        sim.reset([0, 0, 0])
+        vectors = vectors_for(fig4_circuit, 10, seed=8)
+        expected = []
+        ref = PCSetSimulator(fig4_circuit)
+        ref.reset([0, 0, 0])
+        for vector in vectors:
+            expected.append(ref.apply_vector(list(vector)))
+        assert sim.apply_vectors(vectors) == expected
+
+
+class TestSimbaseFullMode:
+    """A memoryless hand-built program auto-packs through simbase."""
+
+    def _simulator(self, circuit, backend):
+        class MemorylessSimulator(CompiledSimulator):
+            def _encode_state(self, settled):
+                # Scratch only: every variable is rewritten each pass.
+                return [0] * len(self.program.state_vars)
+
+        program = generate_lcc_program(circuit, word_width=16)
+        return MemorylessSimulator(circuit, program, backend=backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_apply_vectors_packs(self, fig1_circuit, backend):
+        sim = self._simulator(fig1_circuit, backend)
+        assert sim.packing_mode == "full"
+        sim.reset()
+        vectors = vectors_for(fig1_circuit, 37, seed=3)
+        expected = [sim.machine.step(list(v)) for v in vectors]
+        assert sim.apply_vectors(vectors) == expected
+        assert sim.machine.counters.batches < 37 + len(expected)
+
+
+class TestSettledOutputs:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_scalar_final_values(self, backend):
+        circuit = random_dag_circuit(num_inputs=5, num_gates=25, seed=13)
+        vectors = vectors_for(circuit, 41, seed=14)
+        sim = PCSetSimulator(circuit, backend=backend, word_width=16)
+        packed = sim.settled_outputs(vectors)
+        ref = PCSetSimulator(circuit, backend=backend, word_width=16)
+        ref.reset()
+        expected = []
+        for vector in vectors:
+            ref.apply_vector(list(vector))
+            expected.append(ref.final_values())
+        assert packed == expected
+
+    def test_requires_outputs(self, fig4_circuit):
+        sim = PCSetSimulator(fig4_circuit, with_outputs=False)
+        with pytest.raises(SimulationError, match="without outputs"):
+            sim.settled_outputs([[0, 0, 0]])
+
+
+class TestChecksumRegression:
+    """Pin the derived fold width: 2 * word_width - 2.
+
+    The constants below were computed once with the hardcoded 62-bit
+    rotate this fold replaced; any change to the folding (width
+    derivation, rotate amount, masking) shows up here, and the
+    interpreted engine cross-check keeps the two engines compatible.
+    """
+
+    def test_fold_bits_derivation(self, fig1_circuit):
+        assert LCCSimulator(fig1_circuit)._fold_bits == 62
+        assert LCCSimulator(fig1_circuit, word_width=8)._fold_bits == 14
+        assert LCCSimulator(fig1_circuit, word_width=64)._fold_bits == 126
+
+    @pytest.mark.parametrize(
+        "name,expected", [("c880", 0x11), ("c499", 0x82)]
+    )
+    def test_pinned_checksums(self, name, expected):
+        circuit = make_circuit(name, scale_factor=0.25)
+        vectors = vectors_for(circuit, 100, seed=9)
+        packed = LCCSimulator(circuit, packed=True)
+        scalar = LCCSimulator(circuit, packed=False)
+        assert packed.run_batch(vectors) == expected
+        assert scalar.run_batch(vectors) == expected
+        assert ZeroDelaySimulator(circuit).run_batch(vectors) == expected
+        # The checksum folds logical bit values, so it is word-width
+        # independent for 0/1 batches.
+        wide = LCCSimulator(circuit, word_width=64)
+        assert wide.run_batch(vectors) == expected
+
+
+class TestHarnessThreading:
+    @pytest.mark.parametrize("packed", [True, False, "auto"])
+    def test_zero_lcc_accepts_packed_option(self, fig1_circuit, packed):
+        vectors = vectors_for(fig1_circuit, 24, seed=5)
+        run = run_technique(
+            fig1_circuit, "zero-lcc", vectors, packed=packed
+        )
+        run()
+
+    def test_prepare_packed_counts_groups(self, fig1_circuit):
+        sim = LCCSimulator(fig1_circuit, word_width=8, packed=True)
+        vectors = vectors_for(fig1_circuit, 20, seed=1)
+        prepared = sim.prepare_packed(vectors)
+        sim.run_prepared(prepared)
+        assert sim.machine.counters.vectors == 20
+        assert sim.machine.counters.batches == 1
