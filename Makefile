@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test bench bench-json bench-quick examples lint clean
+.PHONY: install check test bench bench-json bench-shards bench-quick examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -26,6 +26,8 @@ check:
 			|| exit 1; \
 	done
 	$(MAKE) bench-json REPRO_BENCH_SCALE=0.1
+	$(MAKE) bench-shards REPRO_BENCH_SCALE=0.05 REPRO_BENCH_VECTORS=32 \
+		REPRO_BENCH_FAULTS=96 REPRO_BENCH_WORKERS=1,2
 	@echo "check passed"
 
 bench:
@@ -37,6 +39,15 @@ bench:
 # Scale/vector knobs pass through the REPRO_BENCH_* environment.
 bench-json:
 	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_packed_throughput.py
+
+# Reduced-scale sharded fault grading: refreshes
+# benchmarks/results/sharded_faults.{txt,json} and the repo-root
+# BENCH_shards.json snapshot, asserting every merged report is
+# bit-identical to the single-process run (the speedup floor applies
+# only on hosts with >= 4 CPUs).  Knobs: REPRO_BENCH_{SCALE,VECTORS,
+# FAULTS,WORKERS,BACKEND}.
+bench-shards:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_sharded_faults.py
 
 bench-quick:
 	REPRO_BENCH_SUITE=c432,c880 REPRO_BENCH_VECTORS=64 \

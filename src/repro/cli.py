@@ -197,17 +197,30 @@ def _cmd_equiv(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from repro.faults.simulator import run_fault_simulation
+    from repro.harness.runner import grade_faults
 
     circuit = resolve_circuit(args.circuit, args.scale)
     vectors = vectors_for(circuit, args.vectors, args.seed)
-    report = run_fault_simulation(
+    report = grade_faults(
         circuit, vectors,
         word_width=args.word_width, backend=args.backend,
+        workers=args.workers, shards=args.shards,
+        mp_start=args.mp_start, shard_timeout=args.shard_timeout,
     )
     print(f"{circuit.name}: {report.num_faults} stuck-at faults, "
           f"{len(report.detected)} detected by {args.vectors} random "
           f"vectors (coverage {report.coverage:.1%})")
+    if hasattr(report, "sharding_stats"):
+        stats = report.sharding_stats()
+        line = (f"sharded: {stats['workers']} workers, "
+                f"{stats['num_shards']} shards "
+                f"(sizes {stats['shard_sizes']}), "
+                f"start={stats['mp_start']}")
+        if stats["retried_shards"]:
+            line += f", retried shards {stats['retried_shards']}"
+        if stats["degraded"]:
+            line += ", DEGRADED to single-process"
+        print(line)
     if report.undetected and args.show_undetected:
         shown = ", ".join(str(f) for f in report.undetected[:20])
         more = ("..." if len(report.undetected) > 20 else "")
@@ -354,6 +367,25 @@ def main(argv: Optional[list[str]] = None) -> int:
                           choices=["python", "c"])
     p_faults.add_argument("-w", "--word-width", type=int, default=32,
                           choices=[8, 16, 32, 64])
+    p_faults.add_argument(
+        "-j", "--workers", type=int, default=1,
+        help="worker processes for sharded grading (default 1: "
+             "single-process; the merged report is bit-identical)",
+    )
+    p_faults.add_argument(
+        "--shards", type=int, default=None,
+        help="fault-list shards (default 2x workers)",
+    )
+    p_faults.add_argument(
+        "--mp-start", default="auto",
+        choices=["auto", "fork", "spawn", "forkserver"],
+        help="multiprocessing start method (auto: fork if available)",
+    )
+    p_faults.add_argument(
+        "--shard-timeout", type=float, default=None,
+        help="per-shard result timeout in seconds; late shards are "
+             "regraded in-process",
+    )
     p_faults.set_defaults(func=_cmd_faults)
 
     p_bench = sub.add_parser("bench", help="quick technique comparison")

@@ -62,6 +62,7 @@ import subprocess
 import tempfile
 import time
 import uuid
+import weakref
 from collections import OrderedDict
 from typing import Optional, Sequence
 
@@ -160,6 +161,31 @@ class BatchCounters:
         )
 
 
+def _remove_cache_dir(path: str, owner_pid: int) -> None:
+    """``atexit`` hook for a cache directory — creator-process only.
+
+    ``atexit`` registrations are inherited across ``fork``; without the
+    pid guard a forked worker exiting would delete the *parent's*
+    cached ``.so``/``.c`` artifacts out from under it.
+    """
+    if os.getpid() == owner_pid:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+#: Every live cache, so the fork hook can reset inherited state in the
+#: child (weak: short-lived test caches must stay collectable).
+_FORK_AWARE_CACHES: "weakref.WeakSet[ProgramCache]" = weakref.WeakSet()
+
+
+def _reset_caches_after_fork() -> None:
+    for cache in list(_FORK_AWARE_CACHES):
+        cache._forget_inherited()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_reset_caches_after_fork)
+
+
 class ProgramCache:
     """LRU cache of compiled artifacts keyed by program content.
 
@@ -168,6 +194,12 @@ class ProgramCache:
     machines never share state).  C entries are ``(c_path, so_path)``
     pairs living in a cache-owned directory; machines copy the library
     out before loading it, so each instance gets private statics.
+
+    The cache is *fork-safe*: an ``os.register_at_fork`` hook drops the
+    child's inherited entries, directory and counters (the artifacts on
+    disk belong to the parent), and the directory's ``atexit`` removal
+    handler — registered at most once per directory — only fires in the
+    process that created it.
     """
 
     def __init__(self, capacity: int = 64) -> None:
@@ -176,14 +208,36 @@ class ProgramCache:
         self.misses = 0
         self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._dir: Optional[str] = None
+        self._registered_dirs: set[str] = set()
+        _FORK_AWARE_CACHES.add(self)
 
     # ------------------------------------------------------------------
     def artifact_dir(self) -> str:
         """The cache-owned directory for C artifacts (lazily created)."""
-        if self._dir is None or not os.path.isdir(self._dir):
+        if self._dir is None:
             self._dir = tempfile.mkdtemp(prefix="repro_cache_")
-            atexit.register(shutil.rmtree, self._dir, ignore_errors=True)
+        elif not os.path.isdir(self._dir):
+            # Recreate the *same* path after an external wipe so the
+            # already-registered atexit handler keeps covering it.
+            os.makedirs(self._dir, exist_ok=True)
+        if self._dir not in self._registered_dirs:
+            self._registered_dirs.add(self._dir)
+            atexit.register(_remove_cache_dir, self._dir, os.getpid())
         return self._dir
+
+    def _forget_inherited(self) -> None:
+        """Reset state inherited across ``fork``.
+
+        The entries, the artifact directory and the hit/miss history
+        all belong to the parent; the child starts cold and lazily
+        creates its own directory on first miss.  Nothing is discarded
+        from disk — that would destroy the parent's artifacts.
+        """
+        self._entries.clear()
+        self._dir = None
+        self._registered_dirs.clear()
+        self.hits = 0
+        self.misses = 0
 
     def get(self, key: tuple):
         entry = self._entries.get(key)
@@ -195,6 +249,11 @@ class ProgramCache:
         return entry
 
     def put(self, key: tuple, entry) -> None:
+        prior = self._entries.get(key)
+        if prior is not None and prior != entry:
+            # Re-inserting a key must not leak the replaced C artifact
+            # pair on disk (equal paths are kept — they are the entry).
+            self._discard(prior)
         self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:

@@ -47,6 +47,7 @@ __all__ = [
     "build_simulator",
     "run_technique",
     "simulate_outputs",
+    "grade_faults",
 ]
 
 TECHNIQUES = (
@@ -147,6 +148,34 @@ def run_technique(
     sim.reset(zeros)
     prepared = sim.prepare_batch(vectors)
     return lambda: sim.run_prepared(prepared)
+
+
+def grade_faults(
+    circuit: Circuit,
+    vectors: Sequence[Sequence[int]],
+    faults=None,
+    *,
+    workers: int = 1,
+    **options,
+):
+    """Factory-level entry to stuck-at fault grading.
+
+    The harness counterpart of :func:`build_simulator` for the fault
+    workload: ``workers=1`` runs the single-process lane/pattern
+    engine; ``workers > 1`` shards the fault list across a
+    multiprocess pool (:mod:`repro.faults.sharding`) and returns the
+    merged — bit-identical — :class:`ShardedFaultReport`, whose
+    ``sharding_stats()`` carries the worker/shard execution metadata.
+    ``options`` pass through to
+    :func:`repro.faults.simulator.run_fault_simulation`
+    (``word_width``, ``backend``, ``patterns``, ``shards``,
+    ``mp_start``, ``shard_timeout``, ...).
+    """
+    from repro.faults.simulator import run_fault_simulation
+
+    return run_fault_simulation(
+        circuit, vectors, faults, workers=workers, **options
+    )
 
 
 def simulate_outputs(

@@ -269,6 +269,117 @@ class TestProgramCache:
         cache.clear()
         assert len(cache) == 0
 
+    def test_put_replacement_discards_replaced_artifacts(self, tmp_path):
+        # Regression: re-inserting an existing key overwrote the entry
+        # without discarding the old one — the replaced C artifact pair
+        # leaked on disk until process exit.
+        from repro.codegen.runtime import ProgramCache
+
+        cache = ProgramCache()
+        key = ("fp", "c", "-O1")
+
+        def pair(tag):
+            c_path = tmp_path / f"{tag}.c"
+            so_path = tmp_path / f"{tag}.so"
+            c_path.write_text("/* c */")
+            so_path.write_text("elf")
+            return (str(c_path), str(so_path))
+
+        first = pair("a")
+        cache.put(key, first)
+        second = pair("b")
+        cache.put(key, second)
+        assert not os.path.exists(first[0])
+        assert not os.path.exists(first[1])
+        assert os.path.exists(second[0]) and os.path.exists(second[1])
+        # Re-inserting the *same* paths must not unlink the entry.
+        cache.put(key, tuple(second))
+        assert os.path.exists(second[0]) and os.path.exists(second[1])
+        assert len(cache) == 1
+
+    def test_artifact_dir_recreated_in_place_registered_once(self):
+        # Regression: every recreation after an external wipe used to
+        # register a fresh atexit handler; now the same path is
+        # recreated and registered exactly once.
+        import shutil as _shutil
+
+        from repro.codegen.runtime import ProgramCache
+
+        cache = ProgramCache()
+        first = cache.artifact_dir()
+        assert cache.artifact_dir() == first  # stable while it exists
+        _shutil.rmtree(first)
+        second = cache.artifact_dir()
+        assert second == first
+        assert os.path.isdir(second)
+        assert cache._registered_dirs == {first}
+        _shutil.rmtree(first, ignore_errors=True)
+
+
+class TestProgramCacheForkSafety:
+    def test_atexit_handler_guarded_by_owner_pid(self, tmp_path):
+        # The registered remover must be a no-op in any process other
+        # than the one that created the directory (atexit tables are
+        # inherited across fork).
+        from repro.codegen.runtime import _remove_cache_dir
+
+        target = tmp_path / "cache_dir"
+        target.mkdir()
+        _remove_cache_dir(str(target), os.getpid() + 1)  # "forked child"
+        assert target.is_dir()
+        _remove_cache_dir(str(target), os.getpid())  # the owner
+        assert not target.exists()
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+    def test_fork_resets_child_cache_and_preserves_parent(self):
+        # Round-trip: the forked child must see a cold, detached cache
+        # (fresh dir, no entries, zeroed counters) and its exit must
+        # leave the parent's directory and entries untouched.
+        from repro.codegen.runtime import ProgramCache, _remove_cache_dir
+
+        cache = ProgramCache()
+        cache.put(("k", "python", ""), object())
+        cache.get(("k", "python", ""))
+        parent_dir = cache.artifact_dir()
+        parent_pid = os.getpid()
+        marker = os.path.join(parent_dir, "artifact.so")
+        with open(marker, "w") as handle:
+            handle.write("parent artifact")
+
+        child = os.fork()
+        if child == 0:
+            # In the child: assert with os._exit codes (no pytest).
+            try:
+                ok = (
+                    len(cache) == 0
+                    and cache.hits == 0
+                    and cache.misses == 0
+                    and cache._dir is None
+                    and not cache._registered_dirs
+                )
+                # The inherited atexit handler must not fire here.
+                _remove_cache_dir(parent_dir, parent_pid)
+                ok = ok and os.path.exists(marker)
+                # A child-side miss lazily creates a *different* dir.
+                child_dir = cache.artifact_dir()
+                ok = ok and child_dir != parent_dir
+                if os.path.isdir(child_dir):
+                    import shutil as _shutil
+
+                    _shutil.rmtree(child_dir, ignore_errors=True)
+                os._exit(0 if ok else 1)
+            except BaseException:
+                os._exit(2)
+        _pid, status = os.waitpid(child, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        # Parent state untouched by the child's lifecycle.
+        assert os.path.exists(marker)
+        assert len(cache) == 1
+        assert cache.get(("k", "python", "")) is not None
+        import shutil as _shutil
+
+        _shutil.rmtree(parent_dir, ignore_errors=True)
+
 
 def test_opt_level_auto_downgrade():
     from repro.codegen.program import Assign, Bin, Program, Var
