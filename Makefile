@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test bench bench-json bench-shards bench-quick examples lint clean
+.PHONY: install check test bench bench-json bench-shards bench-telemetry bench-quick examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -28,6 +28,7 @@ check:
 	$(MAKE) bench-json REPRO_BENCH_SCALE=0.1
 	$(MAKE) bench-shards REPRO_BENCH_SCALE=0.05 REPRO_BENCH_VECTORS=32 \
 		REPRO_BENCH_FAULTS=96 REPRO_BENCH_WORKERS=1,2
+	$(MAKE) bench-telemetry
 	@echo "check passed"
 
 bench:
@@ -48,6 +49,13 @@ bench-json:
 # FAULTS,WORKERS,BACKEND}.
 bench-shards:
 	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_sharded_faults.py
+
+# Telemetry overhead budgets: refreshes
+# benchmarks/results/telemetry_overhead.{txt,json} and the repo-root
+# BENCH_telemetry.json snapshot, asserting disabled instrumentation
+# costs <= 2% and enabled <= 5% on the packed C-backend workload.
+bench-telemetry:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_telemetry_overhead.py
 
 bench-quick:
 	REPRO_BENCH_SUITE=c432,c880 REPRO_BENCH_VECTORS=64 \

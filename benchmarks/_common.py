@@ -47,6 +47,22 @@ SUITE = [
 _circuit_cache: dict[tuple[str, float], object] = {}
 
 
+def jsonable(value):
+    """Recursively convert metrics values for JSON serialization.
+
+    Anything carrying an ``as_dict`` method — notably
+    :class:`repro.harness.timing.TimingResult` — serializes through it,
+    so benchmarks can put timing objects straight into their metrics.
+    """
+    if hasattr(value, "as_dict"):
+        return jsonable(value.as_dict())
+    if isinstance(value, dict):
+        return {key: jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    return value
+
+
 def circuit(name: str, scale: float = SCALE):
     """Cached ISCAS85-analog circuit at the requested scale."""
     key = (name, scale)
@@ -83,6 +99,6 @@ def write_report(
     json_path.write_text(json.dumps({
         "figure": figure,
         "backend": backend if backend is not None else BACKEND,
-        "metrics": metrics if metrics is not None else {},
+        "metrics": jsonable(metrics) if metrics is not None else {},
     }, indent=2, sort_keys=True) + "\n")
     print(f"\n{text}\n[written to {path} and {json_path}]")

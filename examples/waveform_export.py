@@ -3,20 +3,23 @@
 
 Runs a burst of vectors through an 8-bit ripple-carry adder with the
 parallel technique and dumps the complete gate-level settling
-behaviour — carry ripple, glitches and all — as ``adder_trace.vcd``,
-loadable in GTKWave or any other VCD viewer.
+behaviour — carry ripple, glitches and all — as
+``examples/adder_trace.vcd`` (gitignored), loadable in GTKWave or any
+other VCD viewer.
 
 Run:  python examples/waveform_export.py [output.vcd]
 """
 
 import sys
+from pathlib import Path
 
 from repro import ParallelSimulator, VCDWriter, random_vectors
 from repro.netlist.generators import ripple_carry_adder
 
 
 def main():
-    output_path = sys.argv[1] if len(sys.argv) > 1 else "adder_trace.vcd"
+    default = Path(__file__).resolve().parent / "adder_trace.vcd"
+    output_path = sys.argv[1] if len(sys.argv) > 1 else str(default)
     circuit = ripple_carry_adder(8)
     print(f"Circuit: {circuit}")
 

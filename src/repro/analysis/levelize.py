@@ -14,6 +14,7 @@ level is ``max(input levels) + 1`` and its minlevel is
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.netlist.circuit import Circuit
 
 __all__ = ["Levelization", "levelize"]
@@ -71,6 +72,11 @@ def levelize(circuit: Circuit) -> Levelization:
     Raises :class:`repro.errors.CyclicCircuitError` via the topological
     sort if the circuit has a combinational cycle.
     """
+    with telemetry.span("levelize", circuit=circuit.name):
+        return _levelize(circuit)
+
+
+def _levelize(circuit: Circuit) -> Levelization:
     net_levels: dict[str, int] = {}
     net_minlevels: dict[str, int] = {}
     gate_levels: dict[str, int] = {}

@@ -20,6 +20,7 @@ from bisect import bisect_left
 from collections import deque
 from typing import Iterable, Optional
 
+from repro import telemetry
 from repro.analysis.levelize import Levelization, levelize
 from repro.netlist.circuit import Circuit
 
@@ -156,6 +157,13 @@ def compute_pc_sets(
     queue, and sets are propagated by union (nets) and union-then-
     increment (gates).
     """
+    with telemetry.span("pcset", circuit=circuit.name):
+        return _compute_pc_sets(circuit, levels)
+
+
+def _compute_pc_sets(
+    circuit: Circuit, levels: Optional[Levelization] = None
+) -> PCSets:
     if levels is None:
         levels = levelize(circuit)
 

@@ -6,19 +6,27 @@ Subcommands::
     repro-sim compile <circuit> [...]      print generated code
     repro-sim simulate <circuit> [...]     run random vectors, print outputs
     repro-sim bench   <circuit> [...]      quick technique comparison
+    repro-sim profile <circuit> [...]      per-phase pipeline timing
 
 ``<circuit>`` is either a path to an ISCAS85 ``.bench`` file or the
 name of a built-in synthetic benchmark (c432..c7552, or generator
 specs like ``rca16``, ``mul8``, ``parity32``).
+
+Every subcommand also accepts ``--profile`` (print the per-phase
+telemetry table after the normal output) and ``--metrics-out FILE``
+(dump the full telemetry snapshot as JSON); ``profile`` is the
+dedicated breakdown of one compile+run pipeline.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Optional
 
+from repro import telemetry
 from repro.analysis.stats import circuit_report
 from repro.harness.runner import TECHNIQUES, build_simulator, run_technique
 from repro.harness.tables import format_table
@@ -66,8 +74,16 @@ _GENERATORS = _generators()
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.codegen.runtime import program_cache
+
     circuit = resolve_circuit(args.circuit, args.scale)
     report = circuit_report(circuit, include_alignments=not args.fast)
+    cache = program_cache().stats()
+    report = dict(report)
+    report["program cache"] = (
+        f"{cache['entries']} entries, {cache['hits']} hits, "
+        f"{cache['misses']} misses"
+    )
     width = max(len(k) for k in report)
     for key, value in report.items():
         print(f"{key.ljust(width)}  {value}")
@@ -221,6 +237,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         if stats["degraded"]:
             line += ", DEGRADED to single-process"
         print(line)
+        events = stats.get("events", {})
+        if events.get("retries") or events.get("timeouts"):
+            print(f"events: {events['retries']} retries, "
+                  f"{events['timeouts']} timeouts")
+    counters = getattr(report, "counters", None)
+    if counters is not None and counters.seconds > 0:
+        print(f"throughput: {counters.vectors} machine vectors in "
+              f"{counters.batches} batches, "
+              f"{counters.vectors / counters.seconds:,.0f} vectors/s")
     if report.undetected and args.show_undetected:
         shown = ", ".join(str(f) for f in report.undetected[:20])
         more = ("..." if len(report.undetected) > 20 else "")
@@ -259,6 +284,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.codegen.runtime import program_cache
+    from repro.harness.runner import run_technique
+
+    circuit = resolve_circuit(args.circuit, args.scale)
+    vectors = vectors_for(circuit, args.vectors, args.seed)
+    telemetry.enable(reset_state=True)
+    # The outer wall wraps exactly the instrumented pipeline — program
+    # generation, alignment, backend compile, state seeding, batch
+    # marshalling, and the compiled run — so the phase table's coverage
+    # footer is meaningful (circuit parsing and vector generation stay
+    # outside both).
+    start = time.perf_counter()
+    run = run_technique(
+        circuit, args.technique, vectors,
+        backend=args.backend, word_width=args.word_width,
+    )
+    run()
+    wall = time.perf_counter() - start
+    print(telemetry.format_profile(
+        wall,
+        title=(f"{circuit.name}: {args.technique}, "
+               f"{len(vectors)} vectors, backend={args.backend}"),
+    ))
+    cache = program_cache().stats()
+    print(f"program cache: {cache['entries']} entries, "
+          f"{cache['hits']} hits, {cache['misses']} misses")
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -270,12 +325,27 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+        # Options must live on each subparser: argparse stops matching
+        # top-level options once the subcommand name is consumed.
+        p.add_argument(
+            "--profile", action="store_true",
+            help="print the per-phase telemetry table after the "
+                 "command's normal output",
+        )
+        p.add_argument(
+            "--metrics-out", default=None, metavar="FILE",
+            help="write the full telemetry snapshot (phases, counters, "
+                 "cache/packing/sharding sections) as JSON",
+        )
+
     p_stats = sub.add_parser("stats", help="static circuit report")
     p_stats.add_argument("circuit")
     p_stats.add_argument(
         "--fast", action="store_true",
         help="skip the alignment analyses (large circuits)",
     )
+    _add_telemetry_args(p_stats)
     p_stats.set_defaults(func=_cmd_stats)
 
     p_compile = sub.add_parser("compile", help="print generated code")
@@ -290,6 +360,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_compile.add_argument("-w", "--word-width", type=int, default=32,
                            choices=[8, 16, 32, 64])
     p_compile.add_argument("-o", "--output", default=None)
+    _add_telemetry_args(p_compile)
     p_compile.set_defaults(func=_cmd_compile)
 
     p_sim = sub.add_parser("simulate", help="simulate random vectors")
@@ -303,6 +374,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                        choices=["python", "c"])
     p_sim.add_argument("-w", "--word-width", type=int, default=32,
                        choices=[8, 16, 32, 64])
+    _add_telemetry_args(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     history_techniques = [
@@ -324,6 +396,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                        choices=["python", "c"])
     p_act.add_argument("-w", "--word-width", type=int, default=32,
                        choices=[8, 16, 32, 64])
+    _add_telemetry_args(p_act)
     p_act.set_defaults(func=_cmd_activity)
 
     p_vcd = sub.add_parser("vcd", help="dump unit-delay waveforms")
@@ -339,6 +412,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                        choices=["python", "c"])
     p_vcd.add_argument("-w", "--word-width", type=int, default=32,
                        choices=[8, 16, 32, 64])
+    _add_telemetry_args(p_vcd)
     p_vcd.set_defaults(func=_cmd_vcd)
 
     p_equiv = sub.add_parser(
@@ -354,6 +428,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_equiv.add_argument("--seed", type=int, default=0)
     p_equiv.add_argument("-b", "--backend", default="python",
                          choices=["python", "c"])
+    _add_telemetry_args(p_equiv)
     p_equiv.set_defaults(func=_cmd_equiv)
 
     p_faults = sub.add_parser(
@@ -386,6 +461,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="per-shard result timeout in seconds; late shards are "
              "regraded in-process",
     )
+    _add_telemetry_args(p_faults)
     p_faults.set_defaults(func=_cmd_faults)
 
     p_bench = sub.add_parser("bench", help="quick technique comparison")
@@ -402,10 +478,51 @@ def main(argv: Optional[list[str]] = None) -> int:
                          choices=["python", "c"])
     p_bench.add_argument("-w", "--word-width", type=int, default=32,
                          choices=[8, 16, 32, 64])
+    _add_telemetry_args(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="per-phase timing of one compile+run pipeline",
+    )
+    p_prof.add_argument("circuit")
+    p_prof.add_argument("-t", "--technique", default="parallel-best",
+                        choices=[t for t in TECHNIQUES
+                                 if t not in ("interp2", "interp3",
+                                              "zero-interp")])
+    p_prof.add_argument("-n", "--vectors", type=int, default=256)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("-b", "--backend", default="python",
+                        choices=["python", "c"])
+    p_prof.add_argument("-w", "--word-width", type=int, default=32,
+                        choices=[8, 16, 32, 64])
+    p_prof.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the full telemetry snapshot as JSON",
+    )
+    p_prof.set_defaults(func=_cmd_profile)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    profile = getattr(args, "profile", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    if profile or metrics_out:
+        telemetry.enable(reset_state=True)
+    start = time.perf_counter()
+    status = args.func(args)
+    wall = time.perf_counter() - start
+    if profile:
+        print()
+        print(telemetry.format_profile(
+            wall, title=f"telemetry profile: {args.command}"
+        ))
+        snap = telemetry.snapshot()
+        cache = snap["cache"]
+        print(f"program cache: {cache['entries']} entries, "
+              f"{cache['hits']} hits, {cache['misses']} misses")
+    if metrics_out:
+        telemetry.write_metrics(metrics_out)
+        print(f"wrote metrics to {metrics_out}")
+    return status
 
 
 if __name__ == "__main__":

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import telemetry
 from repro.codegen.program import (
     Assign,
     Bin,
@@ -157,6 +158,13 @@ def pack_patterns(
     Every vector value must be 0 or 1 — a wider value cannot occupy a
     single lane — and every vector must have the same length.
     """
+    with telemetry.span("pack"):
+        return _pack_patterns(vectors, word_width)
+
+
+def _pack_patterns(
+    vectors: Sequence[Sequence[int]], word_width: int
+) -> tuple[list[list[int]], list[int]]:
     groups: list[list[int]] = []
     lane_counts: list[int] = []
     total = len(vectors)
@@ -196,6 +204,13 @@ def unpack_patterns(
     group order (what ``run_packed_block`` appended).  Returns one
     0/1 output list per original scalar vector, in vector order.
     """
+    with telemetry.span("unpack"):
+        return _unpack_patterns(flat, num_outputs, lane_counts)
+
+
+def _unpack_patterns(
+    flat: Sequence[int], num_outputs: int, lane_counts: Sequence[int]
+) -> list[list[int]]:
     results: list[list[int]] = []
     for g, lanes in enumerate(lane_counts):
         base = g * num_outputs

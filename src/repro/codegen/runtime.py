@@ -66,6 +66,7 @@ import weakref
 from collections import OrderedDict
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro.codegen.packing import validate_packed_words
 from repro.codegen.program import Program
 from repro.errors import BackendError
@@ -321,6 +322,19 @@ class Machine:
         self.program = program
         self.counters = BatchCounters()
 
+    def _record_batch(self, vectors: int, seconds: float) -> None:
+        """One hook behind every batch: counters + the ``run`` phase.
+
+        The duration is measured once by the caller; telemetry reuses
+        it (``record_phase``) instead of wrapping a second timer, so
+        the disabled path costs a single flag check.
+        """
+        self.counters.record(vectors, seconds)
+        if telemetry.enabled():
+            telemetry.record_phase("run", seconds)
+            telemetry.counter("run.batches")
+            telemetry.counter("run.vectors", vectors)
+
     @property
     def num_inputs(self) -> int:
         return len(self.program.inputs)
@@ -447,7 +461,9 @@ class PythonMachine(Machine):
             key = (program_fingerprint(self.source), "python", "")
             code = _PROGRAM_CACHE.get(key)
         if code is None:
-            code = compile(self.source, filename, "exec")
+            with telemetry.span("cc", backend="python",
+                                program=program.name):
+                code = compile(self.source, filename, "exec")
             if key is not None:
                 _PROGRAM_CACHE.put(key, code)
         namespace: dict = {}
@@ -482,7 +498,7 @@ class PythonMachine(Machine):
         sink = [] if out is None else out
         start = time.perf_counter()
         self._gen.send((3, vectors, sink))
-        self.counters.record(len(vectors), time.perf_counter() - start)
+        self._record_batch(len(vectors), time.perf_counter() - start)
         return out
 
     def run_packed_block(
@@ -497,7 +513,7 @@ class PythonMachine(Machine):
         sink = [] if out is None else out
         start = time.perf_counter()
         self._gen.send((4, groups, sink))
-        self.counters.record(
+        self._record_batch(
             self._packed_count(groups, vectors_represented),
             time.perf_counter() - start,
         )
@@ -578,7 +594,9 @@ class CMachine(Machine):
         else:
             with open(c_path, "w") as handle:
                 handle.write(self.source)
-            self._compile(compiler, opt_level, c_path, so_path)
+            with telemetry.span("cc", backend="c", opt=opt_level,
+                                program=program.name):
+                self._compile(compiler, opt_level, c_path, so_path)
             if use_cache:
                 cache_dir = _PROGRAM_CACHE.artifact_dir()
                 cached_c = os.path.join(cache_dir, f"{key[0]}.c")
@@ -677,7 +695,7 @@ class CMachine(Machine):
         """
         start = time.perf_counter()
         self._lib.run_block(packed, count, out_buffer)
-        self.counters.record(
+        self._record_batch(
             count if vectors_represented is None else vectors_represented,
             time.perf_counter() - start,
         )
@@ -714,13 +732,13 @@ class CMachine(Machine):
         start = time.perf_counter()
         if out is None:
             self._lib.run_packed_block(buffer, len(groups), None)
-            self.counters.record(count, time.perf_counter() - start)
+            self._record_batch(count, time.perf_counter() - start)
             return None
         out_buffer = (
             self._word * max(1, len(groups) * self._num_outputs)
         )()
         self._lib.run_packed_block(buffer, len(groups), out_buffer)
-        self.counters.record(count, time.perf_counter() - start)
+        self._record_batch(count, time.perf_counter() - start)
         out.extend(out_buffer[: len(groups) * self._num_outputs])
         return out
 

@@ -44,6 +44,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro.codegen.runtime import BatchCounters, program_cache
 from repro.errors import SimulationError
 from repro.faults.model import Fault, full_fault_list
@@ -71,7 +72,7 @@ class GradingConfig:
 
     __slots__ = (
         "circuit", "vectors", "word_width", "backend", "patterns",
-        "instrument", "initial", "drop_detected",
+        "instrument", "initial", "drop_detected", "telemetry",
         "fail_shards", "fail_mode", "delay_shards",
     )
 
@@ -98,6 +99,9 @@ class GradingConfig:
         self.instrument = instrument
         self.initial = initial
         self.drop_detected = drop_detected
+        # Captured at construction: workers must collect telemetry
+        # exactly when the parent process was collecting it.
+        self.telemetry = telemetry.enabled()
         self.fail_shards = fail_shards
         self.fail_mode = fail_mode
         self.delay_shards = delay_shards or {}
@@ -117,7 +121,7 @@ class ShardOutcome:
 
     __slots__ = (
         "index", "detected", "undetected", "counters", "cache",
-        "pid", "retried",
+        "pid", "retried", "telemetry",
     )
 
     def __init__(
@@ -136,6 +140,10 @@ class ShardOutcome:
         self.cache = cache
         self.pid = pid
         self.retried = False
+        #: Telemetry snapshot delta shipped by a *worker* process
+        #: (``None`` when graded inline — the parent's own registry
+        #: already holds that activity).
+        self.telemetry: Optional[dict] = None
 
     def __repr__(self) -> str:
         return (
@@ -168,6 +176,9 @@ class ShardedFaultReport(FaultReport):
         Program-cache hit/miss deltas summed across workers.
     worker_pids:
         Distinct process ids that produced the merged outcomes.
+    events:
+        Robustness-event tallies — ``retries`` / ``timeouts`` /
+        ``degraded`` — recorded whether or not telemetry is enabled.
     """
 
     def __init__(
@@ -185,6 +196,7 @@ class ShardedFaultReport(FaultReport):
         counters: BatchCounters,
         cache_stats: dict,
         worker_pids: list[int],
+        events: Optional[dict] = None,
     ) -> None:
         super().__init__(detected, undetected, num_vectors)
         self.workers = workers
@@ -196,6 +208,11 @@ class ShardedFaultReport(FaultReport):
         self.counters = counters
         self.cache_stats = cache_stats
         self.worker_pids = worker_pids
+        self.events = events if events is not None else {
+            "retries": len(retried_shards),
+            "timeouts": 0,
+            "degraded": 1 if degraded else 0,
+        }
 
     def sharding_stats(self) -> dict:
         """The execution metadata as one JSON-friendly dict."""
@@ -209,6 +226,7 @@ class ShardedFaultReport(FaultReport):
             "counters": self.counters.as_dict(),
             "cache_stats": dict(self.cache_stats),
             "worker_pids": list(self.worker_pids),
+            "events": dict(self.events),
         }
 
     def __repr__(self) -> str:
@@ -252,12 +270,24 @@ def shard_faults(
 #: simulator (compiled once per worker) and the shipped config.
 _WORKER_SIM: Optional[ParallelFaultSimulator] = None
 _WORKER_CONFIG: Optional[GradingConfig] = None
+#: What this worker has already shipped to the parent: the telemetry
+#: snapshot taken after the previous shard (or the post-fork baseline),
+#: so each outcome carries exactly the activity since the last one —
+#: the first shard's delta includes the warm-up compile.
+_WORKER_SHIPPED: Optional[dict] = None
 
 
 def _init_worker(config: GradingConfig) -> None:
     """Pool initializer: build + warm up this worker's simulator."""
-    global _WORKER_SIM, _WORKER_CONFIG
+    global _WORKER_SIM, _WORKER_CONFIG, _WORKER_SHIPPED
     _WORKER_CONFIG = config
+    if config.telemetry:
+        # Fresh per-process state: a forked worker inherits the
+        # parent's phases/counters, which the parent already owns.
+        telemetry.enable(reset_state=True)
+        # The baseline still carries the inherited live program-cache
+        # stats; snapshotting here keeps them out of the first delta.
+        _WORKER_SHIPPED = telemetry.snapshot()
     _WORKER_SIM = config.build_simulator()
     _WORKER_SIM.warm_up()
 
@@ -313,7 +343,15 @@ def _grade_shard(item: tuple[int, list[Fault]]) -> ShardOutcome:
         if config.fail_mode == "exit":
             os._exit(17)  # simulate a killed worker
         raise RuntimeError(f"injected failure for shard {index}")
-    return _grade_with(_WORKER_SIM, config, index, faults)
+    outcome = _grade_with(_WORKER_SIM, config, index, faults)
+    if config.telemetry:
+        global _WORKER_SHIPPED
+        snap = telemetry.snapshot()
+        outcome.telemetry = telemetry.diff_snapshots(
+            snap, _WORKER_SHIPPED or {}
+        )
+        _WORKER_SHIPPED = snap
+    return outcome
 
 
 # ----------------------------------------------------------------------
@@ -328,12 +366,16 @@ def merge_shard_outcomes(
     shard_sizes: list[int],
     mp_start: str,
     degraded: bool,
+    events: Optional[dict] = None,
 ) -> ShardedFaultReport:
     """Deterministically merge per-shard outcomes into one report.
 
     Outcomes are ordered by shard index (shards are contiguous slices
     of the fault list), so detected-map insertion order and the
     undetected list both reproduce the single-process run exactly.
+    Worker-shipped telemetry deltas fold into this process's registry
+    (inline/retried outcomes carry none — their activity is already
+    recorded here).
     """
     detected: dict[Fault, int] = {}
     undetected: list[Fault] = []
@@ -352,6 +394,8 @@ def merge_shard_outcomes(
         if outcome.retried:
             retried.append(outcome.index)
         pids.add(outcome.pid)
+        if outcome.telemetry is not None and outcome.pid != os.getpid():
+            telemetry.merge_snapshot(outcome.telemetry)
     return ShardedFaultReport(
         detected, undetected, num_vectors,
         workers=workers,
@@ -363,6 +407,7 @@ def merge_shard_outcomes(
         counters=counters,
         cache_stats=cache_stats,
         worker_pids=sorted(pids),
+        events=events,
     )
 
 
@@ -444,6 +489,8 @@ def run_sharded_fault_simulation(
         return local_sim
 
     def run_inline(mp_label: str, degraded: bool) -> ShardedFaultReport:
+        if degraded:
+            telemetry.event("shard.degraded", mp_start=mp_label)
         outcomes = [
             _grade_with(local(), config, index, shard)
             for index, shard in enumerate(shard_lists)
@@ -453,6 +500,11 @@ def run_sharded_fault_simulation(
             workers=1 if not degraded else workers,
             num_shards=num_shards, shard_sizes=shard_sizes,
             mp_start=mp_label, degraded=degraded,
+            events={
+                "retries": 0,
+                "timeouts": 0,
+                "degraded": 1 if degraded else 0,
+            },
         )
 
     if workers == 1 or num_shards <= 1 or not faults:
@@ -480,12 +532,13 @@ def run_sharded_fault_simulation(
 
     outcomes: list[ShardOutcome] = []
     failed: list[int] = []
-    timed_out = False
+    timeouts = 0
     for index, future in enumerate(futures):
         try:
             outcomes.append(future.result(timeout=shard_timeout))
         except FuturesTimeoutError:
-            timed_out = True
+            timeouts += 1
+            telemetry.event("shard.timeout", shard=index)
             failed.append(index)
         except Exception:
             # Worker raised, died (BrokenProcessPool), or the shard
@@ -493,9 +546,10 @@ def run_sharded_fault_simulation(
             failed.append(index)
     # A timed-out shard's worker may still be grinding; don't block
     # shutdown on it (the in-process retry supersedes its result).
-    pool.shutdown(wait=not timed_out, cancel_futures=True)
+    pool.shutdown(wait=timeouts == 0, cancel_futures=True)
 
     for index in failed:
+        telemetry.event("shard.retry", shard=index)
         outcome = _grade_with(local(), config, index, shard_lists[index])
         outcome.retried = True
         outcomes.append(outcome)
@@ -505,4 +559,9 @@ def run_sharded_fault_simulation(
         workers=workers, num_shards=num_shards,
         shard_sizes=shard_sizes, mp_start=start_method,
         degraded=False,
+        events={
+            "retries": len(failed),
+            "timeouts": timeouts,
+            "degraded": 0,
+        },
     )

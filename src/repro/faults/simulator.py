@@ -55,6 +55,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
+from repro import telemetry
 from repro.codegen.packing import is_shift_free, pack_patterns
 from repro.codegen.program import Assign, Bin, Emit, Input, Program, Var
 from repro.codegen.runtime import compile_program
@@ -84,7 +85,14 @@ class FaultReport:
         Faults no vector exposed.
     num_vectors:
         Vectors simulated.
+    counters:
+        The engine's :class:`~repro.codegen.runtime.BatchCounters`
+        snapshot when the grading run attaches one (single-process
+        :func:`run_fault_simulation`), else ``None``.
     """
+
+    #: Throughput counters; attached by the grading entry points.
+    counters = None
 
     def __init__(
         self,
@@ -403,9 +411,11 @@ class ParallelFaultSimulator:
                     batch, groups, lane_counts, mask, goods, state_words
                 )
             else:
-                outcome = self._run_batch(
-                    batch, vectors, initial, settled, mask, drop_detected
-                )
+                with telemetry.span("fault.screen"):
+                    outcome = self._run_batch(
+                        batch, vectors, initial, settled, mask,
+                        drop_detected,
+                    )
             for fault, first in zip(batch, outcome):
                 if first is None:
                     undetected.append(fault)
@@ -512,36 +522,43 @@ class ParallelFaultSimulator:
         faulted_nets = sorted({fault.net for fault in batch})
         machine, nets, _slots = self._machine_for(faulted_nets)
         if goods is None:
-            goods = self._good_packed(
-                machine, nets, groups, lane_counts, state_words
-            )
+            with telemetry.span("fault.good"):
+                goods = self._good_packed(
+                    machine, nets, groups, lane_counts, state_words
+                )
         n_out = machine.num_outputs
         first_detection: list[Optional[int]] = []
         for fault in batch:
-            # Pin the fault in *every* lane: FMASK drops to zero and
-            # FVAL replicates the stuck value across the word.
-            extra = [0 if n == fault.net else mask for n in nets] + [
-                (mask if fault.value else 0) if n == fault.net else 0
-                for n in nets
-            ]
-            machine.load_state(state_words)
-            first: Optional[int] = None
-            for g, group in enumerate(groups):
-                out: list[int] = []
-                machine.run_packed_block(
-                    [list(group) + extra], out,
-                    vectors_represented=lane_counts[g],
-                )
-                diff = 0
-                for word, good in zip(out, goods[g * n_out:(g + 1) * n_out]):
-                    diff |= word ^ good
-                lanes = lane_counts[g]
-                diff &= mask if lanes == self.word_width else (1 << lanes) - 1
-                if diff:
-                    lowest = (diff & -diff).bit_length() - 1
-                    first = g * self.word_width + lowest
-                    break
-            first_detection.append(first)
+            with telemetry.span("fault.screen"):
+                # Pin the fault in *every* lane: FMASK drops to zero
+                # and FVAL replicates the stuck value across the word.
+                extra = [0 if n == fault.net else mask for n in nets] + [
+                    (mask if fault.value else 0) if n == fault.net else 0
+                    for n in nets
+                ]
+                machine.load_state(state_words)
+                first: Optional[int] = None
+                for g, group in enumerate(groups):
+                    out: list[int] = []
+                    machine.run_packed_block(
+                        [list(group) + extra], out,
+                        vectors_represented=lane_counts[g],
+                    )
+                    diff = 0
+                    for word, good in zip(
+                        out, goods[g * n_out:(g + 1) * n_out]
+                    ):
+                        diff |= word ^ good
+                    lanes = lane_counts[g]
+                    diff &= (
+                        mask if lanes == self.word_width
+                        else (1 << lanes) - 1
+                    )
+                    if diff:
+                        lowest = (diff & -diff).bit_length() - 1
+                        first = g * self.word_width + lowest
+                        break
+                first_detection.append(first)
         return first_detection, goods
 
     def _good_packed(
@@ -645,4 +662,6 @@ def run_fault_simulation(
     simulator = ParallelFaultSimulator(
         circuit, word_width=word_width, backend=backend, patterns=patterns
     )
-    return simulator.run(vectors, faults, initial=initial)
+    report = simulator.run(vectors, faults, initial=initial)
+    report.counters = simulator.batch_counters()
+    return report

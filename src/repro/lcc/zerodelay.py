@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro import telemetry
 from repro.analysis.levelize import levelize
 from repro.codegen.gates import gate_expression
 from repro.codegen.naming import NameAllocator
@@ -44,6 +45,18 @@ def generate_lcc_program(
     bit ``j`` belongs to packed vector ``j``, so passing plain 0/1 values
     simulates a single vector.
     """
+    with telemetry.span("emit", technique="lcc", circuit=circuit.name):
+        return _generate_lcc_program(
+            circuit, word_width=word_width, emit_outputs=emit_outputs
+        )
+
+
+def _generate_lcc_program(
+    circuit: Circuit,
+    *,
+    word_width: int,
+    emit_outputs: bool,
+) -> Program:
     program = Program(
         f"lcc_{circuit.name}",
         word_width=word_width,
@@ -214,7 +227,9 @@ class LCCSimulator:
         """
         words = [self._vector_list(vector) for vector in vectors]
         if self._packable(words):
+            telemetry.counter("packing.packed_batches")
             return packed_apply(self.machine, words)
+        telemetry.counter("packing.fallback.scalar")
         return self.machine.step_many(words)
 
     # ------------------------------------------------------------------
@@ -247,6 +262,7 @@ class LCCSimulator:
         """
         words = [self._vector_list(vector) for vector in vectors]
         if self._packable(words):
+            telemetry.counter("packing.packed_batches")
             groups, lane_counts = pack_patterns(words, self.word_width)
             flat: list[int] = []
             self.machine.run_packed_block(
@@ -256,6 +272,7 @@ class LCCSimulator:
                 flat, self.machine.num_outputs, lane_counts
             )
         else:
+            telemetry.counter("packing.fallback.scalar")
             rows = self.machine.step_many(words)
         checksum = 0
         for out in rows:
@@ -275,12 +292,15 @@ class LCCSimulator:
         on the C backend the batch becomes one contiguous native
         buffer; on the Python backend a pre-marshalled word list.
         """
-        words = [self._vector_list(vector) for vector in vectors]
-        if isinstance(self.machine, CMachine):
-            return ("c", self.machine.pack_block(words), len(words), None)
-        mask = self.program.word_mask
-        masked = [[value & mask for value in word] for word in words]
-        return ("py", masked, len(words), None)
+        with telemetry.span("pack"):
+            words = [self._vector_list(vector) for vector in vectors]
+            if isinstance(self.machine, CMachine):
+                return (
+                    "c", self.machine.pack_block(words), len(words), None
+                )
+            mask = self.program.word_mask
+            masked = [[value & mask for value in word] for word in words]
+            return ("py", masked, len(words), None)
 
     def prepare_packed(self, vectors: Sequence[Sequence[int]]):
         """Transpose + marshal a pattern batch outside the timed region.

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro import telemetry
 from repro.analysis.pcsets import compute_pc_sets
 from repro.codegen.gates import gate_expression
 from repro.codegen.program import (
@@ -62,6 +63,26 @@ def generate_aligned_program(
     """
     if output_mode not in ("words", "bits"):
         raise CodegenError(f"unknown output mode: {output_mode!r}")
+    with telemetry.span("emit", technique="parallel-aligned",
+                        trimming=trimming, circuit=circuit.name):
+        return _generate_aligned_program(
+            circuit, alignment, word_width=word_width, trimming=trimming,
+            monitored=monitored, emit_outputs=emit_outputs,
+            output_mode=output_mode, comments=comments,
+        )
+
+
+def _generate_aligned_program(
+    circuit: Circuit,
+    alignment: Alignment,
+    *,
+    word_width: int,
+    trimming: bool,
+    monitored: Optional[Iterable[str]],
+    emit_outputs: bool,
+    output_mode: str,
+    comments: bool,
+) -> tuple[Program, FieldLayout]:
     alignment.validate()
     monitored_list = (
         list(monitored) if monitored is not None else circuit.outputs

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro import telemetry
 from repro.analysis.levelize import levelize
 from repro.analysis.pcsets import compute_pc_sets
 from repro.codegen.gates import gate_expression
@@ -69,6 +70,25 @@ def generate_parallel_program(
     """
     if output_mode not in ("words", "bits"):
         raise CodegenError(f"unknown output mode: {output_mode!r}")
+    with telemetry.span("emit", technique="parallel",
+                        trimming=trimming, circuit=circuit.name):
+        return _generate_parallel_program(
+            circuit, word_width=word_width, trimming=trimming,
+            monitored=monitored, emit_outputs=emit_outputs,
+            output_mode=output_mode, comments=comments,
+        )
+
+
+def _generate_parallel_program(
+    circuit: Circuit,
+    *,
+    word_width: int,
+    trimming: bool,
+    monitored: Optional[Iterable[str]],
+    emit_outputs: bool,
+    output_mode: str,
+    comments: bool,
+) -> tuple[Program, FieldLayout]:
     monitored_list = (
         list(monitored) if monitored is not None else circuit.outputs
     )

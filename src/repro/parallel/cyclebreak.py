@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import telemetry
 from repro.analysis.graph import Edge, UndirectedNetworkGraph, Vertex
 from repro.analysis.levelize import Levelization, levelize
 from repro.netlist.circuit import Circuit
@@ -73,6 +74,14 @@ def cycle_breaking_alignment(
     circuit: Circuit, levels: Optional[Levelization] = None
 ) -> Alignment:
     """Compute alignments with the §4 cycle-breaking algorithm."""
+    with telemetry.span("align", algorithm="cyclebreak",
+                        circuit=circuit.name):
+        return _cycle_breaking_alignment(circuit, levels)
+
+
+def _cycle_breaking_alignment(
+    circuit: Circuit, levels: Optional[Levelization] = None
+) -> Alignment:
     if levels is None:
         levels = levelize(circuit)
     minlevel = levels.net_minlevels

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import telemetry
 from repro.analysis.levelize import Levelization, levelize
 from repro.netlist.circuit import Circuit
 from repro.parallel.alignment import Alignment
@@ -35,6 +36,14 @@ def path_tracing_alignment(
     PC-set value (= its minlevel); any sink nets that are not monitored
     are processed afterwards so the whole circuit gets aligned.
     """
+    with telemetry.span("align", algorithm="pathtrace",
+                        circuit=circuit.name):
+        return _path_tracing_alignment(circuit, levels)
+
+
+def _path_tracing_alignment(
+    circuit: Circuit, levels: Optional[Levelization] = None
+) -> Alignment:
     if levels is None:
         levels = levelize(circuit)
     minlevel = levels.net_minlevels

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro import telemetry
 from repro.analysis.levelize import levelize
 from repro.analysis.pcsets import compute_pc_sets
 from repro.codegen.gates import gate_expression
@@ -45,6 +46,21 @@ def generate_pcset_program(
     single-vector simulation or packed words for the §3-referenced
     multi-vector mode.
     """
+    with telemetry.span("emit", technique="pcset", circuit=circuit.name):
+        return _generate_pcset_program(
+            circuit, word_width=word_width, monitored=monitored,
+            emit_outputs=emit_outputs, comments=comments,
+        )
+
+
+def _generate_pcset_program(
+    circuit: Circuit,
+    *,
+    word_width: int,
+    monitored: Optional[Iterable[str]],
+    emit_outputs: bool,
+    comments: bool,
+) -> tuple[Program, PCSetVariables]:
     monitored_list = (
         list(monitored) if monitored is not None else circuit.outputs
     )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
+from repro import telemetry
 from repro.codegen.packing import packed_apply, packing_mode
 from repro.codegen.program import Program
 from repro.codegen.runtime import CMachine, Machine, compile_program
@@ -86,8 +87,9 @@ class CompiledSimulator:
         """
         if vector is None:
             vector = [0] * len(self._inputs)
-        settled = steady_state(self.circuit, vector)
-        self.machine.load_state(self._encode_state(settled))
+        with telemetry.span("seed"):
+            settled = steady_state(self.circuit, vector)
+            self.machine.load_state(self._encode_state(settled))
         self._settled = True
 
     def _encode_state(self, settled: Mapping[str, int]) -> list[int]:
@@ -140,7 +142,9 @@ class CompiledSimulator:
             raise SimulationError("call reset() before apply_vectors()")
         words = [self._vector_words(vector) for vector in vectors]
         if self.packing_mode == "full" and self._inputs:
+            telemetry.counter("packing.packed_batches")
             return packed_apply(self.machine, words)
+        telemetry.counter(f"packing.fallback.{self.packing_mode}")
         return self.machine.step_many(words, masked=True)
 
     def prepare_batch(self, vectors: Sequence[Sequence[int]]):
@@ -153,10 +157,11 @@ class CompiledSimulator:
         pre-marshalled and the timed run is a single batched send into
         the generated coroutine's in-frame loop.
         """
-        words = [self._vector_words(vector) for vector in vectors]
-        if isinstance(self.machine, CMachine):
-            return ("c", self.machine.pack_block(words), len(words))
-        return ("py", words)
+        with telemetry.span("pack"):
+            words = [self._vector_words(vector) for vector in vectors]
+            if isinstance(self.machine, CMachine):
+                return ("c", self.machine.pack_block(words), len(words))
+            return ("py", words)
 
     def run_prepared(self, prepared) -> None:
         """Run a batch produced by :meth:`prepare_batch`."""
