@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test bench bench-json bench-shards bench-telemetry bench-quick examples lint clean
+.PHONY: install check test fuzz-smoke bench bench-json bench-shards bench-telemetry bench-quick examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -29,7 +29,18 @@ check:
 	$(MAKE) bench-shards REPRO_BENCH_SCALE=0.05 REPRO_BENCH_VECTORS=32 \
 		REPRO_BENCH_FAULTS=96 REPRO_BENCH_WORKERS=1,2
 	$(MAKE) bench-telemetry
+	$(MAKE) fuzz-smoke
 	@echo "check passed"
+
+# Short differential-fuzzing campaign at a fixed seed; the exit code
+# asserts that no technique/backend/execution-shape disagreement was
+# found (a failure writes its shrunk reproducer to a temp corpus and
+# fails the target).
+fuzz-smoke:
+	@tmp=$$(mktemp -d) && \
+	PYTHONPATH=src $(PYTHON) -m repro.cli fuzz --seed 1990 \
+		--budget-seconds 20 --corpus $$tmp/corpus && \
+	rm -rf $$tmp
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -7,6 +7,7 @@ Subcommands::
     repro-sim simulate <circuit> [...]     run random vectors, print outputs
     repro-sim bench   <circuit> [...]      quick technique comparison
     repro-sim profile <circuit> [...]      per-phase pipeline timing
+    repro-sim fuzz    [...]                differential fuzzing campaign
 
 ``<circuit>`` is either a path to an ISCAS85 ``.bench`` file or the
 name of a built-in synthetic benchmark (c432..c7552, or generator
@@ -314,6 +315,44 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import inject_emitter_bug, run_campaign
+
+    kwargs = dict(
+        seed=args.seed,
+        iterations=args.iterations,
+        budget_seconds=args.budget_seconds,
+        corpus_dir=args.corpus,
+        backends=args.backends.split(",") if args.backends else None,
+        configs_per_circuit=args.configs_per_circuit,
+        max_gates=args.max_gates,
+        include_faults=not args.no_faults,
+        progress=print,
+    )
+    if args.inject_bug:
+        with inject_emitter_bug(args.inject_bug) as description:
+            print(f"injected emitter bug: {description}")
+            result = run_campaign(**kwargs)
+    else:
+        result = run_campaign(**kwargs)
+    print(
+        f"seed {result.seed}: {result.circuits} circuits, "
+        f"{result.configs_checked} configs, "
+        f"{result.comparisons} comparisons, "
+        f"{len(result.failures)} failures in {result.seconds:.1f}s "
+        f"(stopped by {result.stopped_by})"
+    )
+    if result.failures:
+        print(f"shrinking took {result.shrink_steps} accepted steps")
+        for failure in result.failures:
+            where = (f" -> {failure.corpus_path}"
+                     if failure.corpus_path else "")
+            print(f"  [{failure.config.label()}] {failure.error}"
+                  f" ({failure.num_gates} gates, "
+                  f"{failure.num_vectors} vectors){where}")
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -501,6 +540,50 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="write the full telemetry snapshot as JSON",
     )
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the compiled techniques against "
+             "the event-driven reference",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument(
+        "-n", "--iterations", type=int, default=None,
+        help="circuits to fuzz (default 50 when no time budget)",
+    )
+    p_fuzz.add_argument(
+        "--budget-seconds", type=float, default=None,
+        help="stop after this much wall time",
+    )
+    p_fuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="save shrunk reproducers to this corpus directory",
+    )
+    p_fuzz.add_argument(
+        "--backends", default=None,
+        help="comma-separated backends (default: python, plus c when "
+             "a compiler is available)",
+    )
+    p_fuzz.add_argument(
+        "--configs-per-circuit", type=int, default=4,
+        help="lattice points sampled per circuit (default 4)",
+    )
+    p_fuzz.add_argument(
+        "--max-gates", type=int, default=24,
+        help="largest random circuit drawn (default 24 gates)",
+    )
+    p_fuzz.add_argument(
+        "--no-faults", action="store_true",
+        help="skip the fault-report identity checks",
+    )
+    p_fuzz.add_argument(
+        "--inject-bug", default=None, metavar="MUTATION",
+        help="self-test: corrupt one gate type's emitted code "
+             "(nor-as-or, xnor-as-xor, nand-as-and, not-as-buf) and "
+             "verify the campaign catches it",
+    )
+    _add_telemetry_args(p_fuzz)
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     args = parser.parse_args(argv)
     profile = getattr(args, "profile", False)

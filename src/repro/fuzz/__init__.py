@@ -1,0 +1,53 @@
+"""Differential fuzzing: campaign, shrinker, replayable failure corpus.
+
+The five execution paths of this library (event-driven reference,
+PC-set, parallel variants; Python and C backends; scalar / packed /
+batched / sharded execution) must agree bit for bit.  This package
+keeps them honest at scale: :func:`run_campaign` explores random
+circuits against a sampled slice of the configuration lattice,
+:func:`shrink` reduces every disagreement to a minimal reproducer, and
+the corpus turns past failures into permanent regression tests (see
+``tests/test_fuzz_corpus.py`` and the ``repro-sim fuzz`` subcommand).
+"""
+
+from repro.fuzz.campaign import (
+    CampaignFailure,
+    CampaignResult,
+    run_campaign,
+)
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    entry_from_failure,
+    load_corpus,
+    load_entry,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.lattice import (
+    CHECKS,
+    FuzzConfig,
+    run_check,
+    sample_configs,
+)
+from repro.fuzz.mutation import MUTATIONS, inject_emitter_bug
+from repro.fuzz.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "CHECKS",
+    "MUTATIONS",
+    "CampaignFailure",
+    "CampaignResult",
+    "CorpusEntry",
+    "FuzzConfig",
+    "ShrinkResult",
+    "entry_from_failure",
+    "inject_emitter_bug",
+    "load_corpus",
+    "load_entry",
+    "replay_entry",
+    "run_campaign",
+    "run_check",
+    "sample_configs",
+    "save_entry",
+    "shrink",
+]

@@ -1,0 +1,242 @@
+"""The differential fuzzer's configuration lattice.
+
+Five execution paths must agree bit for bit — the event-driven
+reference, the PC-set method, the parallel variants, both backends,
+and the scalar/packed/batched/sharded execution shapes.  A point in
+the lattice is a :class:`FuzzConfig`: *which* differential check to
+run (``check``), on *which* technique, backend, word width, batch
+size, and — for the fault workload — worker count.  The campaign
+(:mod:`repro.fuzz.campaign`) samples a slice of the lattice per
+circuit; :func:`run_check` executes one point and raises
+:class:`~repro.harness.compare.Mismatch` on disagreement, which is the
+single predicate the shrinker and the corpus replay share.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.harness.compare import PACKED_TECHNIQUES, Mismatch, cross_validate
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "CHECKS",
+    "HISTORY_TECHNIQUES",
+    "WORD_WIDTHS",
+    "FuzzConfig",
+    "sample_configs",
+    "run_check",
+]
+
+#: The differential comparisons the fuzzer knows how to run.
+CHECKS = ("history", "batched", "packed", "faults")
+
+#: Unit-delay techniques with a per-net change-history protocol.
+HISTORY_TECHNIQUES = (
+    "pcset",
+    "parallel",
+    "parallel-trim",
+    "parallel-pathtrace",
+    "parallel-cyclebreak",
+    "parallel-best",
+)
+
+WORD_WIDTHS = (8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One point of the configuration lattice.
+
+    ``batch_size`` chunks the tape for the batched/packed paths
+    (``0`` = the whole tape in one dispatch).  ``workers`` and
+    ``patterns`` apply to the ``"faults"`` check only: the sharded
+    multiprocess report must be bit-identical to the inline run, and
+    the packed-pattern screens must match the scalar ones.
+    """
+
+    check: str = "history"
+    technique: str = "parallel-best"
+    backend: str = "python"
+    word_width: int = 32
+    batch_size: int = 0
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.check not in CHECKS:
+            raise SimulationError(
+                f"check must be one of {CHECKS}: {self.check!r}"
+            )
+        if self.backend not in ("python", "c"):
+            raise SimulationError(f"unknown backend {self.backend!r}")
+        if self.word_width not in WORD_WIDTHS:
+            raise SimulationError(
+                f"word_width must be one of {WORD_WIDTHS}: "
+                f"{self.word_width}"
+            )
+        if self.check in ("history", "batched"):
+            if self.technique not in HISTORY_TECHNIQUES:
+                raise SimulationError(
+                    f"{self.check!r} check needs a technique from "
+                    f"{HISTORY_TECHNIQUES}: {self.technique!r}"
+                )
+        elif self.check == "packed":
+            if self.technique not in PACKED_TECHNIQUES:
+                raise SimulationError(
+                    f"'packed' check needs a technique from "
+                    f"{PACKED_TECHNIQUES}: {self.technique!r}"
+                )
+
+    def label(self) -> str:
+        """Compact human-readable identity (corpus entries, logs)."""
+        parts = [self.check]
+        if self.check != "faults":
+            parts.append(self.technique)
+        parts.append(self.backend)
+        parts.append(f"w{self.word_width}")
+        if self.check in ("batched", "packed") and self.batch_size:
+            parts.append(f"b{self.batch_size}")
+        if self.check == "faults" and self.workers > 1:
+            parts.append(f"j{self.workers}")
+        return "/".join(parts)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FuzzConfig":
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        return cls(**known)
+
+
+def sample_configs(
+    rng: random.Random,
+    count: int,
+    *,
+    backends: Sequence[str] = ("python",),
+    include_faults: bool = True,
+) -> list[FuzzConfig]:
+    """Draw ``count`` lattice points, deterministically for a given RNG.
+
+    The draw is weighted toward the history check (the strictest
+    oracle); batched, packed and — when enabled — fault-report
+    identity each get a slice of every campaign.
+    """
+    kinds = ["history", "history", "batched", "packed"]
+    if include_faults:
+        kinds.append("faults")
+    configs: list[FuzzConfig] = []
+    for _ in range(count):
+        check = rng.choice(kinds)
+        backend = rng.choice(list(backends))
+        word_width = rng.choice(WORD_WIDTHS)
+        if check == "packed":
+            technique = rng.choice(list(PACKED_TECHNIQUES))
+        else:
+            technique = rng.choice(list(HISTORY_TECHNIQUES))
+        batch_size = rng.choice((0, 1, 2, 3, 5, 8))
+        workers = rng.choice((2, 3)) if check == "faults" else 1
+        configs.append(FuzzConfig(
+            check=check,
+            technique=technique,
+            backend=backend,
+            word_width=word_width,
+            batch_size=batch_size,
+            workers=workers,
+        ))
+    return configs
+
+
+def run_check(
+    circuit: Circuit,
+    vectors: Sequence[Sequence[int]],
+    config: FuzzConfig,
+) -> int:
+    """Run one lattice point; returns the number of comparisons made.
+
+    Raises :class:`~repro.harness.compare.Mismatch` on the first
+    disagreement — the shared predicate of the campaign, the shrinker,
+    and corpus replay.
+    """
+    if config.check == "faults":
+        return _check_faults(circuit, vectors, config)
+    execution = {"history": "scalar", "batched": "batched",
+                 "packed": "packed"}[config.check]
+    return cross_validate(
+        circuit,
+        vectors,
+        techniques=(config.technique,),
+        backend=config.backend,
+        word_width=config.word_width,
+        execution=execution,
+        batch_size=config.batch_size or None,
+    )
+
+
+#: Serial (event-driven, one run per fault) reference is only affordable
+#: on small instances; above these bounds the faults check still
+#: validates scalar-vs-packed and inline-vs-sharded identity.
+_SERIAL_MAX_GATES = 30
+_SERIAL_MAX_VECTORS = 10
+
+
+def _check_faults(
+    circuit: Circuit,
+    vectors: Sequence[Sequence[int]],
+    config: FuzzConfig,
+) -> int:
+    """Fault-report identity: scalar vs. packed vs. sharded (vs. serial).
+
+    Every report must be equal — same detected map (fault -> first
+    detecting vector) and same undetected list.  On small instances the
+    brute-force event-driven reference is compared too.
+    """
+    from repro.faults.simulator import (
+        run_fault_simulation,
+        serial_fault_simulation,
+    )
+
+    def options():
+        return dict(
+            word_width=config.word_width, backend=config.backend
+        )
+
+    scalar = run_fault_simulation(
+        circuit, vectors, patterns="scalar", **options()
+    )
+    checks = scalar.num_faults
+    packed = run_fault_simulation(
+        circuit, vectors, patterns="auto", **options()
+    )
+    if packed != scalar:
+        raise Mismatch(
+            "faults[patterns]", -1, [],
+            f"  packed-pattern report diverged from scalar: "
+            f"{packed!r} vs {scalar!r}",
+        )
+    checks += packed.num_faults
+    if config.workers > 1:
+        sharded = run_fault_simulation(
+            circuit, vectors, workers=config.workers, **options()
+        )
+        if sharded != scalar:
+            raise Mismatch(
+                f"faults[sharded j{config.workers}]", -1, [],
+                f"  sharded report diverged from inline: "
+                f"{sharded!r} vs {scalar!r}",
+            )
+        checks += sharded.num_faults
+    if (circuit.num_gates <= _SERIAL_MAX_GATES
+            and len(vectors) <= _SERIAL_MAX_VECTORS):
+        serial = serial_fault_simulation(circuit, vectors)
+        if serial != scalar:
+            raise Mismatch(
+                "faults[serial]", -1, [],
+                f"  compiled report diverged from the event-driven "
+                f"reference: {scalar!r} vs {serial!r}",
+            )
+        checks += serial.num_faults
+    return checks

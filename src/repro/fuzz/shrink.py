@@ -1,0 +1,299 @@
+"""Delta-debugging shrinker for failing (circuit, vectors, config) triples.
+
+A fuzz failure on a 200-gate random DAG is not a bug report; the same
+failure on a 3-gate cone with a 2-vector tape is.  The shrinker
+repeatedly applies structural reductions and keeps each one only if
+the *same* failing comparison still fails afterwards:
+
+1. **truncate the tape** — shortest failing prefix, then a greedy pass
+   removing interior vectors (state chains across vectors, so removal
+   changes the test; the predicate decides);
+2. **drop outputs** — keep one monitored output at a time, pruning the
+   dead cone (:func:`~repro.netlist.random_circuits.keep_outputs`);
+3. **bypass gates** — replace a gate with ``BUF(first input)``,
+   ``CONST0`` or ``CONST1``
+   (:func:`~repro.netlist.random_circuits.replace_gate`), then prune;
+4. **reduce fan-in** — drop one operand of any gate with more than the
+   minimum arity, then prune;
+5. **pin inputs** — replace a primary input with a constant
+   (:func:`~repro.netlist.random_circuits.pin_input`) and delete the
+   corresponding tape column.
+
+Rounds repeat to a fixpoint.  Reductions that make the configuration
+inapplicable (a :class:`~repro.errors.ReproError`) are rejected, not
+treated as failures; only a recurrence of the original failure class
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro import telemetry
+from repro.errors import ReproError
+from repro.fuzz.lattice import FuzzConfig, run_check
+from repro.logic import GateType
+from repro.netlist.circuit import Circuit
+from repro.netlist.random_circuits import (
+    keep_outputs,
+    pin_input,
+    replace_gate,
+)
+
+__all__ = ["ShrinkResult", "shrink", "failure_predicate"]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink run: the minimal still-failing reproducer."""
+
+    circuit: Circuit
+    vectors: list[list[int]]
+    steps: list[str] = field(default_factory=list)
+    attempts: int = 0
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+
+def failure_predicate(
+    config: FuzzConfig,
+    failure: BaseException,
+    check: Callable = run_check,
+) -> Callable[[Circuit, Sequence[Sequence[int]]], bool]:
+    """The shrink predicate: "does the original failure still occur?".
+
+    Mismatches (``AssertionError``) shrink against any mismatch of the
+    same config; a crash shrinks against the same exception class.
+    Configuration-inapplicability (:class:`ReproError` on a reduced
+    circuit, e.g. a packed check losing its last input) rejects the
+    reduction rather than counting as a failure.
+    """
+    if isinstance(failure, AssertionError):
+        expect: type = AssertionError
+    else:
+        expect = type(failure)
+
+    def predicate(
+        circuit: Circuit, vectors: Sequence[Sequence[int]]
+    ) -> bool:
+        try:
+            check(circuit, vectors, config)
+        except expect:
+            return True
+        except Exception:
+            return False
+        return False
+
+    return predicate
+
+
+def _size(circuit: Circuit, vectors: Sequence[Sequence[int]]) -> int:
+    """Scalar size metric a reduction must strictly decrease.
+
+    Inputs weigh more than gates so that pinning an input is a
+    reduction even though it adds the constant gate that replaces it.
+    """
+    total_fanin = sum(g.fan_in for g in circuit.gates.values())
+    return (
+        3 * circuit.num_gates
+        + total_fanin
+        + 5 * len(circuit.inputs)
+        + 2 * len(circuit.outputs)
+        + len(vectors)
+    )
+
+
+def _gate_candidates(circuit: Circuit, gate_name: str):
+    """Simpler definitions to try for one gate, most aggressive first."""
+    gate = circuit.gate(gate_name)
+    candidates: list[tuple[str, GateType, list[str]]] = [
+        ("const0", GateType.CONST0, []),
+        ("const1", GateType.CONST1, []),
+    ]
+    if gate.inputs and gate.gate_type is not GateType.BUF:
+        candidates.append(("buf", GateType.BUF, [gate.inputs[0]]))
+    return candidates
+
+
+def shrink(
+    circuit: Circuit,
+    vectors: Sequence[Sequence[int]],
+    config: FuzzConfig,
+    *,
+    failure: Optional[BaseException] = None,
+    max_attempts: int = 2000,
+    check: Callable = run_check,
+) -> ShrinkResult:
+    """Reduce a failing triple to a minimal reproducer.
+
+    ``failure`` is the exception the campaign caught (defines the
+    predicate; a generic mismatch predicate is used when omitted).
+    ``max_attempts`` bounds the total number of re-runs; ``check``
+    overrides the differential predicate (kept in sync with the
+    campaign's override).
+    """
+    predicate = failure_predicate(
+        config, failure if failure is not None else AssertionError(),
+        check,
+    )
+    result = ShrinkResult(circuit, [list(v) for v in vectors])
+    budget = [max_attempts]
+
+    def attempt(
+        candidate: Circuit, tape: Sequence[Sequence[int]], step: str
+    ) -> bool:
+        if budget[0] <= 0:
+            return False
+        # Only strict size reductions are ever accepted — this is what
+        # makes every round monotone and the fixpoint loop terminate
+        # (a CONST0->CONST1 rewrite, say, still fails but goes nowhere).
+        if _size(candidate, tape) >= _size(result.circuit,
+                                           result.vectors):
+            return False
+        budget[0] -= 1
+        result.attempts += 1
+        with telemetry.span("fuzz.shrink.attempt"):
+            ok = predicate(candidate, tape)
+        if ok:
+            result.circuit = candidate
+            result.vectors = [list(v) for v in tape]
+            result.steps.append(step)
+            telemetry.counter("fuzz.shrink.steps")
+        return ok
+
+    with telemetry.span("fuzz.shrink"):
+        while budget[0] > 0:
+            progress = False
+            progress |= _shrink_tape(result, attempt)
+            progress |= _shrink_outputs(result, attempt)
+            progress |= _shrink_gates(result, attempt)
+            progress |= _shrink_fanin(result, attempt)
+            progress |= _shrink_inputs(result, attempt)
+            if not progress:
+                break
+    return result
+
+
+def _shrink_tape(result: ShrinkResult, attempt) -> bool:
+    progress = False
+    # Shortest failing prefix first (cheap: tapes are short).
+    for length in range(1, len(result.vectors)):
+        if attempt(result.circuit, result.vectors[:length],
+                   f"tape[:{length}]"):
+            progress = True
+            break
+    # Then one greedy pass removing interior vectors.
+    index = len(result.vectors) - 1
+    while index >= 0 and len(result.vectors) > 1:
+        tape = result.vectors[:index] + result.vectors[index + 1:]
+        if attempt(result.circuit, tape, f"drop vector #{index}"):
+            progress = True
+        index -= 1
+    return progress
+
+
+def _shrink_outputs(result: ShrinkResult, attempt) -> bool:
+    progress = False
+    outputs = result.circuit.outputs
+    if len(outputs) <= 1:
+        return False
+    for net in outputs:
+        candidate = keep_outputs(result.circuit, [net])
+        if candidate.num_gates == 0:
+            continue
+        if attempt(candidate, result.vectors, f"keep output {net}"):
+            return True
+    # No single output carries the failure: drop outputs one at a time.
+    for net in list(outputs):
+        remaining = [n for n in result.circuit.outputs if n != net]
+        if not remaining:
+            break
+        candidate = keep_outputs(result.circuit, remaining)
+        if candidate.num_gates == 0:
+            continue
+        if attempt(candidate, result.vectors, f"drop output {net}"):
+            progress = True
+    return progress
+
+
+def _shrink_gates(result: ShrinkResult, attempt) -> bool:
+    progress = False
+    # Reverse topological order: bypassing near the outputs kills the
+    # largest upstream cones first.
+    for gate in reversed(result.circuit.topological_gates()):
+        if gate.name not in result.circuit.gates:
+            continue
+        if result.circuit.num_gates <= 1:
+            break
+        for tag, gate_type, inputs in _gate_candidates(
+            result.circuit, gate.name
+        ):
+            replaced = replace_gate(
+                result.circuit, gate.name, gate_type, inputs
+            )
+            candidate = keep_outputs(replaced, replaced.outputs)
+            if candidate.num_gates == 0:
+                continue
+            if attempt(candidate, result.vectors,
+                       f"{tag} {gate.name}"):
+                progress = True
+                break
+    return progress
+
+
+def _shrink_fanin(result: ShrinkResult, attempt) -> bool:
+    progress = False
+    for gate in reversed(result.circuit.topological_gates()):
+        if gate.name not in result.circuit.gates:
+            continue
+        gate = result.circuit.gate(gate.name)
+        minimum = gate.gate_type.min_inputs
+        while len(gate.inputs) > minimum and len(gate.inputs) > 1:
+            reduced = False
+            for drop in range(len(gate.inputs)):
+                inputs = [
+                    net for k, net in enumerate(gate.inputs) if k != drop
+                ]
+                replaced = replace_gate(
+                    result.circuit, gate.name, gate.gate_type, inputs
+                )
+                candidate = keep_outputs(replaced, replaced.outputs)
+                if attempt(candidate, result.vectors,
+                           f"fan-in {gate.name} -> {len(inputs)}"):
+                    progress = True
+                    reduced = True
+                    gate = result.circuit.gate(gate.name)
+                    break
+            if not reduced:
+                break
+    return progress
+
+
+def _shrink_inputs(result: ShrinkResult, attempt) -> bool:
+    progress = False
+    for net in result.circuit.inputs:
+        if len(result.circuit.inputs) <= 1:
+            break
+        column = result.circuit.inputs.index(net)
+        tape = [
+            row[:column] + row[column + 1:] for row in result.vectors
+        ]
+        done = False
+        for value in (0, 1):
+            try:
+                candidate = pin_input(result.circuit, net, value)
+            except ReproError:
+                break
+            candidate = keep_outputs(candidate, candidate.outputs)
+            if candidate.num_gates == 0:
+                continue
+            if attempt(candidate, tape, f"pin {net}={value}"):
+                progress = True
+                done = True
+                break
+        if done:
+            continue
+    return progress

@@ -11,6 +11,12 @@ Two generators:
   reconvergent fanout that drives PC-set growth and retained shifts.
 
 Both are deterministic for a given seed.
+
+The module also hosts the *shrink hooks* the differential fuzzer's
+delta debugger (:mod:`repro.fuzz.shrink`) applies to these circuits:
+:func:`replace_gate`, :func:`pin_input` and :func:`keep_outputs` each
+rebuild a circuit with one reduction applied, preserving primary-input
+declaration order exactly (the vector tape is positional).
 """
 
 from __future__ import annotations
@@ -22,7 +28,13 @@ from repro.errors import NetlistError
 from repro.logic import GateType
 from repro.netlist.circuit import Circuit
 
-__all__ = ["random_dag_circuit", "layered_circuit"]
+__all__ = [
+    "random_dag_circuit",
+    "layered_circuit",
+    "replace_gate",
+    "pin_input",
+    "keep_outputs",
+]
 
 _BINARY_TYPES = (
     GateType.AND,
@@ -208,3 +220,119 @@ def layered_circuit(
         circuit.add_net(net_name, is_output=True)
     circuit.validate()
     return circuit
+
+
+# ----------------------------------------------------------------------
+# shrink hooks (used by repro.fuzz.shrink's delta debugger)
+# ----------------------------------------------------------------------
+def _rebuild(
+    circuit: Circuit,
+    keep: Optional[set[str]],
+    override: dict[str, tuple[GateType, list[str]]],
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+    name: Optional[str],
+) -> Circuit:
+    """Rebuild ``circuit`` with edits applied, preserving input order."""
+    rebuilt = Circuit(name if name is not None else circuit.name)
+    for net_name in inputs:
+        rebuilt.add_net(net_name, is_input=True)
+    for gate in circuit.topological_gates():
+        if keep is not None and gate.output not in keep:
+            continue
+        gate_type, gate_inputs = override.get(
+            gate.name, (gate.gate_type, gate.inputs)
+        )
+        rebuilt.add_gate(gate_type, gate.output, gate_inputs,
+                         name=gate.name)
+    for net_name in outputs:
+        rebuilt.add_net(net_name, is_output=True)
+    rebuilt.validate()
+    return rebuilt
+
+
+def replace_gate(
+    circuit: Circuit,
+    gate_name: str,
+    gate_type: GateType,
+    inputs: Sequence[str],
+    *,
+    name: Optional[str] = None,
+) -> Circuit:
+    """A copy of ``circuit`` with one gate's definition replaced.
+
+    The gate keeps its name and output net; its type and operand list
+    change (the shrinker uses this to bypass a gate with a ``BUF``,
+    collapse it to a constant, or drop one operand).  The caller is
+    responsible for the new definition satisfying the gate type's
+    arity; :class:`NetlistError` propagates otherwise.
+    """
+    gate = circuit.gate(gate_name)
+    override = {gate.name: (gate_type, list(inputs))}
+    return _rebuild(
+        circuit, None, override, circuit.inputs, circuit.outputs, name
+    )
+
+
+def pin_input(
+    circuit: Circuit,
+    net_name: str,
+    value: int,
+    *,
+    name: Optional[str] = None,
+) -> Circuit:
+    """A copy of ``circuit`` with one primary input pinned to a constant.
+
+    The net stops being a primary input and is driven by a
+    ``CONST0``/``CONST1`` gate instead; the remaining inputs keep their
+    declaration order.  Callers shrinking a positional vector tape must
+    drop the corresponding column (its index is
+    ``circuit.inputs.index(net_name)`` *before* the pin).
+    """
+    inputs = circuit.inputs
+    if net_name not in inputs:
+        raise NetlistError(f"{net_name!r} is not a primary input")
+    if len(inputs) < 2:
+        raise NetlistError("cannot pin the only primary input")
+    remaining = [n for n in inputs if n != net_name]
+    rebuilt = Circuit(name if name is not None else circuit.name)
+    for n in remaining:
+        rebuilt.add_net(n, is_input=True)
+    rebuilt.add_gate(
+        GateType.CONST1 if value else GateType.CONST0, net_name, []
+    )
+    for gate in circuit.topological_gates():
+        rebuilt.add_gate(gate.gate_type, gate.output, gate.inputs,
+                         name=gate.name)
+    for n in circuit.outputs:
+        rebuilt.add_net(n, is_output=True)
+    rebuilt.validate()
+    return rebuilt
+
+
+def keep_outputs(
+    circuit: Circuit,
+    outputs: Sequence[str],
+    *,
+    name: Optional[str] = None,
+) -> Circuit:
+    """A copy of ``circuit`` monitoring only ``outputs``, dead logic gone.
+
+    Unlike :func:`repro.netlist.transform.prune_dead_logic` this
+    preserves the primary-input *declaration order* exactly (unused
+    inputs included), so a positional vector tape keeps its meaning.
+    """
+    targets = list(outputs)
+    if not targets:
+        raise NetlistError("must keep at least one output")
+    keep: set[str] = set()
+    stack = list(targets)
+    while stack:
+        net = stack.pop()
+        if net in keep:
+            continue
+        keep.add(net)
+        driver = circuit.net(net).driver
+        if driver is not None:
+            stack.extend(circuit.gates[driver].inputs)
+    return _rebuild(circuit, keep, {}, circuit.inputs, targets, name)

@@ -24,6 +24,35 @@ from repro.netlist.circuit import Circuit
 
 __all__ = ["EquivalenceResult", "check_equivalence"]
 
+#: Widest input count for which the whole assignment space is indexed
+#: as a ``range`` (``range.__len__`` overflows past ``sys.maxsize``).
+_SAMPLE_INDEX_WIDTH = 48
+
+
+def _sampled_assignments(
+    rng: random.Random, width: int, count: int
+) -> list[int]:
+    """``count`` distinct input assignments, drawn without replacement.
+
+    Sampling with replacement re-checks duplicate vectors — for widths
+    just past the exhaustive cutoff a 2048-vector sample repeats dozens
+    of assignments and silently over-reports ``vectors_checked``.  Small
+    spaces get a true no-repeat sample over the indexed range; for huge
+    widths collisions are vanishingly rare and a seen-set rejects the
+    few that occur.
+    """
+    if width <= _SAMPLE_INDEX_WIDTH:
+        total = 1 << width
+        return rng.sample(range(total), min(count, total))
+    seen: set[int] = set()
+    draws: list[int] = []
+    while len(draws) < count:
+        assignment = rng.getrandbits(width)
+        if assignment not in seen:
+            seen.add(assignment)
+            draws.append(assignment)
+    return draws
+
 
 class EquivalenceResult:
     """Outcome of an equivalence check.
@@ -79,7 +108,9 @@ def check_equivalence(
     The circuits must share primary-input and output names (order may
     differ).  Up to ``max_exhaustive_inputs`` inputs the check is
     exhaustive via packed evaluation; beyond that, ``random_vectors``
-    seeded packed vectors are sampled.
+    *distinct* seeded packed vectors are sampled (``vectors_checked``
+    counts unique assignments).  A sample that would cover the whole
+    input space is promoted to the exhaustive check.
     """
     if set(golden.inputs) != set(candidate.inputs):
         raise SimulationError(
@@ -101,7 +132,9 @@ def check_equivalence(
                                  word_width=word_width)
     candidate_order = candidate.inputs
 
-    exhaustive = width <= max_exhaustive_inputs
+    exhaustive = width <= max_exhaustive_inputs or (
+        width <= _SAMPLE_INDEX_WIDTH and (1 << width) <= random_vectors
+    )
     lanes = word_width
     checked = 0
 
@@ -115,16 +148,13 @@ def check_equivalence(
                 checked += count
                 yield assignments
         else:
-            rng = random.Random(seed)
-            remaining = random_vectors
-            while remaining > 0:
-                count = min(lanes, remaining)
-                assignments = [
-                    rng.getrandbits(width) for _ in range(count)
-                ]
-                checked += count
-                remaining -= count
-                yield assignments
+            draws = _sampled_assignments(
+                random.Random(seed), width, random_vectors
+            )
+            for base in range(0, len(draws), lanes):
+                chunk = draws[base:base + lanes]
+                checked += len(chunk)
+                yield chunk
 
     for assignments in packed_batches():
         # Pack: word for input k has bit j = assignment j's bit k.

@@ -1,11 +1,68 @@
-"""Shared fixtures: the paper's example networks and random suites."""
+"""Shared fixtures: the paper's example networks and random suites.
+
+``--repro-seed N`` shifts every RNG-driven test's seed by ``N`` — the
+same suite becomes a family of suites, one per seed, for fuzzing the
+tests themselves.  The default of 0 reproduces the historical fixed
+seeds exactly.  Failing tests report the active seed and the rerun
+command in a ``repro seed`` section.
+"""
 
 from __future__ import annotations
+
+import random
+import zlib
 
 import pytest
 
 from repro.netlist.builder import CircuitBuilder
 from repro.netlist.random_circuits import random_dag_circuit
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed", type=int, default=0, metavar="N",
+        help="offset the seeds of RNG-driven tests by N (default 0: "
+             "the historical fixed seeds); failures print the active "
+             "seed",
+    )
+
+
+def _nodeid_seed(config, nodeid: str) -> int:
+    # crc32, not hash(): str hashing is salted per interpreter run, and
+    # the whole point is a seed that is stable across reruns.
+    base = config.getoption("--repro-seed")
+    return (base << 32) ^ zlib.crc32(nodeid.encode())
+
+
+@pytest.fixture
+def repro_seed(request):
+    """The session's ``--repro-seed`` value, for seed-taking tests."""
+    return request.config.getoption("--repro-seed")
+
+
+@pytest.fixture(autouse=True)
+def _seeded_global_rng(request):
+    """Pin the module-level RNG per test, derived from ``--repro-seed``.
+
+    Tests that use ``random.*`` without an explicit ``random.Random``
+    instance become deterministic per (seed, nodeid) instead of
+    inheriting whatever state the previous test left behind.
+    """
+    random.seed(_nodeid_seed(request.config, request.node.nodeid))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        seed = item.config.getoption("--repro-seed")
+        report.sections.append((
+            "repro seed",
+            f"--repro-seed={seed} was active; rerun with:\n"
+            f"  PYTHONPATH=src python -m pytest "
+            f"'{item.nodeid}' --repro-seed={seed}",
+        ))
 
 
 @pytest.fixture
@@ -68,7 +125,12 @@ def fig12_circuit():
 
 @pytest.fixture(params=range(6))
 def small_random_circuit(request):
-    """Six deterministic random DAGs with heavy reconvergence."""
+    """Six deterministic random DAGs with heavy reconvergence.
+
+    ``--repro-seed`` shifts all six seeds, so the same matrix of tests
+    runs over a fresh family of circuits.
+    """
+    offset = request.config.getoption("--repro-seed")
     return random_dag_circuit(
-        request.param, num_inputs=4, num_gates=18
+        request.param + offset, num_inputs=4, num_gates=18
     )

@@ -4,12 +4,16 @@ Beyond random DAGs, the compiled techniques must agree on circuits
 with the structures the paper's benchmarks contain: deep carry chains
 (c6288-like), XOR trees (c499/c1355-like), wide control logic
 (c2670-like), and mixed datapaths.  Each case runs the full technique
-matrix against the event-driven reference over a shared vector tape.
+matrix against the event-driven reference over a shared vector tape,
+through all three execution shapes: scalar per-vector histories,
+chunked ``apply_vectors`` batches, and the pattern-packed lanes.
 """
+
+import zlib
 
 import pytest
 
-from repro.harness.compare import cross_validate
+from repro.harness.compare import PACKED_TECHNIQUES, cross_validate
 from repro.harness.vectors import vectors_for
 from repro.netlist.builder import CircuitBuilder
 from repro.netlist.generators import (
@@ -59,15 +63,55 @@ CASES = [
 ]
 
 
+def _case_seed(label):
+    # crc32, not hash(): str hashing is salted per interpreter run and
+    # the tape must be the same on every rerun.
+    return zlib.crc32(label.encode()) % 1000
+
+
+def _case_tape(factory, label, count=6):
+    circuit = factory()
+    return circuit, vectors_for(circuit, count, seed=_case_seed(label))
+
+
 @pytest.mark.parametrize("label,factory", CASES,
                          ids=[c[0] for c in CASES])
 def test_all_techniques_agree(label, factory):
-    circuit = factory()
-    vectors = vectors_for(circuit, 6, seed=hash(label) % 1000)
+    circuit, vectors = _case_tape(factory, label)
     checks = cross_validate(
         circuit, vectors, techniques=ALL_TECHNIQUES, word_width=32
     )
     assert checks == len(ALL_TECHNIQUES) * len(vectors)
+
+
+@pytest.mark.parametrize("batch_size", [1, 2, 0])
+@pytest.mark.parametrize("label,factory", CASES,
+                         ids=[c[0] for c in CASES])
+def test_batched_execution_agrees(label, factory, batch_size):
+    # Same circuits, same shared tape as the scalar matrix, driven
+    # through the apply_vectors block path in chunks (0 = one block).
+    circuit, vectors = _case_tape(factory, label)
+    checks = cross_validate(
+        circuit, vectors, techniques=ALL_TECHNIQUES, word_width=32,
+        execution="batched", batch_size=batch_size,
+    )
+    # Each technique is checked twice per vector: the anchoring scalar
+    # loop and the raw-word comparison of the batched run against it.
+    assert checks == 2 * len(ALL_TECHNIQUES) * len(vectors)
+
+
+@pytest.mark.parametrize("word_width", [8, 64])
+@pytest.mark.parametrize("label,factory", CASES,
+                         ids=[c[0] for c in CASES])
+def test_packed_execution_agrees(label, factory, word_width):
+    # The pattern-lane observation paths over the same shared tape:
+    # pcset's settled_outputs and zero-lcc's auto-packed apply_vectors.
+    circuit, vectors = _case_tape(factory, label)
+    checks = cross_validate(
+        circuit, vectors, techniques=PACKED_TECHNIQUES,
+        word_width=word_width, execution="packed", batch_size=3,
+    )
+    assert checks == len(PACKED_TECHNIQUES) * len(vectors)
 
 
 @pytest.mark.parametrize("label,factory", CASES[:3],

@@ -1,0 +1,41 @@
+"""Replay every committed fuzz-corpus entry as a regression test.
+
+The contract of ``fuzz-corpus/`` (docs/algorithms.md §13): each entry
+is a shrunk reproducer of a past differential-fuzzing failure, and on
+healthy code its replay *passes* — the configured check runs the
+stored circuit and tape end to end without a mismatch.  A failure here
+means a previously-fixed disagreement between a compiled technique and
+the event-driven reference has come back.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus, replay_entry
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "fuzz-corpus"
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_directory_exists():
+    assert CORPUS_DIR.is_dir(), "committed fuzz corpus is missing"
+    assert ENTRIES, "fuzz corpus has no entries"
+
+
+@pytest.mark.parametrize(
+    "path,entry", ENTRIES, ids=[p.stem for p, _ in ENTRIES]
+)
+def test_corpus_entry_replays_clean(path, entry):
+    comparisons = replay_entry(entry)
+    assert comparisons > 0, f"{path.name} performed no comparisons"
+
+
+@pytest.mark.parametrize(
+    "path,entry", ENTRIES, ids=[p.stem for p, _ in ENTRIES]
+)
+def test_corpus_entry_is_content_addressed(path, entry):
+    # The filename must still match the content hash — hand-edited or
+    # corrupted entries are rejected rather than silently replayed.
+    assert path.stem == entry.entry_id

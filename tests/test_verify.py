@@ -1,13 +1,19 @@
 """Tests for the packed equivalence checker."""
 
+import random
+
 import pytest
 
+from repro.codegen.runtime import have_c_compiler
 from repro.errors import SimulationError
+from repro.lcc.zerodelay import LCCSimulator
 from repro.netlist.builder import CircuitBuilder
 from repro.netlist.generators import carry_lookahead_adder, ripple_carry_adder
 from repro.netlist.random_circuits import random_dag_circuit
 from repro.netlist.transform import propagate_constants, prune_dead_logic
-from repro.verify import check_equivalence
+from repro.verify import _sampled_assignments, check_equivalence
+
+BACKENDS = ["python"] + (["c"] if have_c_compiler() else [])
 
 
 class TestExhaustive:
@@ -65,6 +71,70 @@ class TestTransformsAreEquivalent:
         assert check_equivalence(circuit, propagate_constants(circuit))
 
 
+def _wide_pair(width=12):
+    """Two wide adders differing on exactly one output gate."""
+    golden = ripple_carry_adder(width)   # 2*width+1 inputs > 20
+    b = CircuitBuilder("cand")
+    nets = {}
+    for name in golden.inputs:
+        nets[name] = b.input(name)
+    for gate in golden.topological_gates():
+        kind = gate.gate_type.name.lower().rstrip("_")
+        if gate.name == "S0":
+            kind = "not"           # S0 inverted: BUF becomes NOT
+        method = getattr(b, {"and": "and_", "or": "or_",
+                             "not": "not_"}.get(kind, kind))
+        nets[gate.name] = method(
+            gate.name, *[nets[n] for n in gate.inputs]
+        )
+    b.outputs(*[nets[n] for n in golden.outputs])
+    return golden, b.build()
+
+
+class TestCounterexamples:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_counterexample_actually_distinguishes(self, backend):
+        # The returned assignment must really drive the two circuits
+        # apart on exactly the named outputs.
+        golden, candidate = _wide_pair(2)   # 5 inputs: exhaustive
+        result = check_equivalence(golden, candidate, backend=backend)
+        assert not result
+        assert result.exhaustive
+        assert result.mismatched_outputs == ["S0"]
+        vector = [result.counterexample[n] for n in golden.inputs]
+        g_out = LCCSimulator(golden, backend=backend).evaluate(vector)
+        c_vector = [result.counterexample[n] for n in candidate.inputs]
+        c_out = LCCSimulator(candidate,
+                             backend=backend).evaluate(c_vector)
+        differing = [n for n in golden.outputs
+                     if g_out[n] != c_out[n]]
+        assert differing == result.mismatched_outputs
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sampled_mode_finds_wide_mismatch(self, backend):
+        # 25 inputs forces sampling; the inverted S0 disagrees on
+        # every assignment, so any sample finds a counterexample.
+        golden, candidate = _wide_pair(12)
+        result = check_equivalence(
+            golden, candidate, random_vectors=256, backend=backend
+        )
+        assert not result
+        assert not result.exhaustive
+        assert "S0" in result.mismatched_outputs
+        vector = [result.counterexample[n] for n in golden.inputs]
+        g_out = LCCSimulator(golden, backend=backend).evaluate(vector)
+        c_vector = [result.counterexample[n] for n in candidate.inputs]
+        c_out = LCCSimulator(candidate,
+                             backend=backend).evaluate(c_vector)
+        assert g_out["S0"] != c_out["S0"]
+
+    def test_mismatch_repr(self):
+        golden, candidate = _wide_pair(2)
+        result = check_equivalence(golden, candidate)
+        assert "MISMATCH" in repr(result)
+        assert "S0" in repr(result)
+
+
 class TestSampledMode:
     def test_wide_circuit_uses_sampling(self):
         golden = ripple_carry_adder(12)   # 25 inputs > 20
@@ -74,6 +144,54 @@ class TestSampledMode:
         assert result
         assert not result.exhaustive
         assert result.vectors_checked == 512
+
+    def test_sample_is_without_replacement(self):
+        draws = _sampled_assignments(random.Random(0), width=5,
+                                     count=20)
+        assert len(draws) == 20
+        assert len(set(draws)) == 20
+        assert all(0 <= d < 32 for d in draws)
+
+    def test_sample_clamps_to_input_space(self):
+        # Asking for more vectors than assignments exist must not loop
+        # or repeat: the whole space comes back exactly once.
+        draws = _sampled_assignments(random.Random(3), width=3,
+                                     count=100)
+        assert sorted(draws) == list(range(8))
+
+    def test_wide_sample_dedups(self):
+        # Past the range-indexable width the seen-set path still
+        # guarantees distinct draws.
+        draws = _sampled_assignments(random.Random(1), width=80,
+                                     count=64)
+        assert len(set(draws)) == 64
+
+    def test_sample_is_seeded(self):
+        a = _sampled_assignments(random.Random(9), width=30, count=50)
+        b = _sampled_assignments(random.Random(9), width=30, count=50)
+        assert a == b
+
+    def test_full_coverage_sample_promotes_to_exhaustive(self):
+        # 5 inputs with a 2048-vector budget covers all 32 assignments:
+        # the checker runs (and reports) the exhaustive sweep instead
+        # of pretending the result is statistical.
+        golden = ripple_carry_adder(2)    # 5 inputs
+        result = check_equivalence(
+            golden, golden.copy(), max_exhaustive_inputs=3
+        )
+        assert result
+        assert result.exhaustive
+        assert result.vectors_checked == 32
+
+    def test_small_budget_counts_unique_vectors(self):
+        golden = ripple_carry_adder(2)    # 5 inputs, 32 assignments
+        result = check_equivalence(
+            golden, golden.copy(),
+            max_exhaustive_inputs=3, random_vectors=20,
+        )
+        assert result
+        assert not result.exhaustive
+        assert result.vectors_checked == 20
 
 
 class TestGuards:
