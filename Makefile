@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test fuzz-smoke bench bench-json bench-shards bench-telemetry bench-quick examples lint clean
+.PHONY: install check test fuzz-smoke bench bench-json bench-shards bench-partition bench-telemetry bench-quick examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -28,6 +28,8 @@ check:
 	$(MAKE) bench-json REPRO_BENCH_SCALE=0.1
 	$(MAKE) bench-shards REPRO_BENCH_SCALE=0.05 REPRO_BENCH_VECTORS=32 \
 		REPRO_BENCH_FAULTS=96 REPRO_BENCH_WORKERS=1,2
+	$(MAKE) bench-partition REPRO_BENCH_SCALE=0.05 \
+		REPRO_BENCH_VECTORS=32 REPRO_BENCH_PARTITIONS=1,2,4
 	$(MAKE) bench-telemetry
 	$(MAKE) fuzz-smoke
 	@echo "check passed"
@@ -35,7 +37,8 @@ check:
 # Short differential-fuzzing campaign at a fixed seed; the exit code
 # asserts that no technique/backend/execution-shape disagreement was
 # found (a failure writes its shrunk reproducer to a temp corpus and
-# fails the target).
+# fails the target).  The sampled lattice includes the partitioned
+# execution axis (monolithic vs. barrier-engine identity).
 fuzz-smoke:
 	@tmp=$$(mktemp -d) && \
 	PYTHONPATH=src $(PYTHON) -m repro.cli fuzz --seed 1990 \
@@ -60,6 +63,16 @@ bench-json:
 # FAULTS,WORKERS,BACKEND}.
 bench-shards:
 	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_sharded_faults.py
+
+# Reduced-scale partitioned-simulation measurement: refreshes
+# benchmarks/results/partition.{txt,json} and the repo-root
+# BENCH_partition.json snapshot, asserting every partitioned run is
+# bit-identical to the monolithic engine and the cut is deterministic
+# (the speedup floor applies only on >= 4 CPUs with the C backend).
+# Knobs: REPRO_BENCH_{SCALE,VECTORS,PARTITIONS,BACKEND} and
+# REPRO_BENCH_PARTITION_CIRCUIT.
+bench-partition:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_partition.py
 
 # Telemetry overhead budgets: refreshes
 # benchmarks/results/telemetry_overhead.{txt,json} and the repo-root

@@ -112,14 +112,37 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _partition_options(args: argparse.Namespace) -> dict:
+    """Partition kwargs for the harness factories.
+
+    Empty when ``--partitions`` is 1 so the default invocation stays
+    byte-for-byte the historical code path (and so techniques that
+    never grew the kwargs — the interpreters — are not disturbed).
+    """
+    if getattr(args, "partitions", 1) > 1:
+        return {
+            "partitions": args.partitions,
+            "partition_workers": args.partition_workers,
+        }
+    return {}
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.circuit, args.scale)
     vectors = vectors_for(circuit, args.vectors, args.seed)
+    options = _partition_options(args)
+    if options and args.technique in ("interp2", "interp3",
+                                      "zero-interp"):
+        raise SystemExit(
+            f"--partitions applies to compiled techniques only, "
+            f"not {args.technique!r}"
+        )
     sim = build_simulator(
         circuit,
         args.technique,
         word_width=args.word_width,
         backend=args.backend,
+        **options,
     )
     zeros = [0] * len(circuit.inputs)
     if args.technique in ("interp2", "interp3"):
@@ -223,6 +246,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         word_width=args.word_width, backend=args.backend,
         workers=args.workers, shards=args.shards,
         mp_start=args.mp_start, shard_timeout=args.shard_timeout,
+        **_partition_options(args),
     )
     print(f"{circuit.name}: {report.num_faults} stuck-at faults, "
           f"{len(report.detected)} detected by {args.vectors} random "
@@ -259,10 +283,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     vectors = vectors_for(circuit, args.vectors, args.seed)
     rows = []
     baseline: Optional[float] = None
+    partition_options = _partition_options(args)
     for technique in args.techniques:
+        options = dict(partition_options)
+        if technique in ("interp2", "interp3", "zero-interp"):
+            options = {}
         run = run_technique(
             circuit, technique, vectors,
             backend=args.backend, word_width=args.word_width,
+            **options,
         )
         result = time_run(
             run, label=technique, num_vectors=len(vectors),
@@ -364,6 +393,21 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_partition_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--partitions", type=int, default=1,
+            help="split the netlist into N balanced fanin-cone "
+                 "clusters and run them through the level-band "
+                 "barrier engine (default 1: monolithic; results "
+                 "are bit-identical either way)",
+        )
+        p.add_argument(
+            "--partition-workers", type=int, default=None,
+            metavar="N",
+            help="threads driving the partition segments "
+                 "(default: one per partition)",
+        )
+
     def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
         # Options must live on each subparser: argparse stops matching
         # top-level options once the subcommand name is consumed.
@@ -413,6 +457,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                        choices=["python", "c"])
     p_sim.add_argument("-w", "--word-width", type=int, default=32,
                        choices=[8, 16, 32, 64])
+    _add_partition_args(p_sim)
     _add_telemetry_args(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -500,6 +545,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="per-shard result timeout in seconds; late shards are "
              "regraded in-process",
     )
+    _add_partition_args(p_faults)
     _add_telemetry_args(p_faults)
     p_faults.set_defaults(func=_cmd_faults)
 
@@ -517,6 +563,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                          choices=["python", "c"])
     p_bench.add_argument("-w", "--word-width", type=int, default=32,
                          choices=[8, 16, 32, 64])
+    _add_partition_args(p_bench)
     _add_telemetry_args(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 

@@ -74,6 +74,7 @@ class GradingConfig:
         "circuit", "vectors", "word_width", "backend", "patterns",
         "instrument", "initial", "drop_detected", "telemetry",
         "fail_shards", "fail_mode", "delay_shards",
+        "partitions", "partition_workers",
     )
 
     def __init__(
@@ -90,6 +91,8 @@ class GradingConfig:
         fail_shards: frozenset = frozenset(),
         fail_mode: str = "raise",
         delay_shards: Optional[dict] = None,
+        partitions: int = 1,
+        partition_workers: Optional[int] = None,
     ) -> None:
         self.circuit = circuit
         self.vectors = vectors
@@ -105,6 +108,8 @@ class GradingConfig:
         self.fail_shards = fail_shards
         self.fail_mode = fail_mode
         self.delay_shards = delay_shards or {}
+        self.partitions = partitions
+        self.partition_workers = partition_workers
 
     def build_simulator(self) -> ParallelFaultSimulator:
         return ParallelFaultSimulator(
@@ -113,6 +118,8 @@ class GradingConfig:
             backend=self.backend,
             instrument=self.instrument,
             patterns=self.patterns,
+            partitions=self.partitions,
+            partition_workers=self.partition_workers,
         )
 
 
@@ -252,7 +259,12 @@ def shard_faults(
     faults = list(faults)
     if num_shards < 1:
         raise SimulationError(f"num_shards must be >= 1: {num_shards}")
-    num_shards = min(num_shards, len(faults)) or 1
+    if not faults:
+        # No faults, no shards: grading zero faults must not spin up
+        # any machinery (an empty shard would still compile a
+        # simulator just to grade nothing).
+        return []
+    num_shards = min(num_shards, len(faults))
     base, extra = divmod(len(faults), num_shards)
     shards: list[list[Fault]] = []
     start = 0
@@ -437,6 +449,8 @@ def run_sharded_fault_simulation(
     shards: Optional[int] = None,
     mp_start: str = "auto",
     shard_timeout: Optional[float] = None,
+    partitions: int = 1,
+    partition_workers: Optional[int] = None,
     _fail_shards: frozenset = frozenset(),
     _fail_mode: str = "raise",
     _delay_shards: Optional[dict] = None,
@@ -464,6 +478,17 @@ def run_sharded_fault_simulation(
         workers = os.cpu_count() or 1
     if workers < 1:
         raise SimulationError(f"workers must be >= 1: {workers}")
+    if not faults:
+        # Empty fault list: an empty report, inline, without building
+        # a simulator, compiling a program, or starting any pool.
+        return ShardedFaultReport(
+            {}, [], len(vectors),
+            workers=1, num_shards=0, shard_sizes=[],
+            mp_start="inline", retried_shards=[], degraded=False,
+            counters=BatchCounters(), cache_stats={},
+            worker_pids=[os.getpid()],
+            events={"retries": 0, "timeouts": 0, "degraded": 0},
+        )
     start_method = _resolve_start_method(mp_start)
     config = GradingConfig(
         circuit, [list(vector) for vector in vectors],
@@ -472,6 +497,7 @@ def run_sharded_fault_simulation(
         drop_detected=drop_detected,
         fail_shards=frozenset(_fail_shards), fail_mode=_fail_mode,
         delay_shards=_delay_shards,
+        partitions=partitions, partition_workers=partition_workers,
     )
     shard_lists = shard_faults(
         faults, shards if shards is not None else max(1, 2 * workers)

@@ -180,6 +180,8 @@ class ParallelFaultSimulator:
         monitored: Optional[list[str]] = None,
         instrument: str = "all",
         patterns: str = "auto",
+        partitions: int = 1,
+        partition_workers: Optional[int] = None,
     ) -> None:
         if instrument not in ("all", "batch"):
             raise SimulationError(
@@ -233,6 +235,33 @@ class ParallelFaultSimulator:
                 "primary inputs"
             )
         self.patterns = patterns
+        if partitions < 1:
+            raise SimulationError(f"partitions must be >= 1: {partitions}")
+        self.partitions = partitions
+        self.partition_workers = partition_workers
+        self._partition_settler = None
+
+    def _steady_state(self, initial: Sequence[int]) -> Mapping[str, int]:
+        """The pre-existing steady state every grading run seeds from.
+
+        With ``partitions > 1`` the settle runs on the partitioned
+        compiled engine — bit-identical values (the zero-delay steady
+        state of an acyclic circuit is unique), so the fault report is
+        unchanged; otherwise the interpreted settle is used.
+        """
+        if self.partitions <= 1:
+            return steady_state(self.circuit, initial)
+        if self._partition_settler is None:
+            from repro.partition.executor import PartitionedSimulator
+
+            self._partition_settler = PartitionedSimulator(
+                self.circuit,
+                partitions=self.partitions,
+                partition_workers=self.partition_workers,
+                backend=self.backend,
+                word_width=self.word_width,
+            )
+        return self._partition_settler.evaluate_all_nets(initial)
 
     def warm_up(self) -> None:
         """Pre-build and compile the shared all-nets machine.
@@ -372,7 +401,7 @@ class ParallelFaultSimulator:
                 raise SimulationError(f"no such net: {fault.net!r}")
         if initial is None:
             initial = [0] * len(self.circuit.inputs)
-        settled = steady_state(self.circuit, initial)
+        settled = self._steady_state(initial)
         mask = (1 << self.word_width) - 1
         packed = self.patterns == "packed" or (
             self.patterns == "auto" and self._pack_eligible
@@ -641,6 +670,8 @@ def run_fault_simulation(
     shards: Optional[int] = None,
     mp_start: str = "auto",
     shard_timeout: Optional[float] = None,
+    partitions: int = 1,
+    partition_workers: Optional[int] = None,
 ) -> FaultReport:
     """Convenience wrapper around :class:`ParallelFaultSimulator`.
 
@@ -649,7 +680,19 @@ def run_fault_simulation(
     :class:`~repro.faults.sharding.ShardedFaultReport` — is
     bit-identical to the single-process run.  ``shards``, ``mp_start``
     and ``shard_timeout`` tune that path and are ignored otherwise.
+    ``partitions``/``partition_workers`` run the steady-state settle on
+    the partitioned compiled engine (bit-identical report; see
+    :mod:`repro.partition`).
+
+    An explicitly empty fault list short-circuits to an empty report —
+    no simulator is built, no program compiled, no pool spun up (the
+    sharded path likewise returns its empty merged report inline, so
+    the ``workers > 1`` report type stays :class:`ShardedFaultReport`).
     """
+    if faults is not None:
+        faults = list(faults)
+        if not faults and workers <= 1:
+            return FaultReport({}, [], len(vectors))
     if workers > 1:
         from repro.faults.sharding import run_sharded_fault_simulation
 
@@ -658,9 +701,11 @@ def run_fault_simulation(
             word_width=word_width, backend=backend, initial=initial,
             patterns=patterns, workers=workers, shards=shards,
             mp_start=mp_start, shard_timeout=shard_timeout,
+            partitions=partitions, partition_workers=partition_workers,
         )
     simulator = ParallelFaultSimulator(
-        circuit, word_width=word_width, backend=backend, patterns=patterns
+        circuit, word_width=word_width, backend=backend, patterns=patterns,
+        partitions=partitions, partition_workers=partition_workers,
     )
     report = simulator.run(vectors, faults, initial=initial)
     report.counters = simulator.batch_counters()

@@ -19,7 +19,12 @@ from dataclasses import asdict, dataclass
 from typing import Mapping, Sequence
 
 from repro.errors import SimulationError
-from repro.harness.compare import PACKED_TECHNIQUES, Mismatch, cross_validate
+from repro.harness.compare import (
+    PACKED_TECHNIQUES,
+    PARTITIONED_TECHNIQUES,
+    Mismatch,
+    cross_validate,
+)
 from repro.netlist.circuit import Circuit
 
 __all__ = [
@@ -32,7 +37,7 @@ __all__ = [
 ]
 
 #: The differential comparisons the fuzzer knows how to run.
-CHECKS = ("history", "batched", "packed", "faults")
+CHECKS = ("history", "batched", "packed", "faults", "partitioned")
 
 #: Unit-delay techniques with a per-net change-history protocol.
 HISTORY_TECHNIQUES = (
@@ -51,11 +56,12 @@ WORD_WIDTHS = (8, 16, 32, 64)
 class FuzzConfig:
     """One point of the configuration lattice.
 
-    ``batch_size`` chunks the tape for the batched/packed paths
-    (``0`` = the whole tape in one dispatch).  ``workers`` and
-    ``patterns`` apply to the ``"faults"`` check only: the sharded
-    multiprocess report must be bit-identical to the inline run, and
-    the packed-pattern screens must match the scalar ones.
+    ``batch_size`` chunks the tape for the batched/packed/partitioned
+    paths (``0`` = the whole tape in one dispatch).  ``workers``
+    applies to the ``"faults"`` check (sharded multiprocess identity)
+    and to ``"partitioned"`` (the barrier engine's thread count);
+    ``partitions`` is the ``"partitioned"`` check's cluster count and
+    must stay 1 everywhere else.
     """
 
     check: str = "history"
@@ -64,6 +70,7 @@ class FuzzConfig:
     word_width: int = 32
     batch_size: int = 0
     workers: int = 1
+    partitions: int = 1
 
     def __post_init__(self) -> None:
         if self.check not in CHECKS:
@@ -89,6 +96,22 @@ class FuzzConfig:
                     f"'packed' check needs a technique from "
                     f"{PACKED_TECHNIQUES}: {self.technique!r}"
                 )
+        elif self.check == "partitioned":
+            if self.technique not in PARTITIONED_TECHNIQUES:
+                raise SimulationError(
+                    f"'partitioned' check needs a technique from "
+                    f"{PARTITIONED_TECHNIQUES}: {self.technique!r}"
+                )
+            if self.partitions < 2:
+                raise SimulationError(
+                    f"'partitioned' check needs partitions >= 2: "
+                    f"{self.partitions}"
+                )
+        if self.check != "partitioned" and self.partitions != 1:
+            raise SimulationError(
+                f"partitions applies to the 'partitioned' check only "
+                f"(check={self.check!r}, partitions={self.partitions})"
+            )
 
     def label(self) -> str:
         """Compact human-readable identity (corpus entries, logs)."""
@@ -97,14 +120,23 @@ class FuzzConfig:
             parts.append(self.technique)
         parts.append(self.backend)
         parts.append(f"w{self.word_width}")
-        if self.check in ("batched", "packed") and self.batch_size:
+        if (self.check in ("batched", "packed", "partitioned")
+                and self.batch_size):
             parts.append(f"b{self.batch_size}")
-        if self.check == "faults" and self.workers > 1:
+        if self.check in ("faults", "partitioned") and self.workers > 1:
             parts.append(f"j{self.workers}")
+        if self.check == "partitioned":
+            parts.append(f"p{self.partitions}")
         return "/".join(parts)
 
     def as_dict(self) -> dict:
-        return asdict(self)
+        data = asdict(self)
+        # Late-added lattice axes serialize only when non-default, so
+        # pre-existing corpus entries keep their content-addressed ids
+        # (``from_dict`` refills the default on load).
+        if data["partitions"] == 1:
+            del data["partitions"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "FuzzConfig":
@@ -125,7 +157,7 @@ def sample_configs(
     oracle); batched, packed and — when enabled — fault-report
     identity each get a slice of every campaign.
     """
-    kinds = ["history", "history", "batched", "packed"]
+    kinds = ["history", "history", "batched", "packed", "partitioned"]
     if include_faults:
         kinds.append("faults")
     configs: list[FuzzConfig] = []
@@ -135,10 +167,18 @@ def sample_configs(
         word_width = rng.choice(WORD_WIDTHS)
         if check == "packed":
             technique = rng.choice(list(PACKED_TECHNIQUES))
+        elif check == "partitioned":
+            technique = rng.choice(list(PARTITIONED_TECHNIQUES))
         else:
             technique = rng.choice(list(HISTORY_TECHNIQUES))
         batch_size = rng.choice((0, 1, 2, 3, 5, 8))
-        workers = rng.choice((2, 3)) if check == "faults" else 1
+        if check == "faults":
+            workers = rng.choice((2, 3))
+        elif check == "partitioned":
+            workers = rng.choice((1, 2))
+        else:
+            workers = 1
+        partitions = rng.choice((2, 3, 4)) if check == "partitioned" else 1
         configs.append(FuzzConfig(
             check=check,
             technique=technique,
@@ -146,6 +186,7 @@ def sample_configs(
             word_width=word_width,
             batch_size=batch_size,
             workers=workers,
+            partitions=partitions,
         ))
     return configs
 
@@ -164,7 +205,8 @@ def run_check(
     if config.check == "faults":
         return _check_faults(circuit, vectors, config)
     execution = {"history": "scalar", "batched": "batched",
-                 "packed": "packed"}[config.check]
+                 "packed": "packed",
+                 "partitioned": "partitioned"}[config.check]
     return cross_validate(
         circuit,
         vectors,
@@ -173,6 +215,8 @@ def run_check(
         word_width=config.word_width,
         execution=execution,
         batch_size=config.batch_size or None,
+        partitions=config.partitions,
+        partition_workers=config.workers or None,
     )
 
 

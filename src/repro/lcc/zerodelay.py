@@ -12,7 +12,7 @@ bit-parallelism, reproduced here for the §5 "1/23" comparison.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro import telemetry
 from repro.analysis.levelize import levelize
@@ -110,6 +110,17 @@ class LCCSimulator:
     are bit-identical in their results; only the per-pass lane count
     differs.  (The machine's persistent state is scratch for this
     memoryless program, so only outputs are specified across paths.)
+
+    Partitioned execution: ``partitions > 1`` splits the circuit into
+    that many static clusters and routes ``evaluate``,
+    ``evaluate_all_nets``, ``apply_vectors`` and ``run_batch`` through
+    the barrier-synchronized
+    :class:`~repro.partition.executor.PartitionedSimulator`
+    (``partition_workers`` bounds its thread pool) — bit-identical
+    results, multiple cores on the C backend.  The prepared-batch
+    timing APIs (``prepare_batch``/``prepare_packed``/``run_prepared``)
+    always drive the monolithic machine: they exist to time one
+    compiled program's inner loop.
     """
 
     def __init__(
@@ -119,6 +130,8 @@ class LCCSimulator:
         backend: str = "python",
         word_width: int = 32,
         packed: bool | str = "auto",
+        partitions: int = 1,
+        partition_workers: Optional[int] = None,
     ) -> None:
         if packed not in (True, False, "auto"):
             raise SimulationError(
@@ -134,6 +147,20 @@ class LCCSimulator:
         self.packing_mode = packing_mode(self.program)
         self._inputs = circuit.inputs
         self._outputs = circuit.outputs
+        self.partitioned = None
+        if partitions > 1:
+            # Lazy import: repro.partition builds on this module's
+            # program shape, not the other way around.
+            from repro.partition.executor import PartitionedSimulator
+
+            self.partitioned = PartitionedSimulator(
+                circuit,
+                partitions=partitions,
+                partition_workers=partition_workers,
+                backend=backend,
+                word_width=word_width,
+                packed=packed,
+            )
 
     def _packable(self, words: list[list[int]]) -> bool:
         """May this batch take the packed path?
@@ -164,6 +191,8 @@ class LCCSimulator:
         self, vector: Mapping[str, int] | Sequence[int]
     ) -> dict[str, int]:
         """Settle on one vector; returns monitored output values."""
+        if self.partitioned is not None:
+            return self.partitioned.evaluate(vector)
         values = self._vector_list(vector)
         out = self.machine.step(values)
         return {name: value & 1 for name, value in zip(self._outputs, out)}
@@ -190,6 +219,8 @@ class LCCSimulator:
         self, vector: Mapping[str, int] | Sequence[int]
     ) -> dict[str, int]:
         """Settle and return every net's value (from machine state)."""
+        if self.partitioned is not None:
+            return self.partitioned.evaluate_all_nets(vector)
         self.machine.step(self._vector_list(vector))
         state = self.machine.state_dict()
         # State variable order matches circuit.nets insertion order.
@@ -225,6 +256,8 @@ class LCCSimulator:
         reconstructed on unpacking (:func:`packed_apply`); everything
         else runs through the scalar ``run_block`` loop.
         """
+        if self.partitioned is not None:
+            return self.partitioned.apply_vectors(vectors)
         words = [self._vector_list(vector) for vector in vectors]
         if self._packable(words):
             telemetry.counter("packing.packed_batches")
@@ -260,6 +293,8 @@ class LCCSimulator:
         packed and scalar paths produce the same result; eligible
         batches run packed (one pass per ``word_width`` vectors).
         """
+        if self.partitioned is not None:
+            return self.partitioned.run_batch(vectors)
         words = [self._vector_list(vector) for vector in vectors]
         if self._packable(words):
             telemetry.counter("packing.packed_batches")

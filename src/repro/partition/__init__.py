@@ -1,0 +1,38 @@
+"""Static netlist partitioning for multi-core single-circuit runs.
+
+The compiled techniques execute one straight-line program on one core;
+this package splits the levelized combinational DAG statically at
+compile time into balanced fanin-cone clusters, emits one independent
+compiled program per cluster (Python or C backend), and executes the
+clusters bulk-synchronously — a barrier per level *band*, exchanging
+only cut-net values between bands.  Partitioned execution is
+bit-identical to the monolithic program on every net.
+
+- :mod:`repro.partition.clustering` — the deterministic partitioner.
+- :mod:`repro.partition.codegen` — per-cluster program generation.
+- :mod:`repro.partition.executor` — the barrier-synchronized runner.
+"""
+
+from repro.partition.clustering import (
+    DEFAULT_BAND_LEVELS,
+    Partitioning,
+    effective_partitions,
+    partition_circuit,
+)
+from repro.partition.codegen import (
+    PartitionPlan,
+    SegmentProgram,
+    generate_partition_programs,
+)
+from repro.partition.executor import PartitionedSimulator
+
+__all__ = [
+    "DEFAULT_BAND_LEVELS",
+    "Partitioning",
+    "PartitionPlan",
+    "PartitionedSimulator",
+    "SegmentProgram",
+    "effective_partitions",
+    "generate_partition_programs",
+    "partition_circuit",
+]

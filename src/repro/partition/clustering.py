@@ -1,0 +1,333 @@
+"""Deterministic level-band clustering of the combinational DAG.
+
+The partitioner answers one question: which gate runs on which worker,
+and when?  The answer has to respect data dependencies without a
+runtime scheduler, so it is built entirely from the static topology
+(:func:`repro.analysis.levelize.levelize`):
+
+1. **Bands.**  Gate levels are chunked into fixed *level bands* of
+   ``band_levels`` consecutive levels.  A gate at level ``l`` only
+   reads nets settled at levels ``< l``, so a band may only read
+   values produced in earlier bands — or inside itself, which step 2
+   resolves.
+2. **Clusters.**  Within a band, gates connected by an intra-band
+   driver→reader net must execute in one sequential program (the
+   reader needs the driver's value mid-band).  The clusters are the
+   connected components of that intra-band dependency relation; each
+   component is a bundle of overlapping fanin cones.
+3. **Assignment.**  Components are placed on ``partitions`` workers by
+   longest-processing-time (LPT) scheduling: largest component first,
+   onto the least-loaded worker.  Ties prefer the worker that already
+   owns the most of the component's external producers (fanin-cone
+   affinity, which shrinks the cut), then the lowest worker index.
+
+Every step is a pure function of the circuit — sorted iteration
+orders, no RNG, no hashing of ids — so the same circuit always yields
+the same assignment, in any process, under any start method.  The
+:meth:`Partitioning.fingerprint` digest makes that property testable.
+
+A *cut net* is a driven net read by a segment other than its
+producer's; only cut-net values (plus primary outputs) cross the
+per-band barrier at run time.  Primary inputs are broadcast from the
+vector and are never counted as cut.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro import telemetry
+from repro.analysis.levelize import levelize
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "DEFAULT_BAND_LEVELS",
+    "Partitioning",
+    "effective_partitions",
+    "partition_circuit",
+]
+
+#: Gate levels per barrier band.  Wide enough that deep circuits (c6288
+#: is ~120 levels) take a dozen barriers rather than one per level,
+#: narrow enough that a band's components still split across workers.
+DEFAULT_BAND_LEVELS = 8
+
+
+def effective_partitions(circuit: Circuit, partitions: int) -> int:
+    """Clamp a requested partition count to what the circuit supports.
+
+    More partitions than gates cannot all receive work; the count is
+    clamped to the gate count (and to at least 1, so a gate-free
+    circuit still yields a well-formed single-partition plan).
+    """
+    if partitions < 1:
+        raise SimulationError(f"partitions must be >= 1: {partitions}")
+    return max(1, min(partitions, len(circuit.gates)))
+
+
+class Partitioning:
+    """A static gate→(band, worker) assignment with its cut analysis.
+
+    Attributes
+    ----------
+    num_partitions:
+        Effective worker count (the requested count, clamped).
+    band_levels:
+        Gate levels per band.
+    bands:
+        ``(lo, hi)`` inclusive gate-level range per band.
+    assignment:
+        ``gate name -> (band, worker)``.
+    segments:
+        ``(band, worker) -> gate names`` in evaluation order
+        (``(level, name)``), keyed in band-major order; only non-empty
+        segments appear.
+    cut_nets:
+        Sorted driven nets read outside their producer's segment.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        *,
+        num_partitions: int,
+        requested_partitions: int,
+        band_levels: int,
+        bands: list[tuple[int, int]],
+        assignment: dict[str, tuple[int, int]],
+        segments: dict[tuple[int, int], list[str]],
+        cut_nets: list[str],
+    ) -> None:
+        self.circuit = circuit
+        self.num_partitions = num_partitions
+        self.requested_partitions = requested_partitions
+        self.band_levels = band_levels
+        self.bands = bands
+        self.assignment = assignment
+        self.segments = segments
+        self.cut_nets = cut_nets
+
+    @property
+    def num_bands(self) -> int:
+        return len(self.bands)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    def stats(self) -> dict:
+        """Cut-size and balance statistics (the benchmark snapshot)."""
+        driven = sum(
+            1 for net in self.circuit.nets.values()
+            if net.driver is not None
+        )
+        worker_gates = [0] * self.num_partitions
+        band_gates = [0] * self.num_bands
+        for (band, worker), gates in self.segments.items():
+            worker_gates[worker] += len(gates)
+            band_gates[band] += len(gates)
+        return {
+            "num_gates": len(self.circuit.gates),
+            "requested_partitions": self.requested_partitions,
+            "num_partitions": self.num_partitions,
+            "band_levels": self.band_levels,
+            "num_bands": self.num_bands,
+            "num_segments": self.num_segments,
+            "cut_nets": len(self.cut_nets),
+            "cut_fraction": (
+                len(self.cut_nets) / driven if driven else 0.0
+            ),
+            "worker_gates": worker_gates,
+            "band_gates": band_gates,
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical assignment (determinism probe)."""
+        payload = json.dumps(
+            {
+                "circuit": self.circuit.name,
+                "bands": self.bands,
+                "assignment": sorted(self.assignment.items()),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"Partitioning({self.circuit.name!r}: "
+            f"{self.num_partitions} partitions, {self.num_bands} bands, "
+            f"{len(self.cut_nets)} cut nets)"
+        )
+
+
+def partition_circuit(
+    circuit: Circuit,
+    partitions: int,
+    *,
+    band_levels: int = DEFAULT_BAND_LEVELS,
+) -> Partitioning:
+    """Partition ``circuit`` into ``partitions`` balanced clusters."""
+    if band_levels < 1:
+        raise SimulationError(f"band_levels must be >= 1: {band_levels}")
+    with telemetry.span(
+        "partition.cut", circuit=circuit.name, partitions=partitions
+    ) as span:
+        partitioning = _partition(circuit, partitions, band_levels)
+        span.annotate(
+            cut_nets=len(partitioning.cut_nets),
+            bands=partitioning.num_bands,
+        )
+        telemetry.gauge("partition.cut_nets", len(partitioning.cut_nets))
+        telemetry.gauge("partition.bands", partitioning.num_bands)
+        return partitioning
+
+
+def _partition(
+    circuit: Circuit, partitions: int, band_levels: int
+) -> Partitioning:
+    effective = effective_partitions(circuit, partitions)
+    levels = levelize(circuit)
+    gate_levels = levels.gate_levels
+    gate_names = sorted(circuit.gates)
+    if effective == 1 or not gate_names:
+        # Monolithic plan: one band spanning every level, no cuts.  The
+        # executor recognizes the single segment and runs it without
+        # any barrier machinery.
+        max_level = max(gate_levels.values(), default=0)
+        assignment = {name: (0, 0) for name in gate_names}
+        segments = {}
+        if gate_names:
+            segments[(0, 0)] = sorted(
+                gate_names, key=lambda n: (gate_levels[n], n)
+            )
+        return Partitioning(
+            circuit,
+            num_partitions=1,
+            requested_partitions=partitions,
+            band_levels=band_levels,
+            bands=[(0, max_level)],
+            assignment=assignment,
+            segments=segments,
+            cut_nets=[],
+        )
+
+    # Band k covers gate levels [k*b + 1, (k+1)*b]; level-0 gates
+    # (constants) join band 0.
+    def band_of(level: int) -> int:
+        return 0 if level <= 0 else (level - 1) // band_levels
+
+    max_level = max(gate_levels.values())
+    num_bands = band_of(max_level) + 1
+    bands = [(0, band_levels)] + [
+        (b * band_levels + 1, (b + 1) * band_levels)
+        for b in range(1, num_bands)
+    ]
+    band_members: list[list[str]] = [[] for _ in range(num_bands)]
+    for name in gate_names:
+        band_members[band_of(gate_levels[name])].append(name)
+
+    assignment: dict[str, tuple[int, int]] = {}
+    loads = [0] * effective
+    for band_index, members in enumerate(band_members):
+        if not members:
+            continue
+        components = _band_components(circuit, members)
+        # LPT with fanin-cone affinity: biggest component first, least
+        # loaded worker, ties broken toward the worker owning the most
+        # external producers, then the lowest index.
+        components.sort(key=lambda gates: (-len(gates), gates[0]))
+        for gates in components:
+            producers = _external_producers(circuit, gates)
+            best = min(range(effective), key=lambda w: (
+                loads[w],
+                -sum(
+                    1 for p in producers
+                    if assignment.get(p, (None, None))[1] == w
+                ),
+                w,
+            ))
+            loads[best] += len(gates)
+            for gate_name in gates:
+                assignment[gate_name] = (band_index, best)
+
+    segments: dict[tuple[int, int], list[str]] = {}
+    for name in gate_names:
+        segments.setdefault(assignment[name], []).append(name)
+    segments = {
+        key: sorted(segments[key], key=lambda n: (gate_levels[n], n))
+        for key in sorted(segments)
+    }
+
+    cut: set[str] = set()
+    for gate in circuit.gates.values():
+        seg = assignment[gate.name]
+        for in_net in gate.inputs:
+            driver = circuit.nets[in_net].driver
+            if driver is not None and assignment[driver] != seg:
+                cut.add(in_net)
+
+    return Partitioning(
+        circuit,
+        num_partitions=effective,
+        requested_partitions=partitions,
+        band_levels=band_levels,
+        bands=bands,
+        assignment=assignment,
+        segments=segments,
+        cut_nets=sorted(cut),
+    )
+
+
+def _band_components(
+    circuit: Circuit, members: list[str]
+) -> list[list[str]]:
+    """Connected components of the intra-band driver→reader relation.
+
+    Each component is returned as a sorted gate-name list; the
+    component list itself is keyed by its smallest member, so the
+    decomposition is deterministic.
+    """
+    in_band = set(members)
+    parent = {name: name for name in members}
+
+    def find(name: str) -> str:
+        root = name
+        while parent[root] != root:
+            root = parent[root]
+        while parent[name] != root:
+            parent[name], name = root, parent[name]
+        return root
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            # Smaller root name wins: keeps find() results canonical.
+            if rb < ra:
+                ra, rb = rb, ra
+            parent[rb] = ra
+
+    for name in members:
+        for in_net in circuit.gates[name].inputs:
+            driver = circuit.nets[in_net].driver
+            if driver is not None and driver in in_band:
+                union(driver, name)
+
+    groups: dict[str, list[str]] = {}
+    for name in members:
+        groups.setdefault(find(name), []).append(name)
+    return [sorted(groups[root]) for root in sorted(groups)]
+
+
+def _external_producers(circuit: Circuit, gates: list[str]) -> list[str]:
+    """Driver gates outside ``gates`` feeding any gate inside it."""
+    inside = set(gates)
+    producers: set[str] = set()
+    for name in gates:
+        for in_net in circuit.gates[name].inputs:
+            driver = circuit.nets[in_net].driver
+            if driver is not None and driver not in inside:
+                producers.add(driver)
+    return sorted(producers)

@@ -1,0 +1,179 @@
+"""Per-cluster compiled program generation.
+
+Each non-empty ``(band, worker)`` segment of a
+:class:`~repro.partition.clustering.Partitioning` becomes one
+independent straight-line program in the zero-delay LCC shape
+(:mod:`repro.lcc.zerodelay`): one variable per net, one statement per
+gate in ``(level, name)`` order, inputs read from vector slots,
+exports emitted as masked words.  A segment's vector slots carry its
+*external* nets — primary inputs and values produced by other
+segments — in sorted order; its emitted outputs are the driven nets
+other segments (or the caller) need: the cut nets it produces plus any
+primary outputs, or every driven net when ``observe="all"`` (the
+whole-state mode behind ``evaluate_all_nets`` and steady-state
+seeding).
+
+Segment programs contain only ``&``/``|``/``^``/``~`` and never read a
+variable before writing it, so each compiles in ``"full"`` packing
+mode — the executor drives the same machines scalar or pattern-packed,
+on either backend.
+"""
+
+from __future__ import annotations
+
+from repro import telemetry
+from repro.codegen.gates import gate_expression
+from repro.codegen.naming import NameAllocator
+from repro.codegen.program import Assign, Emit, Input, Program, Var
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.partition.clustering import Partitioning
+
+__all__ = ["PartitionPlan", "SegmentProgram", "generate_partition_programs"]
+
+
+class SegmentProgram:
+    """One cluster's compiled-program recipe.
+
+    ``inputs`` lists the external nets in vector-slot order;
+    ``exports`` the emitted nets in output order.  ``machine`` is
+    filled in by the executor after compilation.
+    """
+
+    __slots__ = ("band", "worker", "program", "inputs", "exports",
+                 "num_gates", "machine")
+
+    def __init__(
+        self,
+        band: int,
+        worker: int,
+        program: Program,
+        inputs: list[str],
+        exports: list[str],
+        num_gates: int,
+    ) -> None:
+        self.band = band
+        self.worker = worker
+        self.program = program
+        self.inputs = inputs
+        self.exports = exports
+        self.num_gates = num_gates
+        self.machine = None
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentProgram(band {self.band}, worker {self.worker}: "
+            f"{self.num_gates} gates, {len(self.inputs)} in, "
+            f"{len(self.exports)} out)"
+        )
+
+
+class PartitionPlan:
+    """Every segment program of one partitioning, grouped by band."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        partitioning: Partitioning,
+        segments: list[SegmentProgram],
+        *,
+        word_width: int,
+        observe: str,
+    ) -> None:
+        self.circuit = circuit
+        self.partitioning = partitioning
+        self.segments = segments
+        self.word_width = word_width
+        self.observe = observe
+        self.bands: list[list[SegmentProgram]] = [
+            [] for _ in range(partitioning.num_bands)
+        ]
+        for segment in segments:
+            self.bands[segment.band].append(segment)
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionPlan({self.circuit.name!r}: "
+            f"{len(self.segments)} segments over "
+            f"{len(self.bands)} bands, observe={self.observe!r})"
+        )
+
+
+def generate_partition_programs(
+    circuit: Circuit,
+    partitioning: Partitioning,
+    *,
+    word_width: int = 32,
+    observe: str = "cut",
+) -> PartitionPlan:
+    """Generate one program per non-empty segment of ``partitioning``.
+
+    ``observe="cut"`` exports only what must cross the barrier (cut
+    nets) or reach the caller (primary outputs); ``observe="all"``
+    exports every driven net, so the merged exchange table holds the
+    settled value of the entire circuit.
+    """
+    if observe not in ("cut", "all"):
+        raise SimulationError(
+            f"observe must be 'cut' or 'all': {observe!r}"
+        )
+    with telemetry.span(
+        "emit", technique="partition", circuit=circuit.name
+    ):
+        return _generate(circuit, partitioning, word_width, observe)
+
+
+def _generate(
+    circuit: Circuit,
+    partitioning: Partitioning,
+    word_width: int,
+    observe: str,
+) -> PartitionPlan:
+    assignment = partitioning.assignment
+    cut = set(partitioning.cut_nets)
+    outputs = set(circuit.outputs)
+    segments: list[SegmentProgram] = []
+    for (band, worker), gate_names in partitioning.segments.items():
+        gates = [circuit.gates[name] for name in gate_names]
+        driven = {gate.output for gate in gates}
+        external = sorted({
+            in_net
+            for gate in gates
+            for in_net in gate.inputs
+            if in_net not in driven
+        })
+        exports = sorted(
+            net for net in driven
+            if observe == "all" or net in cut or net in outputs
+        )
+        program = Program(
+            f"part_{circuit.name}_b{band}w{worker}",
+            word_width=word_width,
+            inputs=external,
+            mask_assignments=False,
+        )
+        names = NameAllocator()
+        for net_name in external:
+            program.declare(names.get(net_name))
+        for gate in gates:
+            program.declare(names.get(gate.output))
+        for slot, net_name in enumerate(external):
+            program.init.append(Assign(names.get(net_name), Input(slot)))
+        for gate in gates:
+            operands = [Var(names.get(i)) for i in gate.inputs]
+            program.body.append(
+                Assign(names.get(gate.output),
+                       gate_expression(gate.gate_type, operands))
+            )
+        for net_name in exports:
+            program.output.append(
+                Emit(Var(names.get(net_name)), (net_name,))
+            )
+        program.validate()
+        segments.append(SegmentProgram(
+            band, worker, program, external, exports, len(gates)
+        ))
+    return PartitionPlan(
+        circuit, partitioning, segments,
+        word_width=word_width, observe=observe,
+    )

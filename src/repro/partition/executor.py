@@ -1,0 +1,372 @@
+"""Bulk-synchronous execution of partitioned compiled programs.
+
+:class:`PartitionedSimulator` runs the segment programs of a
+:class:`~repro.partition.codegen.PartitionPlan` band by band: within a
+band every segment is independent (its inputs were all settled in
+earlier bands or come from the vector), so segments run concurrently
+on a thread pool; a barrier at the end of each band merges the
+segments' exported words into a shared net→column table, and only
+those cut-net values flow between bands.  On the C backend the
+compiled segment calls release the GIL, so bands genuinely occupy
+multiple cores; on the Python backend the pool still exercises the
+identical protocol (correctness axis) without speedup.
+
+The whole *batch* rides through every segment call — one
+``run_block``/``run_packed_block`` dispatch per segment per band — so
+the barrier count is independent of the vector count.  Eligible 0/1
+batches are pattern-packed exactly like the monolithic LCC path: the
+lane words themselves travel through the exchange table (every segment
+is lane-wise), and the scalar-identical raw words are reconstructed
+with the same all-zeros fill-group rule as
+:func:`repro.codegen.packing.packed_apply`.
+
+Bit-identity contract: for every net, every vector, both backends and
+all of scalar/batched/packed, the values produced here equal the
+monolithic :class:`repro.lcc.zerodelay.LCCSimulator`'s.  Masking each
+exported word cannot diverge from the monolithic program's unmasked
+intermediates because every emitted operator is lane-wise — the low
+``word_width`` bits of any result depend only on the low bits of its
+operands.
+
+With an effective partition count of 1 (including ``partitions=1``
+and single-gate circuits) the plan holds one segment covering the
+whole circuit and the simulator takes a monolithic fast path: no
+thread pool is created and no barrier or exchange runs.
+
+Telemetry: spans are opened by the calling thread only
+(``partition.run`` around the band sweep, ``partition.exchange``
+around merges); worker threads run compiled code and touch at most
+GIL-atomic counters, as the telemetry module is not thread-safe.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping, Optional, Sequence
+
+from repro import telemetry
+from repro.codegen.packing import pack_patterns
+from repro.codegen.runtime import compile_program
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.partition.clustering import (
+    DEFAULT_BAND_LEVELS,
+    partition_circuit,
+)
+from repro.partition.codegen import (
+    PartitionPlan,
+    SegmentProgram,
+    generate_partition_programs,
+)
+
+__all__ = ["PartitionedSimulator"]
+
+
+class PartitionedSimulator:
+    """Barrier-synchronized multi-partition zero-delay simulator.
+
+    Mirrors the :class:`~repro.lcc.zerodelay.LCCSimulator` observation
+    API — ``evaluate``, ``evaluate_all_nets``, ``apply_vectors``,
+    ``run_batch`` — with bit-identical results.  ``partitions`` is the
+    requested cluster count (clamped to the gate count);
+    ``partition_workers`` bounds the thread pool (default: one thread
+    per partition).  ``packed`` follows the LCC policy: ``"auto"``
+    packs eligible 0/1 batches, ``False`` forces scalar, ``True``
+    requires packing.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        *,
+        partitions: int = 2,
+        partition_workers: Optional[int] = None,
+        backend: str = "python",
+        word_width: int = 32,
+        band_levels: int = DEFAULT_BAND_LEVELS,
+        packed: bool | str = "auto",
+    ) -> None:
+        if packed not in (True, False, "auto"):
+            raise SimulationError(
+                f"packed must be True, False or 'auto': {packed!r}"
+            )
+        self.circuit = circuit
+        self.backend = backend
+        self.word_width = word_width
+        self.word_mask = (1 << word_width) - 1
+        self.packed = packed
+        self.partitioning = partition_circuit(
+            circuit, partitions, band_levels=band_levels
+        )
+        self.num_partitions = self.partitioning.num_partitions
+        if partition_workers is not None and partition_workers < 1:
+            raise SimulationError(
+                f"partition_workers must be >= 1: {partition_workers}"
+            )
+        self.workers = min(
+            partition_workers if partition_workers is not None
+            else self.num_partitions,
+            self.num_partitions,
+        )
+        self.plan = generate_partition_programs(
+            circuit, self.partitioning, word_width=word_width,
+            observe="cut",
+        )
+        self._compile(self.plan)
+        #: Monolithic fast path: a single segment needs no barriers, no
+        #: exchanges and no pool — the flag is the edge-case tests' probe.
+        self.monolithic = len(self.plan.segments) <= 1
+        self._plan_all: Optional[PartitionPlan] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._inputs = circuit.inputs
+        self._outputs = circuit.outputs
+        telemetry.gauge("partition.segments", len(self.plan.segments))
+
+    def _compile(self, plan: PartitionPlan) -> None:
+        for segment in plan.segments:
+            segment.machine = compile_program(segment.program, self.backend)
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-partition",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "PartitionedSimulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # the band sweep
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_segment(
+        segment: SegmentProgram,
+        table: Mapping[str, list[int]],
+        count: int,
+    ) -> list[list[int]]:
+        """One segment over the whole batch: gather → run → rows.
+
+        The gathered input words are already masked (vector entry and
+        every previous export mask), so the machine's pre-masked batch
+        path applies.
+        """
+        columns = [table[name] for name in segment.inputs]
+        batch = [[column[j] for column in columns] for j in range(count)]
+        return segment.machine.step_many(batch, masked=True)
+
+    def _sweep(
+        self, plan: PartitionPlan, table: dict[str, list[int]], count: int
+    ) -> None:
+        """Run every band over ``table`` columns of ``count`` words.
+
+        ``table`` enters holding the primary-input columns and exits
+        holding every exported net's column as well.
+        """
+        if self.monolithic:
+            # Single segment: straight through, no barriers.
+            segment = plan.segments[0] if plan.segments else None
+            if segment is not None:
+                rows = self._run_segment(segment, table, count)
+                for i, net_name in enumerate(segment.exports):
+                    table[net_name] = [row[i] for row in rows]
+            return
+        telemetry.counter("partition.batches")
+        with telemetry.span(
+            "partition.run", circuit=self.circuit.name, vectors=count
+        ):
+            for band_segments in plan.bands:
+                if not band_segments:
+                    continue
+                if self.workers > 1 and len(band_segments) > 1:
+                    pool = self._ensure_pool()
+                    results = list(pool.map(
+                        lambda seg: self._run_segment(seg, table, count),
+                        band_segments,
+                    ))
+                else:
+                    results = [
+                        self._run_segment(seg, table, count)
+                        for seg in band_segments
+                    ]
+                with telemetry.span("partition.exchange"):
+                    moved = 0
+                    for segment, rows in zip(band_segments, results):
+                        for i, net_name in enumerate(segment.exports):
+                            table[net_name] = [row[i] for row in rows]
+                        moved += len(segment.exports) * count
+                    telemetry.counter("partition.exchanged_words", moved)
+
+    def _input_table(
+        self, columns_of: Sequence[Sequence[int]]
+    ) -> dict[str, list[int]]:
+        """Seed the exchange table with masked primary-input columns."""
+        mask = self.word_mask
+        return {
+            name: [words[k] & mask for words in columns_of]
+            for k, name in enumerate(self._inputs)
+        }
+
+    # ------------------------------------------------------------------
+    # observation API (LCC-compatible)
+    # ------------------------------------------------------------------
+    def _vector_list(
+        self, vector: Mapping[str, int] | Sequence[int]
+    ) -> list[int]:
+        if isinstance(vector, Mapping):
+            missing = [n for n in self._inputs if n not in vector]
+            if missing:
+                raise SimulationError(f"vector missing inputs: {missing}")
+            return [vector[n] for n in self._inputs]
+        values = list(vector)
+        if len(values) != len(self._inputs):
+            raise SimulationError(
+                f"vector has {len(values)} values, expected "
+                f"{len(self._inputs)}"
+            )
+        return values
+
+    def evaluate(
+        self, vector: Mapping[str, int] | Sequence[int]
+    ) -> dict[str, int]:
+        """Settle on one vector; returns monitored output values."""
+        words = self._apply_scalar([self._vector_list(vector)])[0]
+        return {
+            name: value & 1
+            for name, value in zip(self._outputs, words)
+        }
+
+    def evaluate_all_nets(
+        self, vector: Mapping[str, int] | Sequence[int]
+    ) -> dict[str, int]:
+        """Settle and return every net's value.
+
+        Uses a lazily built ``observe="all"`` plan whose segments
+        export every driven net; primary inputs come straight from the
+        vector.  Net order matches ``circuit.nets`` insertion order,
+        like the monolithic engine's state decode.
+        """
+        if self._plan_all is None:
+            self._plan_all = generate_partition_programs(
+                self.circuit, self.partitioning,
+                word_width=self.word_width, observe="all",
+            )
+            self._compile(self._plan_all)
+        words = [self._vector_list(vector)]
+        table = self._input_table(words)
+        self._sweep(self._plan_all, table, 1)
+        return {
+            net_name: table[net_name][0] & 1
+            for net_name in self.circuit.nets
+        }
+
+    def _packable(self, words: list[list[int]]) -> bool:
+        if self.packed is False:
+            return False
+        if not self._inputs:
+            if self.packed is True:
+                raise SimulationError(
+                    "packed=True requires at least one primary input"
+                )
+            return False
+        eligible = all(
+            value in (0, 1) for word in words for value in word
+        )
+        if not eligible and self.packed is True:
+            raise SimulationError(
+                "packed=True requires plain 0/1 vectors (one lane each)"
+            )
+        return eligible
+
+    def apply_vectors(
+        self, vectors: Sequence[Mapping[str, int] | Sequence[int]]
+    ) -> list[list[int]]:
+        """Settle a batch; returns per-vector raw output words.
+
+        Bit-identical to the monolithic
+        :meth:`repro.lcc.zerodelay.LCCSimulator.apply_vectors` —
+        including the exact raw (unreduced) words of both its packed
+        and scalar paths.
+        """
+        words = [self._vector_list(vector) for vector in vectors]
+        if not words:
+            return []
+        if self._packable(words):
+            telemetry.counter("partition.packed_batches")
+            return self._apply_packed(words)
+        telemetry.counter("partition.fallback.scalar")
+        return self._apply_scalar(words)
+
+    def _apply_scalar(self, words: list[list[int]]) -> list[list[int]]:
+        table = self._input_table(words)
+        self._sweep(self.plan, table, len(words))
+        columns = [table[name] for name in self._outputs]
+        return [
+            [column[j] for column in columns]
+            for j in range(len(words))
+        ]
+
+    def _apply_packed(self, words: list[list[int]]) -> list[list[int]]:
+        """Pattern-packed batch with exact scalar-word reconstruction.
+
+        The packed lane words flow through the same band sweep (every
+        segment program is lane-wise); an appended all-zeros group
+        supplies the fill word, mirroring
+        :func:`repro.codegen.packing.packed_apply` exactly.
+        """
+        groups, lane_counts = pack_patterns(words, self.word_width)
+        groups.append([0] * len(self._inputs))
+        table = self._input_table(groups)
+        self._sweep(self.plan, table, len(groups))
+        columns = [table[name] for name in self._outputs]
+        fill = [column[-1] for column in columns]
+        high = self.word_mask ^ 1
+        results: list[list[int]] = []
+        for g, lanes in enumerate(lane_counts):
+            group_words = [column[g] for column in columns]
+            for j in range(lanes):
+                results.append([
+                    ((word >> j) & 1) | (fill[o] & high)
+                    for o, word in enumerate(group_words)
+                ])
+        return results
+
+    # ------------------------------------------------------------------
+    # checksum folding (interpreted-simulator compatible)
+    # ------------------------------------------------------------------
+    @property
+    def _fold_bits(self) -> int:
+        return 2 * self.word_width - 2
+
+    def _fold(self, folded: int, bit: int) -> int:
+        bits = self._fold_bits
+        folded = ((folded << 1) | (folded >> (bits - 1))) & ((1 << bits) - 1)
+        return folded ^ bit
+
+    def run_batch(self, vectors: Sequence[Sequence[int]]) -> int:
+        """Simulate many vectors; fold outputs to the LCC checksum."""
+        checksum = 0
+        for out in self.apply_vectors(vectors):
+            folded = 0
+            for value in out:
+                folded = self._fold(folded, value & 1)
+            checksum ^= folded
+        return checksum

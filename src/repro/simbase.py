@@ -39,6 +39,16 @@ class CompiledSimulator:
         compilation — the configuration benchmarks time, matching the
         paper's methodology of excluding output handling from
         measurements.  Output-decoding APIs then raise.
+    partitions / partition_workers:
+        With ``partitions > 1`` the steady-state seeding of
+        :meth:`reset` runs on the partitioned compiled engine
+        (:class:`~repro.partition.executor.PartitionedSimulator`)
+        instead of the interpreted zero-delay settle — bit-identical
+        settled values, so every downstream result is unchanged.  The
+        unit-delay program itself carries per-vector history and runs
+        monolithically; :meth:`apply_vectors` records the declined
+        request as a ``partition.fallback.<mode>`` counter, mirroring
+        the packing-fallback idiom.
     """
 
     def __init__(
@@ -49,6 +59,8 @@ class CompiledSimulator:
         backend: str = "python",
         with_outputs: bool = True,
         checksum_mask: Optional[int] = None,
+        partitions: int = 1,
+        partition_workers: Optional[int] = None,
         **backend_kwargs,
     ) -> None:
         self.circuit = circuit
@@ -72,6 +84,11 @@ class CompiledSimulator:
         self.packing_mode = packing_mode(compiled)
         self._inputs = circuit.inputs
         self._settled = False
+        if partitions < 1:
+            raise SimulationError(f"partitions must be >= 1: {partitions}")
+        self.partitions = partitions
+        self.partition_workers = partition_workers
+        self._partition_settler = None
 
     # ------------------------------------------------------------------
     # state seeding
@@ -88,9 +105,33 @@ class CompiledSimulator:
         if vector is None:
             vector = [0] * len(self._inputs)
         with telemetry.span("seed"):
-            settled = steady_state(self.circuit, vector)
+            if self.partitions > 1:
+                settled = self._settle_partitioned(vector)
+            else:
+                settled = steady_state(self.circuit, vector)
             self.machine.load_state(self._encode_state(settled))
         self._settled = True
+
+    def _settle_partitioned(self, vector) -> Mapping[str, int]:
+        """Steady state via the partitioned compiled engine.
+
+        Bit-identical to the interpreted settle: in an acyclic circuit
+        the zero-delay steady state is unique, and the partitioned
+        engine's per-net values are asserted identical to the
+        monolithic compiled ones, which the test suite anchors to the
+        interpreted simulator.
+        """
+        if self._partition_settler is None:
+            from repro.partition.executor import PartitionedSimulator
+
+            self._partition_settler = PartitionedSimulator(
+                self.circuit,
+                partitions=self.partitions,
+                partition_workers=self.partition_workers,
+                backend=self.backend,
+                word_width=self.program.word_width,
+            )
+        return self._partition_settler.evaluate_all_nets(vector)
 
     def _encode_state(self, settled: Mapping[str, int]) -> list[int]:
         """Persistent-state words for a constant-history steady state."""
@@ -140,6 +181,10 @@ class CompiledSimulator:
         """
         if not self._settled:
             raise SimulationError("call reset() before apply_vectors()")
+        if self.partitions > 1:
+            # The history-carrying program runs monolithically; the
+            # partitioned engine already did its work in reset().
+            telemetry.counter(f"partition.fallback.{self.packing_mode}")
         words = [self._vector_words(vector) for vector in vectors]
         if self.packing_mode == "full" and self._inputs:
             telemetry.counter("packing.packed_batches")

@@ -193,10 +193,18 @@ class Span:
     def __exit__(self, *exc) -> bool:
         seconds = time.perf_counter() - self._start
         stack = _STACK
-        if stack and stack[-1] is self:
-            stack.pop()
-        if stack:
-            stack[-1].child_seconds += seconds
+        # Pop defensively back to *this* span: an inner span abandoned
+        # mid-body (e.g. held by a generator that is never resumed)
+        # would otherwise stay on the stack forever, mis-attributing
+        # every later phase's path and child time.  Stale frames above
+        # ``self`` are discarded; only when ``self`` was actually on
+        # the stack does the (new) parent get credited.
+        if any(frame is self for frame in stack):
+            while stack:
+                if stack.pop() is self:
+                    break
+            if stack:
+                stack[-1].child_seconds += seconds
         entry = _PHASES.get(self.path)
         if entry is None:
             entry = _PHASES[self.path] = [0, 0.0, 0.0]
@@ -352,6 +360,22 @@ def _derived_sections(counters: Mapping, cache: Mapping) -> dict:
             "retries": counters.get("events.shard.retry", 0),
             "timeouts": counters.get("events.shard.timeout", 0),
             "degraded": counters.get("events.shard.degraded", 0),
+        },
+        "partition": {
+            "batches": counters.get("partition.batches", 0),
+            "packed_batches": counters.get(
+                "partition.packed_batches", 0
+            ),
+            "exchanged_words": counters.get(
+                "partition.exchanged_words", 0
+            ),
+            "fallback": {
+                "scalar": counters.get("partition.fallback.scalar", 0),
+                "settled": counters.get(
+                    "partition.fallback.settled", 0
+                ),
+                "none": counters.get("partition.fallback.none", 0),
+            },
         },
     }
 

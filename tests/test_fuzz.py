@@ -61,6 +61,40 @@ class TestFuzzConfig:
         assert a == b
         assert {c.check for c in a} <= set(CHECKS)
 
+    def test_partitioned_config_validates(self):
+        config = FuzzConfig(check="partitioned", technique="zero-lcc",
+                            partitions=3, workers=2)
+        assert FuzzConfig.from_dict(config.as_dict()) == config
+        label = config.label()
+        assert "partitioned" in label and "p3" in label and "j2" in label
+        with pytest.raises(SimulationError):
+            FuzzConfig(check="partitioned", technique="parallel-best",
+                       partitions=2)
+        with pytest.raises(SimulationError):
+            FuzzConfig(check="partitioned", technique="zero-lcc",
+                       partitions=1)
+        # partitions leaks into no other check.
+        with pytest.raises(SimulationError):
+            FuzzConfig(check="history", partitions=2)
+
+    def test_from_dict_ignores_unknown_and_missing_fields(self):
+        # Corpus entries written before the partitioned axis carry no
+        # ``partitions`` key; newer entries may carry keys this build
+        # does not know.  Both must load.
+        old = {"check": "packed", "technique": "zero-lcc",
+               "backend": "python", "word_width": 16,
+               "batch_size": 0, "workers": 1}
+        assert FuzzConfig.from_dict(old).partitions == 1
+        new = dict(old, future_knob=7)
+        assert FuzzConfig.from_dict(new) == FuzzConfig.from_dict(old)
+
+    def test_sampling_draws_partitioned_points(self):
+        configs = sample_configs(random.Random(7), 60)
+        partitioned = [c for c in configs if c.check == "partitioned"]
+        assert partitioned
+        assert all(c.partitions >= 2 for c in partitioned)
+        assert all(c.technique == "zero-lcc" for c in partitioned)
+
 
 class TestRunCheck:
     @pytest.fixture(scope="class")
@@ -78,6 +112,11 @@ class TestRunCheck:
         FuzzConfig(check="packed", technique="pcset", batch_size=3),
         FuzzConfig(check="faults", technique="parallel-best",
                    workers=2),
+        FuzzConfig(check="partitioned", technique="zero-lcc",
+                   partitions=3),
+        FuzzConfig(check="partitioned", technique="zero-lcc",
+                   partitions=2, workers=2, batch_size=2,
+                   word_width=8),
     ], ids=lambda c: c.label())
     def test_healthy_tree_passes(self, triple, config):
         circuit, vectors = triple

@@ -1,0 +1,344 @@
+"""Partitioned execution: bit-identity, edge cases, determinism.
+
+The partition engine's contract is absolute: for every net, every
+vector, both backends and every execution shape, the barrier-
+synchronized multi-segment run produces exactly the words the
+monolithic LCC engine produces.  These tests pin that contract, the
+clamping/monolithic edge cases from the bugfix sweep, and the
+determinism guarantee (same circuit => same assignment, in any
+process, under any multiprocessing start method).
+"""
+
+import json
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.codegen.runtime import have_c_compiler
+from repro.errors import SimulationError
+from repro.harness.compare import cross_validate
+from repro.harness.vectors import vectors_for
+from repro.lcc.zerodelay import LCCSimulator
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.generators import (
+    array_multiplier,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.netlist.random_circuits import random_dag_circuit
+from repro.partition import (
+    DEFAULT_BAND_LEVELS,
+    PartitionedSimulator,
+    effective_partitions,
+    generate_partition_programs,
+    partition_circuit,
+)
+
+NEED_CC = pytest.mark.skipif(
+    have_c_compiler() is None, reason="no C compiler available"
+)
+
+BACKENDS = ["python"] + (["c"] if have_c_compiler() else [])
+
+
+CIRCUITS = [
+    ("adder", lambda: ripple_carry_adder(6)),
+    ("multiplier", lambda: array_multiplier(3)),
+    ("parity", lambda: parity_tree(9)),
+    ("mux", lambda: mux_tree(3)),
+    ("dag", lambda: random_dag_circuit(3, num_inputs=5, num_gates=24)),
+]
+
+
+def _chain_circuit(length=6):
+    """A buffer chain: one gate per level, every internal net a cut
+    candidate when band_levels=1."""
+    b = CircuitBuilder("chain")
+    net = b.input("A")
+    for i in range(length):
+        net = b.not_(f"N{i}", net)
+    b.outputs(net)
+    return b.build()
+
+
+def _single_gate_circuit():
+    b = CircuitBuilder("one")
+    a, bb = b.inputs("A", "B")
+    b.outputs(b.and_("Y", a, bb))
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# identity vs. the monolithic engine
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("partitions", [1, 2, 3, 5])
+@pytest.mark.parametrize("label,factory", CIRCUITS,
+                         ids=[c[0] for c in CIRCUITS])
+def test_partitioned_identical_to_monolithic(label, factory, partitions):
+    circuit = factory()
+    vectors = vectors_for(circuit, 12, seed=11)
+    mono = LCCSimulator(circuit, word_width=32)
+    part = PartitionedSimulator(circuit, partitions=partitions)
+    assert part.apply_vectors(vectors) == mono.apply_vectors(vectors)
+    assert part.run_batch(vectors) == mono.run_batch(vectors)
+    for vector in vectors[:3]:
+        assert part.evaluate(vector) == mono.evaluate(vector)
+        assert (part.evaluate_all_nets(vector)
+                == mono.evaluate_all_nets(vector))
+    part.close()
+
+
+@pytest.mark.parametrize("word_width", [8, 64])
+@pytest.mark.parametrize("label,factory", CIRCUITS[:3],
+                         ids=[c[0] for c in CIRCUITS[:3]])
+def test_partitioned_identity_other_widths(label, factory, word_width):
+    circuit = factory()
+    vectors = vectors_for(circuit, 9, seed=5)
+    mono = LCCSimulator(circuit, word_width=word_width)
+    with PartitionedSimulator(
+        circuit, partitions=3, word_width=word_width
+    ) as part:
+        assert part.apply_vectors(vectors) == mono.apply_vectors(vectors)
+
+
+@NEED_CC
+@pytest.mark.parametrize("label,factory", CIRCUITS[:3],
+                         ids=[c[0] for c in CIRCUITS[:3]])
+def test_partitioned_identity_c_backend(label, factory):
+    circuit = factory()
+    vectors = vectors_for(circuit, 10, seed=3)
+    mono = LCCSimulator(circuit, word_width=64, backend="c")
+    with PartitionedSimulator(
+        circuit, partitions=4, backend="c", word_width=64,
+        partition_workers=2,
+    ) as part:
+        assert part.apply_vectors(vectors) == mono.apply_vectors(vectors)
+        assert part.run_batch(vectors) == mono.run_batch(vectors)
+
+
+def test_scalar_path_identity_multibit_words():
+    # Multi-bit input words are ineligible for packing; the scalar
+    # band sweep must still match the monolithic scalar path word for
+    # word.
+    circuit = ripple_carry_adder(5)
+    rows = [
+        [(i * 7 + k * 3) % 5 for k in range(len(circuit.inputs))]
+        for i in range(8)
+    ]
+    mono = LCCSimulator(circuit, word_width=16)
+    with PartitionedSimulator(
+        circuit, partitions=3, word_width=16
+    ) as part:
+        assert part.apply_vectors(rows) == mono.apply_vectors(rows)
+
+
+def test_lcc_facade_delegates_to_partitioned():
+    circuit = parity_tree(8)
+    vectors = vectors_for(circuit, 8, seed=2)
+    mono = LCCSimulator(circuit, word_width=32)
+    sim = LCCSimulator(circuit, word_width=32, partitions=3)
+    assert sim.partitioned is not None
+    assert sim.apply_vectors(vectors) == mono.apply_vectors(vectors)
+    assert sim.run_batch(vectors) == mono.run_batch(vectors)
+    vector = vectors[0]
+    assert sim.evaluate(vector) == mono.evaluate(vector)
+    assert sim.evaluate_all_nets(vector) == mono.evaluate_all_nets(vector)
+
+
+def test_cross_validate_partitioned_axis():
+    circuit = ripple_carry_adder(4)
+    vectors = vectors_for(circuit, 6, seed=9)
+    checks = cross_validate(
+        circuit, vectors, techniques=("zero-lcc",),
+        execution="partitioned", partitions=3,
+    )
+    assert checks > 0
+
+
+# ----------------------------------------------------------------------
+# edge cases (the bugfix sweep)
+# ----------------------------------------------------------------------
+def test_single_gate_circuit_is_monolithic():
+    circuit = _single_gate_circuit()
+    sim = PartitionedSimulator(circuit, partitions=4)
+    assert sim.monolithic
+    assert sim.num_partitions == 1
+    assert sim.partitioning.cut_nets == []
+    mono = LCCSimulator(circuit, word_width=32)
+    vectors = [[a, b] for a in (0, 1) for b in (0, 1)]
+    assert sim.apply_vectors(vectors) == mono.apply_vectors(vectors)
+    assert sim._pool is None  # fast path never builds the pool
+
+
+def test_partitions_exceeding_gate_count_clamp():
+    circuit = _single_gate_circuit()
+    assert effective_partitions(circuit, 100) == 1
+    deep = _chain_circuit(4)  # 4 gates
+    assert effective_partitions(deep, 100) == 4
+    plan = partition_circuit(deep, 100)
+    assert plan.num_partitions == 4
+    assert plan.requested_partitions == 100
+
+
+def test_partitions_one_is_monolithic_fast_path():
+    circuit = ripple_carry_adder(4)
+    sim = PartitionedSimulator(circuit, partitions=1)
+    assert sim.monolithic
+    assert len(sim.plan.segments) == 1
+    assert sim.partitioning.num_bands == 1
+    assert sim.partitioning.cut_nets == []
+    vectors = vectors_for(circuit, 6, seed=1)
+    mono = LCCSimulator(circuit, word_width=32)
+    telemetry.enable(reset_state=True)
+    try:
+        assert sim.apply_vectors(vectors) == mono.apply_vectors(vectors)
+        snap = telemetry.snapshot()
+        # No barrier machinery: no run/exchange spans, no batch counter.
+        assert "partition.run" not in snap["phases"]
+        assert "partition.batches" not in snap["counters"]
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+    assert sim._pool is None
+
+
+def test_all_nets_cut_chain():
+    # band_levels=1 on a buffer chain puts every gate in its own band:
+    # every internal driven net that feeds a later gate is cut.
+    circuit = _chain_circuit(6)
+    plan = partition_circuit(circuit, 2, band_levels=1)
+    internal = [
+        f"N{i}" for i in range(5)  # N5 is the output, read by nobody
+    ]
+    assert plan.cut_nets == internal
+    mono = LCCSimulator(circuit, word_width=32)
+    with PartitionedSimulator(
+        circuit, partitions=2, band_levels=1
+    ) as sim:
+        assert not sim.monolithic
+        vectors = [[0], [1], [0], [1]]
+        assert sim.apply_vectors(vectors) == mono.apply_vectors(vectors)
+
+
+def test_invalid_parameters_raise():
+    circuit = _single_gate_circuit()
+    with pytest.raises(SimulationError):
+        effective_partitions(circuit, 0)
+    with pytest.raises(SimulationError):
+        PartitionedSimulator(circuit, partitions=0)
+    with pytest.raises(SimulationError):
+        PartitionedSimulator(circuit, partitions=2, partition_workers=0)
+    with pytest.raises(SimulationError):
+        partition_circuit(circuit, 2, band_levels=0)
+    with pytest.raises(SimulationError):
+        generate_partition_programs(
+            circuit, partition_circuit(circuit, 1), observe="bogus"
+        )
+
+
+def test_empty_batch_and_bad_vectors():
+    circuit = ripple_carry_adder(3)
+    with PartitionedSimulator(circuit, partitions=2) as sim:
+        assert sim.apply_vectors([]) == []
+        with pytest.raises(SimulationError):
+            sim.evaluate([0])  # wrong arity
+        with pytest.raises(SimulationError):
+            sim.evaluate({"nope": 1})
+
+
+def test_packed_policy_mirrors_lcc():
+    circuit = parity_tree(6)
+    rows = [[2] * len(circuit.inputs)]  # multi-bit: pack-ineligible
+    with PartitionedSimulator(
+        circuit, partitions=2, packed=True
+    ) as sim:
+        with pytest.raises(SimulationError):
+            sim.apply_vectors(rows)
+    mono = LCCSimulator(circuit, word_width=32, packed=False)
+    with PartitionedSimulator(
+        circuit, partitions=2, packed=False
+    ) as sim:
+        vectors = vectors_for(circuit, 5, seed=4)
+        assert sim.apply_vectors(vectors) == mono.apply_vectors(vectors)
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def _describe_partitioning(queue):
+    circuit = ripple_carry_adder(5)
+    plan = partition_circuit(circuit, 3)
+    queue.put((
+        plan.fingerprint(),
+        json.dumps(plan.stats(), sort_keys=True),
+    ))
+
+
+def test_partitioning_deterministic_in_process():
+    circuit = ripple_carry_adder(5)
+    first = partition_circuit(circuit, 3)
+    second = partition_circuit(circuit, 3)
+    assert first.fingerprint() == second.fingerprint()
+    assert first.stats() == second.stats()
+    assert first.assignment == second.assignment
+    assert first.cut_nets == second.cut_nets
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_partitioning_deterministic_across_processes(start_method):
+    if start_method not in mp.get_all_start_methods():
+        pytest.skip(f"{start_method} start method unavailable")
+    local = partition_circuit(ripple_carry_adder(5), 3)
+    expected = (
+        local.fingerprint(),
+        json.dumps(local.stats(), sort_keys=True),
+    )
+    ctx = mp.get_context(start_method)
+    queue = ctx.Queue()
+    proc = ctx.Process(target=_describe_partitioning, args=(queue,))
+    proc.start()
+    try:
+        assert queue.get(timeout=60) == expected
+    finally:
+        proc.join(timeout=60)
+
+
+def test_segment_program_names_and_validation():
+    circuit = array_multiplier(3)
+    plan = generate_partition_programs(
+        circuit, partition_circuit(circuit, 3)
+    )
+    assert len(plan.segments) == plan.partitioning.num_segments
+    for segment in plan.segments:
+        assert segment.program.name.startswith(f"part_{circuit.name}_b")
+        segment.program.validate()
+    # Every gate lands in exactly one segment.
+    total = sum(seg.num_gates for seg in plan.segments)
+    assert total == len(circuit.gates)
+
+
+# ----------------------------------------------------------------------
+# telemetry integration
+# ----------------------------------------------------------------------
+def test_partition_spans_and_counters():
+    telemetry.enable(reset_state=True)
+    try:
+        circuit = array_multiplier(3)
+        vectors = vectors_for(circuit, 8, seed=6)
+        with PartitionedSimulator(circuit, partitions=3) as sim:
+            assert not sim.monolithic
+            sim.apply_vectors(vectors)
+        snap = telemetry.snapshot()
+        assert "partition.cut" in snap["phases"]
+        assert "partition.run" in snap["phases"]
+        assert "partition.run/partition.exchange" in snap["phases"]
+        counters = snap["counters"]
+        assert counters["partition.batches"] >= 1
+        assert counters["partition.exchanged_words"] > 0
+        assert snap["partition"]["batches"] >= 1
+    finally:
+        telemetry.disable()
+        telemetry.reset()

@@ -50,9 +50,36 @@ class TestShardFaults:
         assert shards == [[faults[0]], [faults[1]]]
 
     def test_empty_and_invalid(self):
-        assert shard_faults([], 3) == [[]]
+        # An empty fault list has no shards at all — the historical
+        # [[]] answer made the pool grade a shard of nothing.
+        assert shard_faults([], 3) == []
         with pytest.raises(SimulationError, match="num_shards"):
             shard_faults([Fault("A", 0)], 0)
+
+    def test_empty_fault_list_short_circuits_inline(self):
+        circuit, vectors, _ = _workload()
+        report = run_fault_simulation(circuit, vectors, [])
+        assert isinstance(report, FaultReport)
+        assert report.num_faults == 0
+        assert report.detected == {}
+        assert report.undetected == []
+        assert report.coverage == 1.0
+        assert report.num_vectors == len(vectors)
+
+    def test_empty_fault_list_short_circuits_sharded(self):
+        # workers > 1 must not spin up a pool (or compile anything)
+        # just to grade zero faults.
+        circuit, vectors, _ = _workload()
+        report = run_fault_simulation(circuit, vectors, [], workers=3)
+        assert isinstance(report, ShardedFaultReport)
+        assert report.num_faults == 0
+        assert report.coverage == 1.0
+        assert report.num_vectors == len(vectors)
+        stats = report.sharding_stats()
+        assert stats["num_shards"] == 0
+        assert stats["workers"] == 1
+        assert stats["mp_start"] == "inline"
+        assert not report.degraded
 
 
 class TestMergedEqualsSingleProcess:

@@ -82,6 +82,41 @@ class TestSpans:
         telemetry.record_phase("run", 1.5)
         assert telemetry.phase_totals() == {"run": pytest.approx(1.5)}
 
+    def test_abandoned_inner_span_does_not_poison_the_stack(self):
+        # A generator that enters a span and is never resumed leaves
+        # the span's frame on the stack; the enclosing span's exit
+        # must pop defensively back to itself, or every later phase
+        # inherits a stale path prefix.
+        telemetry.enable()
+
+        def walker():
+            with telemetry.span("inner"):
+                yield "mid-body"
+
+        with telemetry.span("outer"):
+            gen = walker()
+            next(gen)  # enter "inner", abandon it mid-body
+        # The outer exit discarded the stale frame: later spans are
+        # top-level again.
+        with telemetry.span("later"):
+            pass
+        phases = telemetry.snapshot()["phases"]
+        assert "later" in phases
+        assert "outer" in phases
+        assert not any("/later" in path for path in phases)
+        from repro.telemetry import _STACK
+        assert _STACK == []
+        # Closing the generator afterwards fires inner's __exit__ with
+        # self no longer on the stack; it must record quietly without
+        # corrupting state.
+        gen.close()
+        phases = telemetry.snapshot()["phases"]
+        assert phases["outer/inner"]["count"] == 1
+        assert _STACK == []
+        with telemetry.span("after"):
+            pass
+        assert "after" in telemetry.snapshot()["phases"]
+
     def test_disabled_span_is_shared_singleton(self):
         assert not telemetry.enabled()
         first = telemetry.span("emit", gates=10)
