@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test fuzz-smoke bench bench-json bench-shards bench-partition bench-telemetry bench-quick examples lint clean
+.PHONY: install check test fuzz-smoke bench bench-json bench-shards bench-partition bench-telemetry bench-tiled bench-quick examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -31,6 +31,7 @@ check:
 	$(MAKE) bench-partition REPRO_BENCH_SCALE=0.05 \
 		REPRO_BENCH_VECTORS=32 REPRO_BENCH_PARTITIONS=1,2,4
 	$(MAKE) bench-telemetry
+	$(MAKE) bench-tiled REPRO_BENCH_SCALE=0.05
 	$(MAKE) fuzz-smoke
 	@echo "check passed"
 
@@ -80,6 +81,15 @@ bench-partition:
 # costs <= 2% and enabled <= 5% on the packed C-backend workload.
 bench-telemetry:
 	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_telemetry_overhead.py
+
+# Lane-tiling measurement: refreshes
+# benchmarks/results/tiled_throughput.{txt,json} and the repo-root
+# BENCH_tiled.json snapshot, asserting the K-tile packed and laned
+# shift runs are bit-identical to the untiled ones on every backend
+# (the speedup floors — tiled >= single-word packed, laned shift
+# >= 2x the scalar chain — apply on the C backend only).
+bench-tiled:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_tiled.py
 
 bench-quick:
 	REPRO_BENCH_SUITE=c432,c880 REPRO_BENCH_VECTORS=64 \

@@ -1,0 +1,215 @@
+"""Lane tiling past the word_width ceiling — tiled vs single-word.
+
+Pattern packing tops out at ``word_width`` lanes per pass; a K-tile
+machine (:mod:`repro.codegen.packing`) gives every net K words so one
+pass carries ``word_width * K`` lanes.  Shift programs can't pattern-
+pack at all, but with ``state_carry="finals"`` they run *laned*: the
+batch splits into K contiguous segments, one word per lane.  This
+benchmark times both families over the same prepared batches —
+marshalling outside the timed region on each side — after asserting
+bit-identity between the tiled and untiled runs.
+
+Output lands three ways: table + JSON under
+``benchmarks/results/tiled_throughput.{txt,json}`` and a repo-root
+``BENCH_tiled.json`` snapshot.  The acceptance floors apply on the C
+backend only (the Python emitters unroll the same interpreted work, so
+the selection policy never tiles there): the K-tile packed run is at
+least as fast as the single-word packed run, and the laned shift run
+is at least 2x the scalar chain.  Identity is asserted always, on
+every backend measured.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _common import NUM_VECTORS, RESULTS_DIR, circuit, write_report
+from repro.codegen.packing import MAX_TILES
+from repro.codegen.runtime import have_c_compiler
+from repro.harness.tables import format_table
+from repro.harness.vectors import vectors_for
+from repro.lcc.zerodelay import LCCSimulator
+from repro.parallel.simulator import ParallelSimulator
+
+ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_tiled.json"
+
+CIRCUIT = "c880"
+#: Narrow words leave the most headroom for tiles: at width 8 a
+#: K=8 machine carries 64 lanes per pass where the single-word
+#: machine carries 8.
+WORD_WIDTH = 8
+REPEATS = 5
+
+#: Large enough that every tile of every pass is full and the timed
+#: region is generated code, not dispatch (see bench_packed_throughput).
+#: The laned path pays a fixed per-run lane seed/handoff marshalling
+#: cost (~1k interpreted state words), so the batch must be big enough
+#: to amortize it — tiling trades per-vector work for per-run setup.
+MIN_VECTORS = 65536
+
+
+def _best_of(run, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _tiled_packed_entry(backend: str, vectors) -> dict:
+    """Packed K=1 vs packed K=MAX_TILES on the zero-delay program."""
+    base = LCCSimulator(
+        circuit(CIRCUIT), backend=backend, word_width=WORD_WIDTH
+    )
+    tiled = LCCSimulator(
+        circuit(CIRCUIT), backend=backend, word_width=WORD_WIDTH,
+        tiles=MAX_TILES,
+    )
+    assert tiled.apply_vectors(vectors) == base.apply_vectors(vectors), (
+        f"tiled outputs diverge from single-word packed ({backend})"
+    )
+    prepared_base = base.prepare_packed(vectors)
+    prepared_tiled = tiled.prepare_packed(vectors)
+    t_base = _best_of(lambda: base.run_prepared(prepared_base))
+    t_tiled = _best_of(lambda: tiled.run_prepared(prepared_tiled))
+    return {
+        "family": "packed",
+        "backend": backend,
+        "tiles": MAX_TILES,
+        "base_vectors_per_s": len(vectors) / t_base,
+        "tiled_vectors_per_s": len(vectors) / t_tiled,
+        "speedup": t_base / max(t_tiled, 1e-12),
+    }
+
+
+def _laned_shift_entry(backend: str, vectors) -> dict:
+    """Scalar chain vs K-lane execution on the unit-delay shift program."""
+    zeros = [0] * len(circuit(CIRCUIT).inputs)
+
+    def fresh(tiles):
+        sim = ParallelSimulator(
+            circuit(CIRCUIT), backend=backend, word_width=64, tiles=tiles
+        )
+        sim.reset(zeros)
+        return sim
+
+    assert fresh(MAX_TILES).apply_vectors(vectors) == fresh(
+        1
+    ).apply_vectors(vectors), (
+        f"laned outputs diverge from the scalar chain ({backend})"
+    )
+    base = fresh(1)
+    laned = fresh(MAX_TILES)
+    prepared_base = base.prepare_batch(vectors)
+    prepared_laned = laned.prepare_batch(vectors)
+    t_base = _best_of(lambda: base.run_prepared(prepared_base))
+    t_laned = _best_of(lambda: laned.run_prepared(prepared_laned))
+    return {
+        "family": "shift",
+        "backend": backend,
+        "tiles": MAX_TILES,
+        "base_vectors_per_s": len(vectors) / t_base,
+        "tiled_vectors_per_s": len(vectors) / t_laned,
+        "speedup": t_base / max(t_laned, 1e-12),
+    }
+
+
+def collect_metrics(num_vectors: int) -> dict:
+    num_vectors = max(num_vectors, MIN_VECTORS)
+    vectors = vectors_for(circuit(CIRCUIT), num_vectors, seed=77)
+    backends = ("python",) + (("c",) if have_c_compiler() else ())
+    results = []
+    for backend in backends:
+        results.append(_tiled_packed_entry(backend, vectors))
+        results.append(_laned_shift_entry(backend, vectors))
+    return {
+        "circuit": CIRCUIT,
+        "word_width": WORD_WIDTH,
+        "num_vectors": num_vectors,
+        "results": results,
+    }
+
+
+def validate_payload(payload: dict) -> None:
+    assert set(payload) == {"figure", "backend", "metrics"}, payload.keys()
+    assert payload["figure"] == "tiled_throughput"
+    metrics = payload["metrics"]
+    assert isinstance(metrics["num_vectors"], int)
+    assert metrics["results"], "no measurements recorded"
+    for entry in metrics["results"]:
+        assert set(entry) == {
+            "family", "backend", "tiles", "base_vectors_per_s",
+            "tiled_vectors_per_s", "speedup",
+        }, entry.keys()
+        assert entry["family"] in ("packed", "shift")
+        assert entry["backend"] in ("python", "c")
+        assert entry["tiles"] == MAX_TILES
+        for key in (
+            "base_vectors_per_s", "tiled_vectors_per_s", "speedup"
+        ):
+            assert isinstance(entry[key], float) and entry[key] > 0
+
+
+def _emit(metrics: dict) -> dict:
+    backends = sorted({e["backend"] for e in metrics["results"]})
+    rows = [
+        [
+            f"{e['family']}/{e['backend']}",
+            e["base_vectors_per_s"],
+            e["tiled_vectors_per_s"],
+            e["speedup"],
+        ]
+        for e in metrics["results"]
+    ]
+    table = format_table(
+        ["family/backend", "untiled vec/s", f"K={MAX_TILES} vec/s",
+         "speedup"],
+        rows,
+        title=(f"Lane tiling — {CIRCUIT}, w{metrics['word_width']} "
+               f"packed / w64 laned shift, {metrics['num_vectors']} "
+               f"vectors, K={MAX_TILES} tiles"),
+        float_format="{:.1f}",
+    )
+    write_report(
+        "tiled_throughput", table,
+        backend="+".join(backends), metrics=metrics,
+    )
+    payload = json.loads(
+        (RESULTS_DIR / "tiled_throughput.json").read_text()
+    )
+    ROOT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[snapshot written to {ROOT_JSON}]")
+    return payload
+
+
+def _assert_floors(metrics: dict) -> None:
+    """C-backend floors: tiled >= single-word, laned >= 2x scalar."""
+    for entry in metrics["results"]:
+        if entry["backend"] != "c":
+            continue
+        if entry["family"] == "packed":
+            assert entry["speedup"] >= 1.0, entry
+        else:
+            assert entry["speedup"] >= 2.0, entry
+
+
+def test_tiled_throughput_report():
+    metrics = collect_metrics(NUM_VECTORS)
+    payload = _emit(metrics)
+    validate_payload(payload)
+    _assert_floors(metrics)
+
+
+def main(num_vectors: int | None = None) -> None:
+    metrics = collect_metrics(num_vectors or NUM_VECTORS)
+    payload = _emit(metrics)
+    validate_payload(payload)
+    _assert_floors(metrics)
+    print("bench-tiled: schema valid, floors met")
+
+
+if __name__ == "__main__":
+    main()

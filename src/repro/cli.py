@@ -75,7 +75,11 @@ _GENERATORS = _generators()
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.codegen.runtime import program_cache
+    from repro.codegen.runtime import (
+        have_c_compiler,
+        have_numpy,
+        program_cache,
+    )
 
     circuit = resolve_circuit(args.circuit, args.scale)
     report = circuit_report(circuit, include_alignments=not args.fast)
@@ -84,6 +88,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     report["program cache"] = (
         f"{cache['entries']} entries, {cache['hits']} hits, "
         f"{cache['misses']} misses"
+    )
+    compiler = have_c_compiler()
+    report["c compiler"] = compiler if compiler else "none (python backend only)"
+    report["numpy backend"] = (
+        "available" if have_numpy() is not None else "not installed"
     )
     width = max(len(k) for k in report)
     for key, value in report.items():
@@ -127,14 +136,31 @@ def _partition_options(args: argparse.Namespace) -> dict:
     return {}
 
 
+def _tiles_option(args: argparse.Namespace) -> dict:
+    """Tile kwargs for the harness factories.
+
+    ``--tiles 0`` means automatic selection
+    (:func:`repro.codegen.packing.select_tiles`); 1 — the default —
+    stays off the kwargs entirely so the historical code path (and the
+    interpreted techniques, which never grew the kwarg) is untouched.
+    """
+    tiles = getattr(args, "tiles", 1)
+    if tiles == 0:
+        return {"tiles": "auto"}
+    if tiles > 1:
+        return {"tiles": tiles}
+    return {}
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.circuit, args.scale)
     vectors = vectors_for(circuit, args.vectors, args.seed)
     options = _partition_options(args)
+    options.update(_tiles_option(args))
     if options and args.technique in ("interp2", "interp3",
                                       "zero-interp"):
         raise SystemExit(
-            f"--partitions applies to compiled techniques only, "
+            f"--partitions/--tiles apply to compiled techniques only, "
             f"not {args.technique!r}"
         )
     sim = build_simulator(
@@ -247,6 +273,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         workers=args.workers, shards=args.shards,
         mp_start=args.mp_start, shard_timeout=args.shard_timeout,
         **_partition_options(args),
+        **_tiles_option(args),
     )
     print(f"{circuit.name}: {report.num_faults} stuck-at faults, "
           f"{len(report.detected)} detected by {args.vectors} random "
@@ -284,6 +311,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     rows = []
     baseline: Optional[float] = None
     partition_options = _partition_options(args)
+    partition_options.update(_tiles_option(args))
     for technique in args.techniques:
         options = dict(partition_options)
         if technique in ("interp2", "interp3", "zero-interp"):
@@ -408,6 +436,15 @@ def main(argv: Optional[list[str]] = None) -> int:
                  "(default: one per partition)",
         )
 
+    def _add_tiles_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--tiles", type=int, default=1, metavar="K",
+            help="words per net in packed compiled passes "
+                 "(word_width*K pattern lanes per pass; results are "
+                 "bit-identical at any K; 0 = automatic selection, "
+                 "default 1)",
+        )
+
     def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
         # Options must live on each subparser: argparse stops matching
         # top-level options once the subcommand name is consumed.
@@ -454,9 +491,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_sim.add_argument("-n", "--vectors", type=int, default=10)
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("-b", "--backend", default="python",
-                       choices=["python", "c"])
+                       choices=["python", "c", "numpy"])
     p_sim.add_argument("-w", "--word-width", type=int, default=32,
                        choices=[8, 16, 32, 64])
+    _add_tiles_arg(p_sim)
     _add_partition_args(p_sim)
     _add_telemetry_args(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
@@ -523,9 +561,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_faults.add_argument("--seed", type=int, default=0)
     p_faults.add_argument("--show-undetected", action="store_true")
     p_faults.add_argument("-b", "--backend", default="python",
-                          choices=["python", "c"])
+                          choices=["python", "c", "numpy"])
     p_faults.add_argument("-w", "--word-width", type=int, default=32,
                           choices=[8, 16, 32, 64])
+    _add_tiles_arg(p_faults)
     p_faults.add_argument(
         "-j", "--workers", type=int, default=1,
         help="worker processes for sharded grading (default 1: "
@@ -560,9 +599,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--repeat", type=int, default=3)
     p_bench.add_argument("-b", "--backend", default="python",
-                         choices=["python", "c"])
+                         choices=["python", "c", "numpy"])
     p_bench.add_argument("-w", "--word-width", type=int, default=32,
                          choices=[8, 16, 32, 64])
+    _add_tiles_arg(p_bench)
     _add_partition_args(p_bench)
     _add_telemetry_args(p_bench)
     p_bench.set_defaults(func=_cmd_bench)

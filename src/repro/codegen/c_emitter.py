@@ -15,6 +15,7 @@ so the emitted expressions match the paper's listings one for one.
 from __future__ import annotations
 
 from repro.codegen.program import (
+    ENTRY_POINTS,
     Assign,
     Bin,
     Comment,
@@ -26,6 +27,7 @@ from repro.codegen.program import (
     Stmt,
     Un,
     Var,
+    retarget_stmt,
 )
 from repro.errors import CodegenError
 
@@ -100,11 +102,65 @@ def _statement_lines(
     return lines
 
 
-def emit_c(program: Program) -> str:
-    """Produce the full C source of the shared-library machine."""
+def _tile_index(program: Program) -> str:
+    """A loop-index name no program variable shadows."""
+    used = set(program.state_vars) | set(program.temp_vars)
+    name = "t"
+    while name in used:
+        name = "_" + name
+    return name
+
+
+def _tiled_statement_lines(
+    stmts: list[Stmt], word_type: str, tiles: int, indent: str, idx: str
+) -> list[str]:
+    """Each statement becomes one tight ``for (t...)`` loop over the tiles.
+
+    All per-net storage is an array of ``tiles`` words and the loops
+    are independent per iteration, which is the shape gcc's
+    auto-vectorizer turns into SIMD — the super-word scaling the tiled
+    path is after.  Vector reads are slot-major (``V[s*K + t]``).
+    """
+    lines: list[str] = []
+    for stmt in stmts:
+        if isinstance(stmt, Comment):
+            lines.append(f"{indent}/* {stmt.text} */")
+            continue
+        tiled = retarget_stmt(
+            stmt,
+            lambda name: f"{name}[{idx}]",
+            lambda slot: f"V[{slot * tiles} + {idx}]",
+        )
+        lines.append(f"{indent}for ({idx} = 0; {idx} < {tiles}; {idx}++) {{")
+        if isinstance(tiled, Assign):
+            rhs = render_expr_c(tiled.expr, word_type)
+            lines.append(f"{indent}    {tiled.dest} = {rhs};")
+        elif isinstance(tiled, Emit):
+            rhs = render_expr_c(tiled.expr, word_type)
+            lines.append(f"{indent}    OUT[{idx}] = ({rhs}) & OUTMASK;")
+        else:
+            raise CodegenError(f"unknown statement: {stmt!r}")
+        lines.append(f"{indent}}}")
+        if isinstance(tiled, Emit):
+            lines.append(f"{indent}OUT += {tiles};")
+    return lines
+
+
+def emit_c(program: Program, tiles: int = 1) -> str:
+    """Produce the full C source of the shared-library machine.
+
+    ``tiles=K`` turns every net into an array of K words and every
+    statement into a K-iteration loop (see
+    :func:`_tiled_statement_lines`); ``tiles=1`` is byte-identical to
+    the historical single-word emitter output.
+    """
     program.validate()
+    if tiles < 1:
+        raise CodegenError(f"tiles must be >= 1, got {tiles}")
     word_type = C_WORD_TYPES[program.word_width]
     suffix = "ULL" if word_type == "uint64_t" else "U"
+    idx = _tile_index(program)
+    interface = program.interface(tiles)
     lines: list[str] = [
         f"/* generated by repro - program {program.name!r} */",
         "#include <stdint.h>",
@@ -115,31 +171,57 @@ def emit_c(program: Program) -> str:
         "",
     ]
     for name in program.state_vars:
-        lines.append(f"static word {name} = {program.state_init[name]}{suffix};")
+        init = f"{program.state_init[name]}{suffix}"
+        if tiles == 1:
+            lines.append(f"static word {name} = {init};")
+        else:
+            fill = ", ".join([init] * tiles)
+            lines.append(f"static word {name}[{tiles}] = {{{fill}}};")
     lines.append("")
-    num_outputs = sum(1 for s in program.output if isinstance(s, Emit))
-    lines.append(f"int num_state(void) {{ return {len(program.state_vars)}; }}")
+    num_outputs = interface.output_words
+    lines.append(f"int num_state(void) {{ return {interface.state_words}; }}")
     lines.append(f"int num_outputs(void) {{ return {num_outputs}; }}")
     lines.append("")
-    lines.append("void step(const word *V, word *OUT) {")
+    if tiles == 1:
+        lines.append("void step(const word *V, word *OUT) {")
+    else:
+        # restrict lets the vectorizer assume V/OUT never alias the
+        # static state arrays — without it every 8-iteration tile loop
+        # gets a runtime overlap check that eats the SIMD win.
+        lines.append(
+            "void step(const word *restrict V, word *restrict OUT) {"
+        )
     if program.temp_vars:
-        decl = ", ".join(program.temp_vars)
+        if tiles == 1:
+            decl = ", ".join(program.temp_vars)
+        else:
+            decl = ", ".join(f"{t}[{tiles}]" for t in program.temp_vars)
         lines.append(f"    word {decl};")
+    if tiles > 1:
+        lines.append(f"    int {idx};")
     lines.append("    (void)V; (void)OUT;")
-    lines += _statement_lines(program.init, program, word_type, "    ")
-    lines += _statement_lines(program.body, program, word_type, "    ")
-    lines += _statement_lines(program.output, program, word_type, "    ")
+    if tiles == 1:
+        lines += _statement_lines(program.init, program, word_type, "    ")
+        lines += _statement_lines(program.body, program, word_type, "    ")
+        lines += _statement_lines(program.output, program, word_type, "    ")
+    else:
+        for section in (program.init, program.body, program.output):
+            lines += _tiled_statement_lines(
+                section, word_type, tiles, "    ", idx
+            )
     lines.append("}")
     lines.append("")
-    num_inputs = max(1, len(program.inputs))
+    num_inputs = max(1, interface.vector_words)
     lines.append(f"#define NUM_INPUTS {num_inputs}")
+    symbol = {ep.name: ep.c_symbol for ep in ENTRY_POINTS}
     lines.append(f"#define NUM_OUTPUTS {num_outputs}")
     lines.append(f"static word OUT_SCRATCH[{max(1, num_outputs)}];")
     # The batch driver: the whole vector loop stays inside the shared
     # library.  OUT == NULL discards outputs (the timing fast path);
     # otherwise each vector's emitted words land at OUT + i*NUM_OUTPUTS
     # in the caller-supplied buffer.
-    lines.append("void run_block(const word *V, long n, word *OUT) {")
+    lines.append(f"void {symbol['run_block']}(const word *V, long n,"
+                 " word *OUT) {")
     lines.append("    long i;")
     lines.append("    if (OUT) {")
     lines.append("        for (i = 0; i < n; i++) {")
@@ -159,20 +241,33 @@ def emit_c(program: Program) -> str:
     # is a data-layout contract — the per-pass code is the same — but
     # the named entry point keeps the ABI explicit and mirrors the
     # Python backend's packed opcode.
-    lines.append("void run_packed_block(const word *V, long n, word *OUT) {")
-    lines.append("    run_block(V, n, OUT);")
+    lines.append(f"void {symbol['run_packed_block']}(const word *V, long n,"
+                 " word *OUT) {")
+    lines.append(f"    {symbol['run_block']}(V, n, OUT);")
     lines.append("}")
     lines.append("")
-    lines.append("void dump_state(word *S) {")
+    lines.append(f"void {symbol['dump_state']}(word *S) {{")
+    if tiles > 1 and program.state_vars:
+        lines.append(f"    int {idx};")
     lines.append("    (void)S;")
     for i, name in enumerate(program.state_vars):
-        lines.append(f"    S[{i}] = {name};")
+        if tiles == 1:
+            lines.append(f"    S[{i}] = {name};")
+        else:
+            lines.append(f"    for ({idx} = 0; {idx} < {tiles}; {idx}++)"
+                         f" S[{i * tiles} + {idx}] = {name}[{idx}];")
     lines.append("}")
     lines.append("")
-    lines.append("void load_state(const word *S) {")
+    lines.append(f"void {symbol['load_state']}(const word *S) {{")
+    if tiles > 1 and program.state_vars:
+        lines.append(f"    int {idx};")
     lines.append("    (void)S;")
     for i, name in enumerate(program.state_vars):
-        lines.append(f"    {name} = S[{i}];")
+        if tiles == 1:
+            lines.append(f"    {name} = S[{i}];")
+        else:
+            lines.append(f"    for ({idx} = 0; {idx} < {tiles}; {idx}++)"
+                         f" {name}[{idx}] = S[{i * tiles} + {idx}];")
     lines.append("}")
     lines.append("")
     return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Render a :class:`~repro.codegen.program.Program` as numpy source.
+
+The third backend, and the proof that the program IR abstraction
+holds: the same validated IR the Python and C emitters lower from is
+evaluated here over fixed-width numpy arrays.  Every net becomes an
+array of ``tiles`` unsigned words (``uint8``..``uint64`` according to
+the program's word width), one element per tile, so a single pass
+carries ``word_width * tiles`` pattern lanes without any emitted
+per-tile unrolling — the array operations *are* the tile loop.
+
+The generated artifact mirrors the Python backend's coroutine
+protocol (same opcodes, from the shared
+:data:`~repro.codegen.program.ENTRY_POINTS` table) but takes the
+``numpy`` module as a parameter, so the emitter itself never imports
+numpy and the dependency stays optional at the runtime layer.
+
+Masking is free — the fixed-width dtypes wrap like C's unsigned types
+— so ``mask_assignments`` is ignored exactly as the C emitter ignores
+it.  The arithmetic shift ``sar`` round-trips through the signed
+dtype of the same width.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.program import (
+    OPCODES,
+    Assign,
+    Bin,
+    Comment,
+    Const,
+    Emit,
+    Expr,
+    Input,
+    Program,
+    Stmt,
+    Un,
+    Var,
+)
+from repro.errors import CodegenError
+
+__all__ = ["emit_numpy", "render_expr_numpy", "NUMPY_DTYPES"]
+
+NUMPY_DTYPES = {8: "uint8", 16: "uint16", 32: "uint32", 64: "uint64"}
+
+#: Signed counterparts, used to render the arithmetic shift ``sar``.
+NUMPY_SDTYPES = {8: "int8", 16: "int16", 32: "int32", 64: "int64"}
+
+
+def render_expr_numpy(expr: Expr, tiles: int) -> str:
+    """Render an expression over arrays of ``tiles`` words.
+
+    Vector reads are slot-major slices (``V[s*K : s*K+K]``); integer
+    literals broadcast, so constants render bare.  No statement ever
+    mutates an array in place, which is what makes the occasional
+    aliasing of a pure ``a = b`` assignment safe.
+    """
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Input):
+        lo = expr.slot * tiles
+        return f"V[{lo}:{lo + tiles}]"
+    if isinstance(expr, Un):
+        child = _child(expr.a, tiles)
+        if expr.op == "~":
+            return f"~{child}"
+        # Unsigned dtypes wrap, so 0 - x is the bit-replication idiom
+        # verbatim (no Python-int sign smearing to guard against).
+        return f"(0 - {child})"
+    if isinstance(expr, Bin):
+        if expr.op == "sar":
+            if not isinstance(expr.a, Var):
+                raise CodegenError(
+                    f"sar is only generated over plain variables: {expr!r}"
+                )
+            assert isinstance(expr.b, Const)
+            return (
+                f"(({expr.a.name}).astype(SDT) >> {expr.b.value})"
+                f".astype(DT)"
+            )
+        a = _child(expr.a, tiles)
+        b = _child(expr.b, tiles)
+        return f"{a} {expr.op} {b}"
+    raise CodegenError(f"unknown expression node: {expr!r}")
+
+
+def _child(expr: Expr, tiles: int) -> str:
+    text = render_expr_numpy(expr, tiles)
+    if isinstance(expr, (Bin, Un)):
+        return f"({text})"
+    return text
+
+
+def _check_shifts(expr: Expr, width: int) -> None:
+    if isinstance(expr, Bin):
+        if expr.op in ("<<", ">>", "sar"):
+            amount = expr.b
+            assert isinstance(amount, Const)
+            if not 0 <= amount.value < width:
+                raise CodegenError(
+                    f"shift by {amount.value} outside word width {width}"
+                )
+        _check_shifts(expr.a, width)
+        _check_shifts(expr.b, width)
+    elif isinstance(expr, Un):
+        _check_shifts(expr.a, width)
+
+
+def _const_value(expr: Expr, width: int):
+    """Evaluate an expression with no Var/Input reads, else ``None``.
+
+    A constant-only right-hand side must not rebind a state array to a
+    Python int, so such statements render through ``_full`` instead —
+    the value is folded here, at emit time.
+    """
+    mask = (1 << width) - 1
+    if isinstance(expr, Const):
+        return expr.value & mask
+    if isinstance(expr, Un):
+        a = _const_value(expr.a, width)
+        if a is None:
+            return None
+        return (~a if expr.op == "~" else -a) & mask
+    if isinstance(expr, Bin):
+        a = _const_value(expr.a, width)
+        b = _const_value(expr.b, width)
+        if a is None or b is None:
+            return None
+        if expr.op == "&":
+            return a & b
+        if expr.op == "|":
+            return a | b
+        if expr.op == "^":
+            return a ^ b
+        if expr.op == "<<":
+            return (a << b) & mask
+        if expr.op == ">>":
+            return a >> b
+        # sar: replicate the top bit through the vacated positions.
+        signed = a - (1 << width) if a >> (width - 1) else a
+        return (signed >> b) & mask
+    return None
+
+
+def _statement_lines(
+    stmts: list[Stmt], program: Program, tiles: int, indent: str
+) -> list[str]:
+    lines: list[str] = []
+    width = program.word_width
+    for stmt in stmts:
+        if isinstance(stmt, Comment):
+            lines.append(f"{indent}# {stmt.text}")
+        elif isinstance(stmt, Assign):
+            _check_shifts(stmt.expr, width)
+            folded = _const_value(stmt.expr, width)
+            if folded is not None:
+                lines.append(f"{indent}{stmt.dest} = _full({folded})")
+            else:
+                rhs = render_expr_numpy(stmt.expr, tiles)
+                lines.append(f"{indent}{stmt.dest} = {rhs}")
+        elif isinstance(stmt, Emit):
+            _check_shifts(stmt.expr, width)
+            folded = _const_value(stmt.expr, width)
+            if folded is not None:
+                value = folded & program.output_mask
+                lines.append(f"{indent}_extend([{value}] * {tiles})")
+            else:
+                rhs = render_expr_numpy(stmt.expr, tiles)
+                lines.append(
+                    f"{indent}_extend((({rhs}) & OUTMASK).tolist())"
+                )
+        else:
+            raise CodegenError(f"unknown statement: {stmt!r}")
+    return lines
+
+
+def emit_numpy(program: Program, tiles: int = 1) -> str:
+    """Produce the full numpy source of the coroutine machine.
+
+    The emitted ``machine(np)`` generator speaks the exact protocol of
+    the Python backend (prime with ``next``, then the opcodes of
+    :data:`~repro.codegen.program.ENTRY_POINTS`), with state dumped and
+    loaded as flat tile-minor Python-int lists so the runtime treats
+    all three backends uniformly.
+    """
+    program.validate()
+    if tiles < 1:
+        raise CodegenError(f"tiles must be >= 1, got {tiles}")
+    K = tiles
+    op = OPCODES
+    lines: list[str] = [
+        f"# generated by repro - program {program.name!r} (numpy backend)",
+        f"# word width {program.word_width}, "
+        f"{len(program.state_vars)} state vars, tiles {K}",
+        "def machine(np):",
+        f"    DT = np.{NUMPY_DTYPES[program.word_width]}",
+        f"    SDT = np.{NUMPY_SDTYPES[program.word_width]}",
+        f"    OUTMASK = {program.output_mask}",
+        "    def _full(value):",
+        f"        return np.full({K}, value, dtype=DT)",
+    ]
+    for name in program.state_vars:
+        lines.append(f"    {name} = _full({program.state_init[name]})")
+    lines.append("    cmd = yield None")
+    lines.append("    while 1:")
+    lines.append("        op = cmd[0]")
+    lines.append(f"        if op == {op['step']} or op == {op['run_block']}"
+                 f" or op == {op['run_packed_block']}:")
+    lines.append(f"            if op == {op['step']}:")
+    lines.append("                VS = (cmd[1],)")
+    lines.append("                OUT = []")
+    lines.append("            else:")
+    lines.append("                VS = cmd[1]")
+    lines.append("                OUT = cmd[2]")
+    lines.append("            _extend = OUT.extend")
+    lines.append("            for V in VS:")
+    lines.append("                V = np.asarray(V, dtype=DT)")
+    body_indent = "                "
+    lines += _statement_lines(program.init, program, K, body_indent)
+    lines += _statement_lines(program.body, program, K, body_indent)
+    lines += _statement_lines(program.output, program, K, body_indent)
+    lines.append(f"{body_indent}pass")
+    lines.append("            cmd = yield OUT")
+    lines.append(f"        elif op == {op['dump_state']}:")
+    if program.state_vars:
+        dump = " + ".join(f"{name}.tolist()" for name in program.state_vars)
+        lines.append(f"            cmd = yield ({dump})")
+    else:
+        lines.append("            cmd = yield []")
+    lines.append("        else:")
+    lines.append("            _s = cmd[1]")
+    for i, name in enumerate(program.state_vars):
+        lo = i * K
+        lines.append(
+            f"            {name} = np.asarray(_s[{lo}:{lo + K}], dtype=DT)"
+        )
+    lines.append("            cmd = yield None")
+    lines.append("")
+    return "\n".join(lines)

@@ -41,8 +41,39 @@ Two IR operators cross lanes and disqualify a program:
     observe nothing else (fault grading does: it compares settled
     monitored outputs).
 ``"none"``
-    The program contains shifts or negates; run it scalar
-    (``run_block``), never packed.
+    The program contains shifts or negates; one word cannot carry
+    multiple lanes.  Such *shift programs* still pack — but with one
+    word per (net, lane), so the time-shift operations move history
+    within a lane instead of across lanes: see `Per-lane packing`_.
+
+Tiling — past the word_width ceiling
+------------------------------------
+Lane packing caps at ``word_width`` vectors per dispatch.  Compiling a
+program with ``tiles=K`` (see :func:`~repro.codegen.runtime\
+.compile_program`) turns every net into an array of K words, so one
+pass carries ``word_width * K`` pattern lanes.  The layout is
+*slot-major* everywhere — input slot ``s`` tile ``t`` at vector index
+``s*K + t``, and likewise for state and output words — which is what
+:class:`~repro.codegen.program.MachineInterface` declares and all
+three emitters honor.  :func:`select_tiles` picks K from the batch
+size (the single-word path is the K=1 special case);
+:func:`packed_apply`/:func:`packed_bits` transparently drive tiled
+machines.
+
+Per-lane packing (shift programs)
+---------------------------------
+A tiled machine also unlocks the §3 parallel technique: give each of
+the K tiles its *own* scalar lane — one word per (net, lane) — and the
+shifts move history within that lane exactly as the scalar chain
+would.  Correctness needs one more property, declared by the program
+as ``state_carry="finals"``: cross-vector dependence flows only
+through the previous vector's settled finals.  Then a batch of n
+vectors splits into K contiguous segments (:func:`lane_segments`),
+lane t seeded from the settled state after the last vector of segment
+t-1, and every lane's passes are bit-identical to the scalar chain —
+outputs *and* final state.  The simulator layer
+(:meth:`repro.simbase.CompiledSimulator.apply_vectors`) owns the
+seeding; this module owns the segmentation and eligibility.
 
 All packing entry points validate their words against the program's
 word width and raise :class:`~repro.errors.SimulationError` on overflow
@@ -67,6 +98,7 @@ from repro.codegen.program import (
 from repro.errors import SimulationError
 
 __all__ = [
+    "MAX_TILES",
     "is_shift_free",
     "packing_mode",
     "validate_packed_words",
@@ -74,7 +106,17 @@ __all__ = [
     "unpack_patterns",
     "packed_apply",
     "packed_bits",
+    "select_tiles",
+    "select_lanes",
+    "tile_groups",
+    "lane_segments",
 ]
+
+#: Ceiling of the automatic tile/lane selection.  Prototyped on gcc:
+#: per-statement tile loops auto-vectorize well up to 8 words, while
+#: compile time grows linearly — past 8 the marginal speedup no longer
+#: pays for the longer compiles.
+MAX_TILES = 8
 
 
 # ----------------------------------------------------------------------
@@ -221,8 +263,138 @@ def _unpack_patterns(
 
 
 # ----------------------------------------------------------------------
+# tiling
+# ----------------------------------------------------------------------
+def select_tiles(
+    num_vectors: int,
+    word_width: int,
+    *,
+    backend: str = "python",
+    max_tiles: int = MAX_TILES,
+) -> int:
+    """Pick the tile count K for a pattern-packed batch.
+
+    Never more tiles than pattern groups (a pass must not be mostly
+    padding), capped at ``max_tiles``.  The Python backend gets K=1:
+    its tiled source is unrolled K-fold, so wider passes only trade
+    interpreter dispatch for identical bytecode volume — the tile win
+    is the C auto-vectorizer's.  An explicit ``tiles=K`` at the
+    simulator layer overrides this policy on any backend.
+    """
+    if backend != "c" or num_vectors <= 0:
+        selected = 1
+    else:
+        groups = -(-num_vectors // word_width)
+        selected = max(1, min(max_tiles, groups))
+    if telemetry.enabled() and selected > 1:
+        telemetry.counter("pack.tile.selected")
+        telemetry.gauge("pack.tile.max_k", selected)
+    return selected
+
+
+def select_lanes(
+    num_vectors: int,
+    *,
+    backend: str = "python",
+    max_lanes: int = MAX_TILES,
+) -> int:
+    """Pick the lane count for per-lane (shift-program) packing.
+
+    Each lane costs one interpreted steady-state settle for its seed,
+    so short batches stay scalar; the floor of 16 vectors per lane
+    keeps the seeding overhead under a few percent of the compiled
+    passes it saves.  Python backend: 1, as for :func:`select_tiles`.
+    """
+    if backend != "c" or num_vectors < 32:
+        selected = 1
+    else:
+        selected = max(1, min(max_lanes, num_vectors // 16))
+    if telemetry.enabled() and selected > 1:
+        telemetry.counter("pack.shift.selected")
+        telemetry.gauge("pack.shift.max_k", selected)
+    return selected
+
+
+def tile_groups(
+    groups: Sequence[Sequence[int]], num_inputs: int, tiles: int
+) -> list[list[int]]:
+    """Flatten K consecutive scalar groups into one slot-major pass row.
+
+    Row ``p`` carries groups ``p*K .. p*K+K-1`` with input slot ``s``
+    tile ``t`` at index ``s*K + t`` — the vector layout a machine
+    compiled with ``tiles=K`` consumes.  The tail is padded with
+    all-zeros groups (they simulate the all-zeros vector and their
+    outputs are never read back).
+    """
+    rows: list[list[int]] = []
+    for base in range(0, len(groups), tiles):
+        chunk = list(groups[base:base + tiles])
+        while len(chunk) < tiles:
+            chunk.append([0] * num_inputs)
+        rows.append([
+            chunk[t][k]
+            for k in range(num_inputs)
+            for t in range(tiles)
+        ])
+    return rows
+
+
+def lane_segments(total: int, lanes: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, length)`` per lane for a batch of ``total``.
+
+    The remainder goes to the *last* lanes, so lane ``lanes-1`` always
+    ends at vector ``total-1`` — its final state is the batch's final
+    state, which is what the laned runner hands back to the scalar
+    machine for exact chain continuity.
+    """
+    if lanes < 1:
+        raise SimulationError(f"lanes must be >= 1, got {lanes}")
+    base, rem = divmod(total, lanes)
+    segments: list[tuple[int, int]] = []
+    start = 0
+    for t in range(lanes):
+        length = base + (1 if t >= lanes - rem else 0)
+        segments.append((start, length))
+        start += length
+    return segments
+
+
+# ----------------------------------------------------------------------
 # machine drivers
 # ----------------------------------------------------------------------
+def _run_tiled(machine, groups, lane_counts, num_vectors, *, fill=False):
+    """Drive scalar pattern groups through a tiled machine.
+
+    Returns ``(word, emits)`` where ``word(g, o)`` looks up the packed
+    word of scalar group ``g``, output ``o`` in the flat tiled output
+    and ``emits`` is the per-group output count.  With ``fill`` an
+    all-zeros group is appended first (the :func:`packed_apply`
+    reconstruction source) and its index is returned third.
+    """
+    tiles = machine.tiles
+    num_inputs = len(groups[0])
+    fill_index = None
+    if fill:
+        groups = list(groups) + [[0] * num_inputs]
+        fill_index = len(groups) - 1
+    rows = tile_groups(groups, num_inputs, tiles)
+    flat: list[int] = []
+    with telemetry.span("pack.tile", tiles=tiles):
+        machine.run_packed_block(
+            rows, flat, vectors_represented=num_vectors
+        )
+    if telemetry.enabled():
+        telemetry.counter("pack.tile.batches")
+        telemetry.counter("pack.tile.vectors", num_vectors)
+    emits = machine.num_outputs // tiles
+
+    def word(g: int, o: int) -> int:
+        p, t = divmod(g, tiles)
+        return flat[(p * emits + o) * tiles + t]
+
+    return word, emits, fill_index
+
+
 def packed_bits(machine, vectors: Sequence[Sequence[int]]) -> list[list[int]]:
     """Run ``vectors`` pattern-packed; return per-vector output *bits*.
 
@@ -236,6 +408,16 @@ def packed_bits(machine, vectors: Sequence[Sequence[int]]) -> list[list[int]]:
     groups, lane_counts = pack_patterns(vectors, width)
     if not groups:
         return []
+    if getattr(machine, "tiles", 1) > 1:
+        word, emits, _fill = _run_tiled(
+            machine, groups, lane_counts, len(vectors)
+        )
+        with telemetry.span("unpack"):
+            return [
+                [(word(g, o) >> j) & 1 for o in range(emits)]
+                for g, lanes in enumerate(lane_counts)
+                for j in range(lanes)
+            ]
     flat: list[int] = []
     machine.run_packed_block(groups, flat, vectors_represented=len(vectors))
     return unpack_patterns(flat, machine.num_outputs, lane_counts)
@@ -257,14 +439,28 @@ def packed_apply(machine, vectors: Sequence[Sequence[int]]) -> list[list[int]]:
     groups, lane_counts = pack_patterns(vectors, width)
     if not groups:
         return []
+    mask = machine.program.word_mask
+    high = mask ^ 1
+    if getattr(machine, "tiles", 1) > 1:
+        word, emits, fill_index = _run_tiled(
+            machine, groups, lane_counts, len(vectors), fill=True
+        )
+        fill = [word(fill_index, o) for o in range(emits)]
+        with telemetry.span("unpack"):
+            return [
+                [
+                    ((word(g, o) >> j) & 1) | (fill[o] & high)
+                    for o in range(emits)
+                ]
+                for g, lanes in enumerate(lane_counts)
+                for j in range(lanes)
+            ]
     num_inputs = len(groups[0])
     groups.append([0] * num_inputs)  # fill group: every lane all-zeros
     flat: list[int] = []
     machine.run_packed_block(groups, flat, vectors_represented=len(vectors))
     n = machine.num_outputs
     fill = flat[len(lane_counts) * n:]
-    mask = machine.program.word_mask
-    high = mask ^ 1
     results: list[list[int]] = []
     for g, lanes in enumerate(lane_counts):
         words = flat[g * n:(g + 1) * n]

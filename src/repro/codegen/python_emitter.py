@@ -40,6 +40,7 @@ implementation's fixed-width variables would.
 from __future__ import annotations
 
 from repro.codegen.program import (
+    OPCODES,
     Assign,
     Bin,
     Comment,
@@ -51,6 +52,7 @@ from repro.codegen.program import (
     Stmt,
     Un,
     Var,
+    retarget_stmt,
 )
 from repro.errors import CodegenError
 
@@ -159,25 +161,79 @@ def _statement_lines(
     return lines
 
 
-def emit_python(program: Program) -> str:
-    """Produce the full Python source of the coroutine machine."""
+def _tiled_statements(stmts: list[Stmt], tiles: int) -> list[Stmt]:
+    """Unroll each statement over the tiles (tile-minor order).
+
+    Every tile gets its own suffixed local (``n12__t3``) and its own
+    vector slice (slot-major: slot ``s`` tile ``t`` reads ``V[s*K+t]``),
+    so the unrolled statements stay independent word programs — exactly
+    the layout :class:`~repro.codegen.program.MachineInterface` declares.
+    """
+    out: list[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, Comment):
+            out.append(stmt)
+            continue
+        for t in range(tiles):
+            out.append(retarget_stmt(
+                stmt,
+                lambda name, t=t: f"{name}__t{t}",
+                lambda slot, t=t: f"V[{slot * tiles + t}]",
+            ))
+    return out
+
+
+def emit_python(program: Program, tiles: int = 1) -> str:
+    """Produce the full Python source of the coroutine machine.
+
+    ``tiles=K`` unrolls every statement K times over per-tile locals,
+    so one pass carries ``word_width * K`` pattern lanes (or K
+    independent per-lane shift words); ``tiles=1`` is byte-identical
+    to the historical single-word emitter output.
+    """
     program.validate()
+    if tiles < 1:
+        raise CodegenError(f"tiles must be >= 1, got {tiles}")
+    if tiles == 1:
+        state_names = list(program.state_vars)
+        inits = program.state_init
+        init, body, output = program.init, program.body, program.output
+    else:
+        state_names = [
+            f"{name}__t{t}"
+            for name in program.state_vars
+            for t in range(tiles)
+        ]
+        inits = {
+            f"{name}__t{t}": program.state_init[name]
+            for name in program.state_vars
+            for t in range(tiles)
+        }
+        init = _tiled_statements(program.init, tiles)
+        body = _tiled_statements(program.body, tiles)
+        output = _tiled_statements(program.output, tiles)
     lines: list[str] = [
         f"# generated by repro - program {program.name!r}",
         f"# word width {program.word_width}, "
         f"{len(program.state_vars)} state vars",
+    ]
+    if tiles > 1:
+        lines.append(f"# tiles {tiles}")
+    lines += [
         "def machine():",
         f"    MASK = {program.word_mask}",
         f"    OUTMASK = {program.output_mask}",
         f"    HBIT = {1 << (program.word_width - 1)}",
     ]
-    for name in program.state_vars:
-        lines.append(f"    {name} = {program.state_init[name]}")
+    for name in state_names:
+        lines.append(f"    {name} = {inits[name]}")
+    op = OPCODES
     lines.append("    cmd = yield None")
     lines.append("    while 1:")
     lines.append("        op = cmd[0]")
-    lines.append("        if op == 0 or op == 3 or op == 4:")
-    lines.append("            if op == 0:")
+    lines.append(f"        if op == {op['step']} or op == {op['run_block']}"
+                 f" or op == {op['run_packed_block']}:")
+    lines.append(f"            if op == {op['step']}:")
     lines.append("                VS = (cmd[1],)")
     lines.append("                OUT = []")
     lines.append("            else:")
@@ -186,23 +242,23 @@ def emit_python(program: Program) -> str:
     lines.append("            _append = OUT.append")
     lines.append("            for V in VS:")
     body_indent = "                "
-    lines += _statement_lines(program.init, program, body_indent)
-    lines += _statement_lines(program.body, program, body_indent)
-    lines += _statement_lines(program.output, program, body_indent)
+    lines += _statement_lines(init, program, body_indent)
+    lines += _statement_lines(body, program, body_indent)
+    lines += _statement_lines(output, program, body_indent)
     # A bare ``pass`` keeps the loop syntactically valid when every
     # section is empty (or holds only comments); it compiles to no
     # bytecode, so populated programs pay nothing for it.
     lines.append(f"{body_indent}pass")
     lines.append("            cmd = yield OUT")
-    lines.append("        elif op == 1:")
-    if program.state_vars:
-        dump = ", ".join(f"{name} & MASK" for name in program.state_vars)
+    lines.append(f"        elif op == {op['dump_state']}:")
+    if state_names:
+        dump = ", ".join(f"{name} & MASK" for name in state_names)
         lines.append(f"            cmd = yield [{dump}]")
     else:
         lines.append("            cmd = yield []")
     lines.append("        else:")
     lines.append("            _s = cmd[1]")
-    for i, name in enumerate(program.state_vars):
+    for i, name in enumerate(state_names):
         lines.append(f"            {name} = _s[{i}]")
     lines.append("            cmd = yield None")
     lines.append("")

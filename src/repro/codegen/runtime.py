@@ -1,6 +1,6 @@
 """Compile and execute generated programs.
 
-Two backends share the :class:`Machine` interface:
+Three backends share the :class:`Machine` interface:
 
 - :class:`PythonMachine` — ``compile()``/``exec`` of the generated
   Python coroutine.  Always available; this is what the test suite and
@@ -9,8 +9,13 @@ Two backends share the :class:`Machine` interface:
   system C compiler into a shared library, and calls it through
   ``ctypes``.  This restores the genuinely compiled character of the
   original work; use it for absolute performance numbers.
+- :class:`NumpyMachine` — evaluates the same program IR over
+  fixed-width numpy arrays (optional: present only when numpy is
+  importable, see :func:`have_numpy`).
 
-``compile_program(program, backend=...)`` picks one.
+``compile_program(program, backend=...)`` picks one.  Every backend
+accepts ``tiles=K`` (tiled execution: each net holds K words, one pass
+carries ``word_width * K`` lanes; see :mod:`repro.codegen.packing`).
 
 Batched execution
 -----------------
@@ -57,6 +62,7 @@ import atexit
 import ctypes
 import hashlib
 import os
+import re
 import shutil
 import subprocess
 import tempfile
@@ -75,6 +81,7 @@ __all__ = [
     "Machine",
     "PythonMachine",
     "CMachine",
+    "NumpyMachine",
     "BatchCounters",
     "ProgramCache",
     "program_cache",
@@ -82,10 +89,34 @@ __all__ = [
     "program_fingerprint",
     "compile_program",
     "have_c_compiler",
+    "have_numpy",
 ]
 
 _C_COMPILER: Optional[str] = None
 _C_COMPILER_PROBED = False
+
+_NUMPY = None
+_NUMPY_PROBED = False
+
+
+def have_numpy(force: bool = False):
+    """The ``numpy`` module if importable, else ``None`` (cached probe).
+
+    The numpy backend is optional: nothing in the core library imports
+    numpy at module level, so environments without it lose only
+    ``backend="numpy"``.
+    """
+    global _NUMPY, _NUMPY_PROBED
+    if _NUMPY_PROBED and not force:
+        return _NUMPY
+    _NUMPY_PROBED = True
+    try:
+        import numpy
+    except ImportError:
+        _NUMPY = None
+    else:
+        _NUMPY = numpy
+    return _NUMPY
 
 
 def have_c_compiler(force: bool = False) -> Optional[str]:
@@ -110,6 +141,32 @@ def have_c_compiler(force: bool = False) -> Optional[str]:
             _C_COMPILER = path
             return path
     return None
+
+
+_NATIVE_ARCH: Optional[bool] = None
+
+
+def _have_native_arch(compiler: str) -> bool:
+    """Whether the compiler accepts ``-march=native`` (cached probe).
+
+    Tiled machines want the host's full SIMD width — the baseline
+    x86-64 target is SSE2, which lacks even a 64-bit arithmetic shift.
+    The generated libraries are compiled on the host they run on, so
+    targeting it exactly is safe.
+    """
+    global _NATIVE_ARCH
+    if _NATIVE_ARCH is None:
+        with tempfile.TemporaryDirectory(prefix="repro_cc_") as probe:
+            c_path = os.path.join(probe, "probe.c")
+            with open(c_path, "w") as handle:
+                handle.write("int probe(int x) { return x + 1; }\n")
+            result = subprocess.run(
+                [compiler, "-march=native", "-c", c_path,
+                 "-o", os.path.join(probe, "probe.o")],
+                capture_output=True,
+            )
+            _NATIVE_ARCH = result.returncode == 0
+    return _NATIVE_ARCH
 
 
 def program_fingerprint(source: str) -> str:
@@ -318,8 +375,10 @@ class Machine:
 
     program: Program
 
-    def __init__(self, program: Program) -> None:
+    def __init__(self, program: Program, tiles: int = 1) -> None:
         self.program = program
+        self.tiles = tiles
+        self.interface = program.interface(tiles)
         self.counters = BatchCounters()
 
     def _record_batch(self, vectors: int, seconds: float) -> None:
@@ -337,18 +396,18 @@ class Machine:
 
     @property
     def num_inputs(self) -> int:
-        return len(self.program.inputs)
+        return self.interface.vector_words
 
     @property
     def num_state(self) -> int:
-        return len(self.program.state_vars)
+        return self.interface.state_words
 
     @property
     def num_outputs(self) -> int:
-        return len(self.program.output_labels())
+        return self.interface.output_words
 
     def output_labels(self) -> list[tuple]:
-        return self.program.output_labels()
+        return self.interface.output_labels()
 
     def step(self, vector: Sequence[int]) -> list[int]:
         raise NotImplementedError
@@ -397,7 +456,7 @@ class Machine:
     ) -> int:
         if vectors_represented is not None:
             return vectors_represented
-        return len(groups) * self.program.word_width
+        return len(groups) * self.program.word_width * self.tiles
 
     def _validate_group(self, index: int, group: Sequence[int]) -> None:
         if len(group) != self.num_inputs:
@@ -405,9 +464,16 @@ class Machine:
                 f"packed group {index} has {len(group)} words, expected "
                 f"{self.num_inputs}"
             )
+        # Name the scalar vectors an overflowing lane word would
+        # corrupt, not just the width limit.
+        lanes = self.program.word_width * self.tiles
+        first = index * lanes
         validate_packed_words(
             group, self.program.word_width,
-            context=f"packed group {index}, input word",
+            context=(
+                f"packed group {index} (vectors {first}.."
+                f"{first + lanes - 1}), input word"
+            ),
         )
 
     def step_many(
@@ -435,8 +501,19 @@ class Machine:
         raise NotImplementedError
 
     def state_dict(self) -> dict[str, int]:
-        """Persistent state keyed by variable name."""
-        return dict(zip(self.program.state_vars, self.dump_state()))
+        """Persistent state keyed by variable name.
+
+        Tiled machines key each tile separately (``name@t``), keeping
+        the flat tile-minor dump order.
+        """
+        if self.tiles == 1:
+            return dict(zip(self.program.state_vars, self.dump_state()))
+        names = [
+            f"{name}@{t}"
+            for name in self.program.state_vars
+            for t in range(self.tiles)
+        ]
+        return dict(zip(names, self.dump_state()))
 
     def cleanup(self) -> None:
         """Release backend artifacts (no-op unless a backend overrides)."""
@@ -451,9 +528,11 @@ class Machine:
 class PythonMachine(Machine):
     """Generated Python coroutine backend."""
 
-    def __init__(self, program: Program, *, use_cache: bool = True) -> None:
-        super().__init__(program)
-        self.source = program.python_source()
+    def __init__(
+        self, program: Program, *, tiles: int = 1, use_cache: bool = True
+    ) -> None:
+        super().__init__(program, tiles)
+        self.source = program.python_source(tiles=tiles)
         filename = f"<repro:{program.name}>"
         code = None
         key = None
@@ -531,6 +610,49 @@ class PythonMachine(Machine):
         self._gen.send((2, [value & mask for value in values]))
 
 
+class NumpyMachine(PythonMachine):
+    """Generated numpy backend: the IR evaluated over fixed-width arrays.
+
+    Shares the coroutine protocol (and therefore every driver method)
+    with :class:`PythonMachine`; only the generated source differs —
+    each state variable is an array of ``tiles`` unsigned words, so
+    the array operations carry the tile loop.  State crosses the
+    boundary as flat Python-int lists, keeping the ``Machine``
+    interface backend-agnostic.
+    """
+
+    def __init__(
+        self, program: Program, *, tiles: int = 1, use_cache: bool = True
+    ) -> None:
+        np = have_numpy()
+        if np is None:
+            raise BackendError(
+                "numpy is not installed; use the python or c backend"
+            )
+        Machine.__init__(self, program, tiles)
+        self.source = program.numpy_source(tiles=tiles)
+        filename = f"<repro:{program.name}:numpy>"
+        code = None
+        key = None
+        if use_cache:
+            key = (program_fingerprint(self.source), "numpy", "")
+            code = _PROGRAM_CACHE.get(key)
+        if code is None:
+            with telemetry.span("cc", backend="numpy",
+                                program=program.name):
+                code = compile(self.source, filename, "exec")
+            if key is not None:
+                _PROGRAM_CACHE.put(key, code)
+        namespace: dict = {}
+        exec(code, namespace)
+        self._gen = namespace["machine"](np)
+        next(self._gen)  # prime
+
+    def dump_state(self) -> list[int]:
+        # tolist() of unsigned arrays already yields Python ints.
+        return list(self._gen.send((1,)))
+
+
 class CMachine(Machine):
     """Generated C + system compiler + ctypes backend.
 
@@ -558,22 +680,35 @@ class CMachine(Machine):
         self,
         program: Program,
         *,
+        tiles: int = 1,
         opt_level: Optional[str] = None,
         keep_artifacts: bool = False,
         work_dir: Optional[str] = None,
         use_cache: bool = True,
     ) -> None:
-        super().__init__(program)
+        super().__init__(program, tiles)
         self._cleaned = True  # nothing to clean until paths exist
         compiler = have_c_compiler()
         if compiler is None:
             raise BackendError(
                 "no C compiler found; use the python backend instead"
             )
-        self.source = program.c_source()
+        self.source = program.c_source(tiles=tiles)
         if opt_level is None:
             big = program.stats().source_lines > self.O0_LINE_THRESHOLD
-            opt_level = "-O0" if big else "-O1"
+            if big:
+                opt_level = "-O0"
+            elif tiles > 1:
+                # The tiled emitter's per-statement loops only pay off
+                # as SIMD: -O1 never vectorizes them, the baseline
+                # x86-64 target caps the lanes at SSE2 widths, and
+                # unrolling the constant-trip tile loops lets nets
+                # live in vector registers across statements.
+                opt_level = "-O2 -ftree-vectorize -funroll-loops"
+                if _have_native_arch(compiler):
+                    opt_level += " -march=native"
+            else:
+                opt_level = "-O1"
         self.opt_level = opt_level
         self._dir_owned = work_dir is None
         self._dir = work_dir or tempfile.mkdtemp(prefix="repro_c_")
@@ -600,8 +735,9 @@ class CMachine(Machine):
             if use_cache:
                 cache_dir = _PROGRAM_CACHE.artifact_dir()
                 cached_c = os.path.join(cache_dir, f"{key[0]}.c")
+                opt_tag = re.sub(r"[^A-Za-z0-9]+", "_", opt_level).strip("_")
                 cached_so = os.path.join(
-                    cache_dir, f"{key[0]}_{opt_level.lstrip('-')}.so"
+                    cache_dir, f"{key[0]}_{opt_tag}.so"
                 )
                 shutil.copy(c_path, cached_c)
                 shutil.copy(so_path, cached_so)
@@ -609,17 +745,22 @@ class CMachine(Machine):
         self._lib = ctypes.CDLL(so_path)
         word = self._CTYPE[program.word_width]
         self._word = word
-        self._lib.step.argtypes = [
+        # The callable per entry point, resolved from the interface's
+        # shared table rather than hardcoded symbol names.
+        entry = {
+            ep.name: getattr(self._lib, ep.c_symbol)
+            for ep in self.interface.entry_points
+        }
+        self._entry = entry
+        entry["step"].argtypes = [
             ctypes.POINTER(word), ctypes.POINTER(word)
         ]
-        self._lib.dump_state.argtypes = [ctypes.POINTER(word)]
-        self._lib.load_state.argtypes = [ctypes.POINTER(word)]
-        self._lib.run_block.argtypes = [
-            ctypes.POINTER(word), ctypes.c_long, ctypes.POINTER(word)
-        ]
-        self._lib.run_packed_block.argtypes = [
-            ctypes.POINTER(word), ctypes.c_long, ctypes.POINTER(word)
-        ]
+        entry["dump_state"].argtypes = [ctypes.POINTER(word)]
+        entry["load_state"].argtypes = [ctypes.POINTER(word)]
+        for batch_entry in ("run_block", "run_packed_block"):
+            entry[batch_entry].argtypes = [
+                ctypes.POINTER(word), ctypes.c_long, ctypes.POINTER(word)
+            ]
         self._num_outputs = int(self._lib.num_outputs())
         self._v_buffer = (word * max(1, self.num_inputs))()
         self._out_buffer = (word * max(1, self._num_outputs))()
@@ -632,7 +773,7 @@ class CMachine(Machine):
         # link time; some sandboxed loaders cannot lazily resolve PLT
         # entries of dlopen'd libraries and would crash otherwise.
         cmd = [
-            compiler, opt_level, "-shared", "-fPIC",
+            compiler, *opt_level.split(), "-shared", "-fPIC",
             "-Wl,-Bsymbolic", "-Wl,-z,now",
             c_path, "-o", so_path,
         ]
@@ -651,7 +792,7 @@ class CMachine(Machine):
         buf = self._v_buffer
         for i, value in enumerate(vector):
             buf[i] = value  # ctypes truncates to the word width
-        self._lib.step(buf, self._out_buffer)
+        self._entry["step"](buf, self._out_buffer)
         return list(self._out_buffer[: self._num_outputs])
 
     def pack_block(self, vectors: Sequence[Sequence[int]]):
@@ -694,7 +835,7 @@ class CMachine(Machine):
         counters record lanes instead of passes.
         """
         start = time.perf_counter()
-        self._lib.run_block(packed, count, out_buffer)
+        self._entry["run_block"](packed, count, out_buffer)
         self._record_batch(
             count if vectors_represented is None else vectors_represented,
             time.perf_counter() - start,
@@ -731,19 +872,19 @@ class CMachine(Machine):
         count = self._packed_count(groups, vectors_represented)
         start = time.perf_counter()
         if out is None:
-            self._lib.run_packed_block(buffer, len(groups), None)
+            self._entry["run_packed_block"](buffer, len(groups), None)
             self._record_batch(count, time.perf_counter() - start)
             return None
         out_buffer = (
             self._word * max(1, len(groups) * self._num_outputs)
         )()
-        self._lib.run_packed_block(buffer, len(groups), out_buffer)
+        self._entry["run_packed_block"](buffer, len(groups), out_buffer)
         self._record_batch(count, time.perf_counter() - start)
         out.extend(out_buffer[: len(groups) * self._num_outputs])
         return out
 
     def dump_state(self) -> list[int]:
-        self._lib.dump_state(self._state_buffer)
+        self._entry["dump_state"](self._state_buffer)
         return list(self._state_buffer[: self.num_state])
 
     def load_state(self, values: Sequence[int]) -> None:
@@ -755,7 +896,7 @@ class CMachine(Machine):
         buf = self._state_buffer
         for i, value in enumerate(values):
             buf[i] = value & mask
-        self._lib.load_state(buf)
+        self._entry["load_state"](buf)
 
     def cleanup(self) -> None:
         """Remove generated artifacts (no-op with keep_artifacts).
@@ -786,13 +927,19 @@ def compile_program(
     backend: str = "python",
     **kwargs,
 ) -> Machine:
-    """Compile a program with the chosen backend (``python`` or ``c``).
+    """Compile a program with the chosen backend.
 
-    Both backends accept ``use_cache=False`` to bypass the process-wide
+    ``python`` and ``c`` are always candidates; ``numpy`` needs the
+    numpy module importable (see :func:`have_numpy`).  All backends
+    accept ``tiles=K`` for tiled execution — every net becomes K words
+    and one pass carries ``word_width * K`` lanes — and
+    ``use_cache=False`` to bypass the process-wide
     :class:`ProgramCache`.
     """
     if backend == "python":
         return PythonMachine(program, **kwargs)
     if backend == "c":
         return CMachine(program, **kwargs)
+    if backend == "numpy":
+        return NumpyMachine(program, **kwargs)
     raise BackendError(f"unknown backend: {backend!r}")

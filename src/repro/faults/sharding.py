@@ -72,7 +72,7 @@ class GradingConfig:
 
     __slots__ = (
         "circuit", "vectors", "word_width", "backend", "patterns",
-        "instrument", "initial", "drop_detected", "telemetry",
+        "tiles", "instrument", "initial", "drop_detected", "telemetry",
         "fail_shards", "fail_mode", "delay_shards",
         "partitions", "partition_workers",
     )
@@ -85,6 +85,7 @@ class GradingConfig:
         word_width: int = 32,
         backend: str = "python",
         patterns: str = "auto",
+        tiles: "int | str" = 1,
         instrument: str = "all",
         initial: Optional[Sequence[int]] = None,
         drop_detected: bool = True,
@@ -99,6 +100,7 @@ class GradingConfig:
         self.word_width = word_width
         self.backend = backend
         self.patterns = patterns
+        self.tiles = tiles
         self.instrument = instrument
         self.initial = initial
         self.drop_detected = drop_detected
@@ -118,6 +120,7 @@ class GradingConfig:
             backend=self.backend,
             instrument=self.instrument,
             patterns=self.patterns,
+            tiles=self.tiles,
             partitions=self.partitions,
             partition_workers=self.partition_workers,
         )
@@ -443,6 +446,7 @@ def run_sharded_fault_simulation(
     backend: str = "python",
     initial: Optional[Sequence[int]] = None,
     patterns: str = "auto",
+    tiles: "int | str" = 1,
     instrument: str = "all",
     drop_detected: bool = True,
     workers: Optional[int] = None,
@@ -493,7 +497,7 @@ def run_sharded_fault_simulation(
     config = GradingConfig(
         circuit, [list(vector) for vector in vectors],
         word_width=word_width, backend=backend, patterns=patterns,
-        instrument=instrument, initial=initial,
+        tiles=tiles, instrument=instrument, initial=initial,
         drop_detected=drop_detected,
         fail_shards=frozenset(_fail_shards), fail_mode=_fail_mode,
         delay_shards=_delay_shards,

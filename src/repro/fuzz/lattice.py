@@ -61,7 +61,11 @@ class FuzzConfig:
     applies to the ``"faults"`` check (sharded multiprocess identity)
     and to ``"partitioned"`` (the barrier engine's thread count);
     ``partitions`` is the ``"partitioned"`` check's cluster count and
-    must stay 1 everywhere else.
+    must stay 1 everywhere else.  ``tiles`` compiles the technique
+    under test as a K-tile machine (``word_width * K`` pattern lanes
+    per packed pass, or K shift-program lanes on the batched path —
+    see :mod:`repro.codegen.packing`); every check's identity contract
+    must hold unchanged at any K.
     """
 
     check: str = "history"
@@ -71,6 +75,7 @@ class FuzzConfig:
     batch_size: int = 0
     workers: int = 1
     partitions: int = 1
+    tiles: int = 1
 
     def __post_init__(self) -> None:
         if self.check not in CHECKS:
@@ -112,6 +117,8 @@ class FuzzConfig:
                 f"partitions applies to the 'partitioned' check only "
                 f"(check={self.check!r}, partitions={self.partitions})"
             )
+        if not isinstance(self.tiles, int) or self.tiles < 1:
+            raise SimulationError(f"tiles must be >= 1: {self.tiles!r}")
 
     def label(self) -> str:
         """Compact human-readable identity (corpus entries, logs)."""
@@ -127,6 +134,8 @@ class FuzzConfig:
             parts.append(f"j{self.workers}")
         if self.check == "partitioned":
             parts.append(f"p{self.partitions}")
+        if self.tiles > 1:
+            parts.append(f"k{self.tiles}")
         return "/".join(parts)
 
     def as_dict(self) -> dict:
@@ -136,6 +145,8 @@ class FuzzConfig:
         # (``from_dict`` refills the default on load).
         if data["partitions"] == 1:
             del data["partitions"]
+        if data["tiles"] == 1:
+            del data["tiles"]
         return data
 
     @classmethod
@@ -179,6 +190,9 @@ def sample_configs(
         else:
             workers = 1
         partitions = rng.choice((2, 3, 4)) if check == "partitioned" else 1
+        # The tile axis exercises the K-word packed/laned paths; the
+        # history check steps per vector, where K never applies.
+        tiles = rng.choice((1, 2, 4)) if check != "history" else 1
         configs.append(FuzzConfig(
             check=check,
             technique=technique,
@@ -187,6 +201,7 @@ def sample_configs(
             batch_size=batch_size,
             workers=workers,
             partitions=partitions,
+            tiles=tiles,
         ))
     return configs
 
@@ -217,6 +232,7 @@ def run_check(
         batch_size=config.batch_size or None,
         partitions=config.partitions,
         partition_workers=config.workers or None,
+        tiles=config.tiles,
     )
 
 
@@ -262,9 +278,22 @@ def _check_faults(
             f"{packed!r} vs {scalar!r}",
         )
     checks += packed.num_faults
+    if config.tiles > 1:
+        tiled = run_fault_simulation(
+            circuit, vectors, patterns="auto", tiles=config.tiles,
+            **options()
+        )
+        if tiled != scalar:
+            raise Mismatch(
+                f"faults[tiled k{config.tiles}]", -1, [],
+                f"  tiled packed report diverged from scalar: "
+                f"{tiled!r} vs {scalar!r}",
+            )
+        checks += tiled.num_faults
     if config.workers > 1:
         sharded = run_fault_simulation(
-            circuit, vectors, workers=config.workers, **options()
+            circuit, vectors, workers=config.workers,
+            tiles=config.tiles, **options()
         )
         if sharded != scalar:
             raise Mismatch(

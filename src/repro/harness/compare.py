@@ -114,6 +114,7 @@ def cross_validate(
     batch_size: Optional[int] = None,
     partitions: int = 2,
     partition_workers: Optional[int] = None,
+    tiles: "int | str" = 1,
 ) -> int:
     """Check every technique against the event-driven reference.
 
@@ -130,7 +131,10 @@ def cross_validate(
     engine (:data:`PARTITIONED_TECHNIQUES`, with ``partitions`` /
     ``partition_workers``) and requires raw output words bit-identical
     to the monolithic program plus every net's settled value anchored
-    to the reference.  Returns the number of per-vector comparisons
+    to the reference.  ``tiles`` compiles the techniques under test as
+    K-tile machines (``word_width * K`` pattern lanes per packed pass;
+    see :mod:`repro.codegen.packing`) — every contract above must hold
+    unchanged at any K.  Returns the number of per-vector comparisons
     performed; raises :class:`Mismatch` on the first disagreement.
     """
     if execution not in ("scalar", "batched", "packed", "partitioned"):
@@ -154,23 +158,25 @@ def cross_validate(
         if execution == "scalar":
             checks += _validate_scalar(
                 circuit, technique, vectors, zeros,
-                reference_histories, backend, word_width,
+                reference_histories, backend, word_width, tiles,
             )
         elif execution == "batched":
             checks += _validate_batched(
                 circuit, technique, vectors, zeros,
                 reference_histories, backend, word_width, batch_size,
+                tiles,
             )
         elif execution == "partitioned":
             checks += _validate_partitioned(
                 circuit, technique, vectors, zeros,
                 reference_histories, backend, word_width, batch_size,
-                partitions, partition_workers,
+                partitions, partition_workers, tiles,
             )
         else:
             checks += _validate_packed(
                 circuit, technique, vectors, zeros,
                 reference_histories, backend, word_width, batch_size,
+                tiles,
             )
     return checks
 
@@ -183,11 +189,13 @@ def _validate_scalar(
     reference_histories: Sequence[History],
     backend: str,
     word_width: int,
+    tiles: "int | str" = 1,
 ) -> int:
     from repro.harness.runner import build_simulator
 
     sim = build_simulator(
-        circuit, technique, backend=backend, word_width=word_width
+        circuit, technique, backend=backend, word_width=word_width,
+        tiles=tiles,
     )
     sim.reset(zeros)
     checks = 0
@@ -214,6 +222,7 @@ def _validate_batched(
     backend: str,
     word_width: int,
     batch_size: Optional[int],
+    tiles: "int | str" = 1,
 ) -> int:
     """The ``apply_vectors`` path: chunked batches vs. a scalar loop.
 
@@ -228,7 +237,8 @@ def _validate_batched(
 
     def fresh():
         sim = build_simulator(
-            circuit, technique, backend=backend, word_width=word_width
+            circuit, technique, backend=backend, word_width=word_width,
+            tiles=tiles,
         )
         if not hasattr(sim, "apply_vectors") or not hasattr(
             sim, "final_values"
@@ -292,6 +302,7 @@ def _validate_partitioned(
     batch_size: Optional[int],
     partitions: int,
     partition_workers: Optional[int],
+    tiles: "int | str" = 1,
 ) -> int:
     """The multi-partition barrier engine vs. monolithic + reference.
 
@@ -310,11 +321,13 @@ def _validate_partitioned(
         )
     settled_ref = _settled_reference(reference_histories)
     mono = build_simulator(
-        circuit, technique, backend=backend, word_width=word_width
+        circuit, technique, backend=backend, word_width=word_width,
+        tiles=tiles,
     )
     part = build_simulator(
         circuit, technique, backend=backend, word_width=word_width,
         partitions=partitions, partition_workers=partition_workers,
+        tiles=tiles,
     )
     checks = 0
     index = 0
@@ -378,6 +391,7 @@ def _validate_packed(
     backend: str,
     word_width: int,
     batch_size: Optional[int],
+    tiles: "int | str" = 1,
 ) -> int:
     """The pattern-lane observation paths vs. reference settled values.
 
@@ -396,7 +410,8 @@ def _validate_packed(
             f"from {PACKED_TECHNIQUES}"
         )
     sim = build_simulator(
-        circuit, technique, backend=backend, word_width=word_width
+        circuit, technique, backend=backend, word_width=word_width,
+        tiles=tiles,
     )
     checks = 0
     index = 0

@@ -21,8 +21,10 @@ from repro.codegen.naming import NameAllocator
 from repro.codegen.packing import (
     pack_patterns,
     packed_apply,
+    packed_bits,
     packing_mode,
-    unpack_patterns,
+    select_tiles,
+    tile_groups,
     validate_packed_words,
 )
 from repro.codegen.program import Assign, Emit, Input, Program, Var
@@ -132,16 +134,24 @@ class LCCSimulator:
         packed: bool | str = "auto",
         partitions: int = 1,
         partition_workers: Optional[int] = None,
+        tiles: "int | str" = 1,
     ) -> None:
         if packed not in (True, False, "auto"):
             raise SimulationError(
                 f"packed must be True, False or 'auto': {packed!r}"
             )
+        if tiles != "auto":
+            tiles = int(tiles)
+            if tiles < 1:
+                raise SimulationError(f"tiles must be >= 1: {tiles}")
         self.circuit = circuit
         self.program = generate_lcc_program(circuit, word_width=word_width)
+        self.backend = backend
         self.machine: Machine = compile_program(self.program, backend)
         self.word_width = word_width
         self.packed = packed
+        self.tiles = tiles
+        self._tiled_machines: dict[int, Machine] = {}
         #: ``"full"`` for every LCC program; kept as an attribute so the
         #: auto-pack decision reads as policy, not as an LCC special case.
         self.packing_mode = packing_mode(self.program)
@@ -160,7 +170,37 @@ class LCCSimulator:
                 backend=backend,
                 word_width=word_width,
                 packed=packed,
+                tiles=tiles,
             )
+
+    # ------------------------------------------------------------------
+    # tiled machines
+    # ------------------------------------------------------------------
+    def _tiled_machine(self, tiles: int) -> Machine:
+        """The K-tile compilation of this program (memoized per K)."""
+        machine = self._tiled_machines.get(tiles)
+        if machine is None:
+            machine = compile_program(
+                self.program, self.backend, tiles=tiles
+            )
+            self._tiled_machines[tiles] = machine
+        return machine
+
+    def _packed_machine(self, num_vectors: int) -> Machine:
+        """The machine for a packed batch: K tiles, clamped to the work."""
+        if self.tiles == "auto":
+            tiles = select_tiles(
+                num_vectors, self.word_width, backend=self.backend
+            )
+        else:
+            tiles = self.tiles
+        if num_vectors:
+            tiles = max(1, min(tiles, -(-num_vectors // self.word_width)))
+        else:
+            tiles = 1
+        if tiles == 1:
+            return self.machine
+        return self._tiled_machine(tiles)
 
     def _packable(self, words: list[list[int]]) -> bool:
         """May this batch take the packed path?
@@ -261,7 +301,7 @@ class LCCSimulator:
         words = [self._vector_list(vector) for vector in vectors]
         if self._packable(words):
             telemetry.counter("packing.packed_batches")
-            return packed_apply(self.machine, words)
+            return packed_apply(self._packed_machine(len(words)), words)
         telemetry.counter("packing.fallback.scalar")
         return self.machine.step_many(words)
 
@@ -298,14 +338,9 @@ class LCCSimulator:
         words = [self._vector_list(vector) for vector in vectors]
         if self._packable(words):
             telemetry.counter("packing.packed_batches")
-            groups, lane_counts = pack_patterns(words, self.word_width)
-            flat: list[int] = []
-            self.machine.run_packed_block(
-                groups, flat, vectors_represented=len(words)
-            )
-            rows = unpack_patterns(
-                flat, self.machine.num_outputs, lane_counts
-            )
+            # packed_bits drives scalar or tiled machines uniformly and
+            # returns exactly the bit-0 values the fold consumes.
+            rows = packed_bits(self._packed_machine(len(words)), words)
         else:
             telemetry.counter("packing.fallback.scalar")
             rows = self.machine.step_many(words)
@@ -341,9 +376,9 @@ class LCCSimulator:
         """Transpose + marshal a pattern batch outside the timed region.
 
         The timed run is then pure compiled passes —
-        ``ceil(len(vectors) / word_width)`` of them.  Raises
-        :class:`SimulationError` when the batch is not packable (the
-        caller asked for the packed configuration explicitly).
+        ``ceil(len(vectors) / (word_width * K))`` of them with K tiles.
+        Raises :class:`SimulationError` when the batch is not packable
+        (the caller asked for the packed configuration explicitly).
         """
         words = [self._vector_list(vector) for vector in vectors]
         if self.packing_mode != "full" or not self._inputs:
@@ -352,12 +387,17 @@ class LCCSimulator:
                 f"(mode {self.packing_mode!r})"
             )
         groups, _lane_counts = pack_patterns(words, self.word_width)
-        if isinstance(self.machine, CMachine):
-            return (
-                "c", self.machine.pack_block(groups), len(groups),
-                len(words),
+        machine = self._packed_machine(len(words))
+        if machine.tiles > 1:
+            groups = tile_groups(
+                groups, len(self._inputs), machine.tiles
             )
-        return ("py", groups, len(groups), len(words))
+        if isinstance(machine, CMachine):
+            return (
+                "c", machine.pack_block(groups), len(groups),
+                len(words), machine,
+            )
+        return ("py", groups, len(groups), len(words), machine)
 
     def run_prepared(self, prepared) -> None:
         """Run a batch from :meth:`prepare_batch`/:meth:`prepare_packed`.
@@ -365,14 +405,15 @@ class LCCSimulator:
         Outputs are discarded — this is the timing fast path; the
         throughput counters record scalar vectors simulated either way.
         """
-        kind, payload, count, represented = prepared
+        kind, payload, count, represented = prepared[:4]
+        machine = prepared[4] if len(prepared) > 4 else self.machine
         if kind == "c":
-            self.machine.run_packed(
+            machine.run_packed(
                 payload, count, vectors_represented=represented
             )
         elif represented is None:
-            self.machine.run_block(payload, masked=True)
+            machine.run_block(payload, masked=True)
         else:
-            self.machine.run_packed_block(
+            machine.run_packed_block(
                 payload, vectors_represented=represented
             )

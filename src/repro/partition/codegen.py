@@ -37,11 +37,12 @@ class SegmentProgram:
 
     ``inputs`` lists the external nets in vector-slot order;
     ``exports`` the emitted nets in output order.  ``machine`` is
-    filled in by the executor after compilation.
+    filled in by the executor after compilation; ``tiled_machines``
+    holds the executor's lazily compiled K-tile variants, keyed by K.
     """
 
     __slots__ = ("band", "worker", "program", "inputs", "exports",
-                 "num_gates", "machine")
+                 "num_gates", "machine", "tiled_machines")
 
     def __init__(
         self,
@@ -59,6 +60,7 @@ class SegmentProgram:
         self.exports = exports
         self.num_gates = num_gates
         self.machine = None
+        self.tiled_machines = None
 
     def __repr__(self) -> str:
         return (

@@ -45,7 +45,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Mapping, Optional, Sequence
 
 from repro import telemetry
-from repro.codegen.packing import pack_patterns
+from repro.codegen.packing import pack_patterns, select_tiles
 from repro.codegen.runtime import compile_program
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
@@ -85,16 +85,22 @@ class PartitionedSimulator:
         word_width: int = 32,
         band_levels: int = DEFAULT_BAND_LEVELS,
         packed: bool | str = "auto",
+        tiles: "int | str" = 1,
     ) -> None:
         if packed not in (True, False, "auto"):
             raise SimulationError(
                 f"packed must be True, False or 'auto': {packed!r}"
             )
+        if tiles != "auto":
+            tiles = int(tiles)
+            if tiles < 1:
+                raise SimulationError(f"tiles must be >= 1: {tiles}")
         self.circuit = circuit
         self.backend = backend
         self.word_width = word_width
         self.word_mask = (1 << word_width) - 1
         self.packed = packed
+        self.tiles = tiles
         self.partitioning = partition_circuit(
             circuit, partitions, band_levels=band_levels
         )
@@ -215,6 +221,105 @@ class PartitionedSimulator:
                         moved += len(segment.exports) * count
                     telemetry.counter("partition.exchanged_words", moved)
 
+    def _segment_machine(self, segment: SegmentProgram, tiles: int):
+        """The segment's K-tile machine (lazily compiled, memoized)."""
+        if tiles == 1:
+            return segment.machine
+        cache = segment.tiled_machines
+        if cache is None:
+            cache = {}
+            segment.tiled_machines = cache
+        machine = cache.get(tiles)
+        if machine is None:
+            machine = compile_program(
+                segment.program, self.backend, tiles=tiles
+            )
+            cache[tiles] = machine
+        return machine
+
+    def _run_segment_tiled(
+        self,
+        segment: SegmentProgram,
+        table: Mapping[str, list[int]],
+        passes: int,
+        tiles: int,
+    ) -> list[list[int]]:
+        """One segment over a tiled batch: slot-major gather → run.
+
+        The exchange table still holds one word per packed group; pass
+        ``p`` of the K-tile machine consumes groups ``p*K .. p*K+K-1``
+        with input slot ``s`` tile ``t`` at row index ``s*K + t``.
+        """
+        machine = self._segment_machine(segment, tiles)
+        columns = [table[name] for name in segment.inputs]
+        batch = [
+            [
+                column[p * tiles + t]
+                for column in columns
+                for t in range(tiles)
+            ]
+            for p in range(passes)
+        ]
+        return machine.step_many(batch, masked=True)
+
+    def _sweep_tiled(
+        self,
+        plan: PartitionPlan,
+        table: dict[str, list[int]],
+        passes: int,
+        tiles: int,
+    ) -> None:
+        """Band sweep with K-tile segment machines.
+
+        Identical protocol to :meth:`_sweep`; only the per-segment
+        gather/scatter honors the slot-major tiled layout, so the
+        exported columns stay plain per-group packed words and travel
+        the exchange table unchanged.
+        """
+        def scatter(segment: SegmentProgram, rows) -> int:
+            for i, net_name in enumerate(segment.exports):
+                table[net_name] = [
+                    rows[p][i * tiles + t]
+                    for p in range(passes)
+                    for t in range(tiles)
+                ]
+            return len(segment.exports) * passes * tiles
+
+        if self.monolithic:
+            segment = plan.segments[0] if plan.segments else None
+            if segment is not None:
+                scatter(
+                    segment,
+                    self._run_segment_tiled(segment, table, passes, tiles),
+                )
+            return
+        telemetry.counter("partition.batches")
+        with telemetry.span(
+            "partition.run", circuit=self.circuit.name,
+            vectors=passes * tiles,
+        ):
+            for band_segments in plan.bands:
+                if not band_segments:
+                    continue
+                if self.workers > 1 and len(band_segments) > 1:
+                    pool = self._ensure_pool()
+                    results = list(pool.map(
+                        lambda seg: self._run_segment_tiled(
+                            seg, table, passes, tiles
+                        ),
+                        band_segments,
+                    ))
+                else:
+                    results = [
+                        self._run_segment_tiled(seg, table, passes, tiles)
+                        for seg in band_segments
+                    ]
+                with telemetry.span("partition.exchange"):
+                    moved = 0
+                    for segment, rows in zip(band_segments, results):
+                        moved += scatter(segment, rows)
+                    telemetry.counter("partition.exchanged_words", moved)
+
     def _input_table(
         self, columns_of: Sequence[Sequence[int]]
     ) -> dict[str, list[int]]:
@@ -324,6 +429,17 @@ class PartitionedSimulator:
             for j in range(len(words))
         ]
 
+    def _packed_tiles(self, num_groups: int) -> int:
+        """Tile count for a packed batch of ``num_groups`` groups."""
+        if self.tiles == "auto":
+            tiles = select_tiles(
+                num_groups * self.word_width, self.word_width,
+                backend=self.backend,
+            )
+        else:
+            tiles = self.tiles
+        return max(1, min(tiles, num_groups))
+
     def _apply_packed(self, words: list[list[int]]) -> list[list[int]]:
         """Pattern-packed batch with exact scalar-word reconstruction.
 
@@ -334,8 +450,22 @@ class PartitionedSimulator:
         """
         groups, lane_counts = pack_patterns(words, self.word_width)
         groups.append([0] * len(self._inputs))
-        table = self._input_table(groups)
-        self._sweep(self.plan, table, len(groups))
+        tiles = self._packed_tiles(len(groups))
+        if tiles > 1:
+            # Pad to whole passes with all-zeros groups; they emit the
+            # same words as the fill group, so column[-1] stays the fill.
+            while len(groups) % tiles:
+                groups.append([0] * len(self._inputs))
+            table = self._input_table(groups)
+            with telemetry.span("pack.tile", tiles=tiles):
+                self._sweep_tiled(
+                    self.plan, table, len(groups) // tiles, tiles
+                )
+            telemetry.counter("pack.tile.batches")
+            telemetry.counter("pack.tile.vectors", len(words))
+        else:
+            table = self._input_table(groups)
+            self._sweep(self.plan, table, len(groups))
         columns = [table[name] for name in self._outputs]
         fill = [column[-1] for column in columns]
         high = self.word_mask ^ 1

@@ -13,9 +13,20 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from repro import telemetry
-from repro.codegen.packing import packed_apply, packing_mode
+from repro.codegen.packing import (
+    lane_segments,
+    packed_apply,
+    packing_mode,
+    select_lanes,
+    select_tiles,
+)
 from repro.codegen.program import Program
-from repro.codegen.runtime import CMachine, Machine, compile_program
+from repro.codegen.runtime import (
+    BatchCounters,
+    CMachine,
+    Machine,
+    compile_program,
+)
 from repro.errors import SimulationError
 from repro.eventsim.zerodelay import steady_state
 from repro.netlist.circuit import Circuit
@@ -49,6 +60,16 @@ class CompiledSimulator:
         monolithically; :meth:`apply_vectors` records the declined
         request as a ``partition.fallback.<mode>`` counter, mirroring
         the packing-fallback idiom.
+    tiles:
+        Tiled/laned batch width: an explicit ``K >= 1`` forces K tiles
+        (pattern-packable programs: ``word_width * K`` lanes per pass)
+        or K lanes (shift programs with ``state_carry="finals"``: one
+        word per lane, the batch split into K contiguous segments);
+        ``"auto"`` picks per batch (see
+        :func:`~repro.codegen.packing.select_tiles` /
+        :func:`~repro.codegen.packing.select_lanes`).  ``1`` (default)
+        is the historical single-word behaviour.  Results are
+        bit-identical either way.
     """
 
     def __init__(
@@ -61,6 +82,7 @@ class CompiledSimulator:
         checksum_mask: Optional[int] = None,
         partitions: int = 1,
         partition_workers: Optional[int] = None,
+        tiles: "int | str" = 1,
         **backend_kwargs,
     ) -> None:
         self.circuit = circuit
@@ -70,7 +92,15 @@ class CompiledSimulator:
         self.checksum_mask = (
             checksum_mask if checksum_mask is not None else program.word_mask
         )
+        if tiles != "auto":
+            tiles = int(tiles)
+            if tiles < 1:
+                raise SimulationError(f"tiles must be >= 1: {tiles}")
+        self.tiles = tiles
         compiled = program if with_outputs else program.without_output()
+        self._compiled_program = compiled
+        self._backend_kwargs = backend_kwargs
+        self._tiled_machines: dict[int, Machine] = {}
         self.machine: Machine = compile_program(
             compiled, backend, **backend_kwargs
         )
@@ -172,12 +202,18 @@ class CompiledSimulator:
         Bit-identical to ``[self.apply_vector(v) for v in vectors]``.
         When the compiled program is ``"full"``-mode packable
         (shift-free *and* memoryless), the batch is auto-packed —
-        ``word_width`` vectors per compiled pass, exact scalar words
-        reconstructed on unpacking.  ``"settled"`` programs (the PC-set
-        method) emit intermediate-time values that depend on the
-        vector-to-vector state chain, and ``"none"`` programs (the §3
-        parallel technique) shift across lanes; both fall back to the
-        scalar ``run_block`` loop with no behavior change.
+        ``word_width`` vectors per compiled pass, times the tile count
+        when ``tiles > 1`` — exact scalar words reconstructed on
+        unpacking.  Shift programs (the §3 parallel technique) whose
+        generator declares ``state_carry="finals"`` run *laned* when
+        ``tiles`` allows: the batch splits into K contiguous segments,
+        each lane owning its own word so the time-shift ops move
+        history within the lane, with lanes 1..K-1 seeded from the
+        steady state of the preceding segment's last vector (exactly
+        what the finals contract guarantees reproduces the chain).
+        ``"settled"`` programs (the PC-set method) emit
+        intermediate-time values with opaque cross-pass state and keep
+        the scalar ``run_block`` loop with no behavior change.
         """
         if not self._settled:
             raise SimulationError("call reset() before apply_vectors()")
@@ -188,9 +224,141 @@ class CompiledSimulator:
         words = [self._vector_words(vector) for vector in vectors]
         if self.packing_mode == "full" and self._inputs:
             telemetry.counter("packing.packed_batches")
-            return packed_apply(self.machine, words)
+            return packed_apply(self._packed_machine(len(words)), words)
+        lanes = self._batch_lanes(len(words))
+        if lanes > 1:
+            telemetry.counter("packing.laned_batches")
+            return self._run_laned(words, lanes, collect=True)
         telemetry.counter(f"packing.fallback.{self.packing_mode}")
         return self.machine.step_many(words, masked=True)
+
+    # ------------------------------------------------------------------
+    # tiled / laned execution
+    # ------------------------------------------------------------------
+    def _tiled_machine(self, tiles: int) -> Machine:
+        """The K-tile compilation of this program (memoized per K)."""
+        machine = self._tiled_machines.get(tiles)
+        if machine is None:
+            machine = compile_program(
+                self._compiled_program, self.backend, tiles=tiles,
+                **self._backend_kwargs,
+            )
+            self._tiled_machines[tiles] = machine
+        return machine
+
+    def _packed_machine(self, num_vectors: int) -> Machine:
+        """The machine for a pattern-packed batch of ``num_vectors``.
+
+        Explicit ``tiles=K`` forces K on any backend; ``"auto"``
+        consults :func:`~repro.codegen.packing.select_tiles`.  K is
+        clamped to the number of packed groups the batch actually
+        fills, so small batches never pay for idle tiles.
+        """
+        width = self.program.word_width
+        if self.tiles == "auto":
+            tiles = select_tiles(num_vectors, width, backend=self.backend)
+        else:
+            tiles = self.tiles
+        if num_vectors:
+            tiles = max(1, min(tiles, -(-num_vectors // width)))
+        else:
+            tiles = 1
+        if tiles == 1:
+            return self.machine
+        return self._tiled_machine(tiles)
+
+    def _batch_lanes(self, num_vectors: int) -> int:
+        """Lane count for a shift-program batch (1 = scalar loop)."""
+        if self.program.state_carry != "finals" or not self._inputs:
+            return 1
+        if self.tiles == "auto":
+            lanes = select_lanes(num_vectors, backend=self.backend)
+        else:
+            lanes = self.tiles
+        return max(1, min(lanes, num_vectors))
+
+    def _lane_plan(self, words: list[list[int]], lanes: int):
+        """Segments, padded slot-major pass rows, and lane seeds.
+
+        Lane ``t`` owns the contiguous vector range
+        ``starts[t] .. starts[t] + segs[t] - 1``; shorter lanes are
+        padded by repeating their last vector (those passes' outputs
+        are discarded and no other lane reads their state).  Seeds for
+        lanes 1..K-1 are the technique's encoding of the steady state
+        on the previous segment's last vector — by the
+        ``state_carry="finals"`` contract this reproduces the true
+        vector chain bit for bit.  Lane 0 continues from the live
+        scalar state, which is read at *run* time.
+        """
+        segments = lane_segments(len(words), lanes)
+        max_len = max(length for _start, length in segments)
+        num_inputs = len(self._inputs)
+        rows = []
+        for p in range(max_len):
+            row = []
+            for k in range(num_inputs):
+                for start, length in segments:
+                    i = p if p < length else length - 1
+                    row.append(words[start + i][k])
+            rows.append(row)
+        seeds = [
+            self._encode_state(
+                steady_state(self.circuit, words[start - 1])
+            )
+            for start, _length in segments[1:]
+        ]
+        return segments, rows, seeds
+
+    def _seed_lanes(
+        self, machine: Machine, seeds: list[list[int]]
+    ) -> int:
+        """Load per-lane state into a tiled machine; lane 0 = live state."""
+        lanes = machine.tiles
+        lane_states = [self.machine.dump_state()] + seeds
+        num_state = len(lane_states[0])
+        full = [0] * (num_state * lanes)
+        for s in range(num_state):
+            for t in range(lanes):
+                full[s * lanes + t] = lane_states[t][s]
+        machine.load_state(full)
+        return num_state
+
+    def _handoff_lanes(self, machine: Machine, num_state: int) -> None:
+        """Continue the scalar chain from the last lane's final state."""
+        lanes = machine.tiles
+        after = machine.dump_state()
+        self.machine.load_state(
+            [after[s * lanes + lanes - 1] for s in range(num_state)]
+        )
+
+    def _run_laned(
+        self, words: list[list[int]], lanes: int, *, collect: bool
+    ) -> Optional[list[list[int]]]:
+        """Run a shift-program batch K lanes at a time, bit-identically."""
+        machine = self._tiled_machine(lanes)
+        segments, rows, seeds = self._lane_plan(words, lanes)
+        num_state = self._seed_lanes(machine, seeds)
+        with telemetry.span("pack.shift", lanes=lanes):
+            flat: Optional[list[int]] = [] if collect else None
+            machine.run_block(rows, flat, masked=True)
+            telemetry.counter("pack.shift.batches")
+            telemetry.counter("pack.shift.vectors", len(words))
+        # run_block counted passes; restate lanes actually represented.
+        machine.counters.vectors += len(words) - len(rows)
+        self._handoff_lanes(machine, num_state)
+        if not collect:
+            return None
+        emits = machine.num_outputs // lanes
+        per_row = machine.num_outputs
+        out: list[list[int]] = []
+        assert flat is not None
+        for t, (_start, length) in enumerate(segments):
+            for p in range(length):
+                base = p * per_row
+                out.append(
+                    [flat[base + o * lanes + t] for o in range(emits)]
+                )
+        return out
 
     def prepare_batch(self, vectors: Sequence[Sequence[int]]):
         """Marshal a batch once, outside any timed region.
@@ -200,10 +368,23 @@ class CompiledSimulator:
         contains no interpreter work at all (the paper's timing loop
         was compiled too).  On the Python backend the vectors are
         pre-marshalled and the timed run is a single batched send into
-        the generated coroutine's in-frame loop.
+        the generated coroutine's in-frame loop.  Laned shift programs
+        (``tiles > 1`` on a ``state_carry="finals"`` program) also
+        compute the segment rows and steady-state lane seeds here;
+        only the lane-0 live state is read at run time.
         """
         with telemetry.span("pack"):
             words = [self._vector_words(vector) for vector in vectors]
+            lanes = self._batch_lanes(len(words))
+            if lanes > 1:
+                machine = self._tiled_machine(lanes)
+                _segs, rows, seeds = self._lane_plan(words, lanes)
+                if isinstance(machine, CMachine):
+                    return (
+                        "lane-c", machine, machine.pack_block(rows),
+                        len(rows), len(words), seeds,
+                    )
+                return ("lane-py", machine, rows, len(words), seeds)
             if isinstance(self.machine, CMachine):
                 return ("c", self.machine.pack_block(words), len(words))
             return ("py", words)
@@ -212,8 +393,30 @@ class CompiledSimulator:
         """Run a batch produced by :meth:`prepare_batch`."""
         if not self._settled:
             raise SimulationError("call reset() before running")
-        if prepared[0] == "c":
+        kind = prepared[0]
+        if kind == "c":
             self.machine.run_packed(prepared[1], prepared[2])
+            return
+        if kind == "lane-c":
+            _, machine, packed, passes, num_vectors, seeds = prepared
+            num_state = self._seed_lanes(machine, seeds)
+            with telemetry.span("pack.shift", lanes=machine.tiles):
+                machine.run_packed(
+                    packed, passes, vectors_represented=num_vectors
+                )
+                telemetry.counter("pack.shift.batches")
+                telemetry.counter("pack.shift.vectors", num_vectors)
+            self._handoff_lanes(machine, num_state)
+            return
+        if kind == "lane-py":
+            _, machine, rows, num_vectors, seeds = prepared
+            num_state = self._seed_lanes(machine, seeds)
+            with telemetry.span("pack.shift", lanes=machine.tiles):
+                machine.run_block(rows, masked=True)
+                telemetry.counter("pack.shift.batches")
+                telemetry.counter("pack.shift.vectors", num_vectors)
+            machine.counters.vectors += num_vectors - len(rows)
+            self._handoff_lanes(machine, num_state)
             return
         self.machine.run_block(prepared[1], masked=True)
 
@@ -245,8 +448,21 @@ class CompiledSimulator:
     # ------------------------------------------------------------------
     @property
     def counters(self):
-        """Per-batch throughput counters of the underlying machine."""
-        return self.machine.counters
+        """Per-batch throughput counters of the underlying machine(s).
+
+        With no tiled machines instantiated this *is* the scalar
+        machine's live counter object (so ``reset()`` on it works as
+        before); once tiled/laned batches have run, an aggregate over
+        every machine is returned.
+        """
+        if not self._tiled_machines:
+            return self.machine.counters
+        total = BatchCounters()
+        for machine in (self.machine, *self._tiled_machines.values()):
+            total.batches += machine.counters.batches
+            total.vectors += machine.counters.vectors
+            total.seconds += machine.counters.seconds
+        return total
 
     def output_labels(self) -> list[tuple]:
         return self.machine.output_labels()

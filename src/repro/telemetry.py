@@ -356,6 +356,20 @@ def _derived_sections(counters: Mapping, cache: Mapping) -> dict:
                 "none": counters.get("packing.fallback.none", 0),
             },
         },
+        "pack": {
+            # Tiled packed passes (K words per net) and laned
+            # shift-program batches — see repro.codegen.packing.
+            "tile": {
+                "selected": counters.get("pack.tile.selected", 0),
+                "batches": counters.get("pack.tile.batches", 0),
+                "vectors": counters.get("pack.tile.vectors", 0),
+            },
+            "shift": {
+                "selected": counters.get("pack.shift.selected", 0),
+                "batches": counters.get("pack.shift.batches", 0),
+                "vectors": counters.get("pack.shift.vectors", 0),
+            },
+        },
         "sharding": {
             "retries": counters.get("events.shard.retry", 0),
             "timeouts": counters.get("events.shard.timeout", 0),
