@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test fuzz-smoke bench bench-json bench-shards bench-partition bench-telemetry bench-tiled bench-quick examples lint clean
+.PHONY: install check test fuzz-smoke bench bench-json bench-shards bench-partition bench-telemetry bench-tiled bench-replay bench-quick examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -32,6 +32,7 @@ check:
 		REPRO_BENCH_VECTORS=32 REPRO_BENCH_PARTITIONS=1,2,4
 	$(MAKE) bench-telemetry
 	$(MAKE) bench-tiled REPRO_BENCH_SCALE=0.05
+	$(MAKE) bench-replay REPRO_BENCH_REPLAY_CYCLES=4000
 	$(MAKE) fuzz-smoke
 	@echo "check passed"
 
@@ -90,6 +91,17 @@ bench-telemetry:
 # >= 2x the scalar chain — apply on the C backend only).
 bench-tiled:
 	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_tiled.py
+
+# Sequential replay measurement: refreshes
+# benchmarks/results/replay.{txt,json} and the repo-root
+# BENCH_replay.json snapshot, asserting replay throughput clears the
+# cycles/s floor, checkpoint -> restore -> continue is bit-identical
+# to the uninterrupted run on every engine and backend, and a
+# single-gate edit recompiles only its own fanin cone (warm rebuild
+# faster than cold on the C backend).  Knobs:
+# REPRO_BENCH_REPLAY_{CYCLES,BITS} and REPRO_BENCH_BACKEND.
+bench-replay:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_replay.py
 
 bench-quick:
 	REPRO_BENCH_SUITE=c432,c880 REPRO_BENCH_VECTORS=64 \

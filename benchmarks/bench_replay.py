@@ -1,0 +1,306 @@
+"""Clocked replay at scale — throughput, restore identity, recompiles.
+
+Streams a seeded random stimulus tape through
+:class:`repro.seqsim.CompiledSequentialSimulator` and measures three
+things the sequential path promises:
+
+1. **Throughput** — cycles/second of the LCC fast path replaying the
+   tape end-to-end in bounded-memory chunks.  A conservative floor
+   (1,000 cycles/s) is asserted on every backend; the snapshot records
+   the real number.
+2. **Checkpoint/restore bit-identity** — for *every* engine
+   (``lcc``/``parallel``/``pcset``) and every available backend, a run
+   that checkpoints mid-tape and resumes in a fresh simulator must
+   reproduce the uninterrupted run exactly: same rolling checksum,
+   same toggle counts, and byte-identical output streams (head + tail
+   segments concatenate to the full-run file).  Asserted always.
+3. **Incremental recompilation** — building the per-output-cone
+   simulator cold, then rebuilding after a single-gate edit, must hit
+   the process-wide :class:`ProgramCache` for every untouched cone
+   (hit count asserted > 0 always) and the warm rebuild must be faster
+   than the cold one *on the C backend*, where compile time is real
+   ``cc`` invocations (the Python backend compiles in microseconds, so
+   timing noise swamps the comparison and only the hit-count contract
+   is asserted).
+
+Output lands like the other figure benchmarks: table + JSON under
+``benchmarks/results/replay.{txt,json}`` plus a repo-root
+``BENCH_replay.json`` snapshot.
+
+Environment knobs beyond the ``_common`` set:
+
+``REPRO_BENCH_REPLAY_CYCLES``
+    Tape length for the throughput run (default 20,000).
+``REPRO_BENCH_REPLAY_BITS``
+    Counter width — FFs and cone count scale with it (default 12).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from _common import BACKEND, RESULTS_DIR, write_report
+from repro.codegen.incremental import ConeSimulator
+from repro.codegen.runtime import have_c_compiler
+from repro.harness.tables import format_table
+from repro.netlist.circuit import GateType
+from repro.netlist.random_circuits import replace_gate
+from repro.netlist.seqgen import binary_counter
+from repro.replay import random_tape, replay_tape
+from repro.seqsim import CompiledSequentialSimulator
+
+ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
+
+CYCLES = int(os.environ.get("REPRO_BENCH_REPLAY_CYCLES", "20000"))
+BITS = int(os.environ.get("REPRO_BENCH_REPLAY_BITS", "12"))
+ENGINES = ("lcc", "parallel", "pcset")
+
+#: Identity runs re-execute the tape once per engine x backend; cap
+#: their share so the reduced-scale `make check` run stays quick.
+IDENTITY_CYCLES = 2000
+
+#: Conservative floor for the LCC fast path — the Python backend on a
+#: loaded CI box clears this by >10x.
+CYCLES_PER_SECOND_FLOOR = 1000.0
+
+_FLIPS = {
+    GateType.AND: GateType.NAND, GateType.NAND: GateType.AND,
+    GateType.OR: GateType.NOR, GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XNOR, GateType.XNOR: GateType.XOR,
+}
+
+
+def _throughput(tape, backend: str) -> dict:
+    sim = CompiledSequentialSimulator(
+        binary_counter(BITS), engine="lcc", backend=backend,
+        word_width=64,
+    )
+    result = replay_tape(sim, tape, chunk_cycles=4096)
+    return {
+        "engine": "lcc",
+        "backend": backend,
+        "cycles": result.cycles,
+        "seconds": result.seconds,
+        "cycles_per_second": result.cycles_per_second,
+        "checksum": f"{result.checksum:#018x}",
+    }
+
+
+def _identity_run(tape, engine: str, backend: str, workdir: str) -> dict:
+    """Full vs checkpoint+resume on one engine/backend; returns verdict."""
+    tag = f"{engine}_{backend}"
+    limit = min(IDENTITY_CYCLES, tape.cycles)
+    half = limit // 2
+
+    def sim():
+        return CompiledSequentialSimulator(
+            binary_counter(BITS), engine=engine, backend=backend
+        )
+
+    full_out = os.path.join(workdir, f"full_{tag}.out")
+    full = replay_tape(sim(), tape, limit=limit, outputs_path=full_out)
+    head_out = os.path.join(workdir, f"head_{tag}.out")
+    head = replay_tape(
+        sim(), tape, limit=half, checkpoint_every=half,
+        checkpoint_dir=workdir, outputs_path=head_out,
+    )
+    tail_out = os.path.join(workdir, f"tail_{tag}.out")
+    resumed = replay_tape(
+        sim(), tape, resume_from=head.checkpoints[-1], limit=half,
+        outputs_path=tail_out,
+    )
+
+    def lines(path):  # tape-format files: drop the two header lines
+        with open(path) as handle:
+            return handle.read().splitlines()[2:]
+
+    return {
+        "engine": engine,
+        "backend": backend,
+        "cycles": limit,
+        "checkpoint_cycle": head.checkpoints[-1].rsplit("_", 1)[-1],
+        "checksum_identical": resumed.checksum == full.checksum,
+        "toggles_identical": resumed.toggles == full.toggles,
+        "outputs_identical": (
+            lines(head_out) + lines(tail_out) == lines(full_out)
+        ),
+    }
+
+
+def _incremental(backend: str) -> dict:
+    """Cold cone build vs rebuild after a single-gate edit, timed."""
+    core = binary_counter(BITS).core
+    start = time.perf_counter()
+    cold = ConeSimulator(core, backend=backend)
+    cold_seconds = time.perf_counter() - start
+
+    # Flip the last carry's XOR — the gate with the smallest cone
+    # membership, so the edit is the common case: most cones untouched.
+    gate = next(
+        g for g in reversed(list(core.gates.values()))
+        if g.gate_type in _FLIPS
+    )
+    edited = replace_gate(
+        core, gate.name, _FLIPS[gate.gate_type], list(gate.inputs)
+    )
+    start = time.perf_counter()
+    warm = ConeSimulator(edited, backend=backend)
+    warm_seconds = time.perf_counter() - start
+    return {
+        "backend": backend,
+        "num_cones": cold.num_cones,
+        "edited_gate": gate.name,
+        "cold_seconds": cold_seconds,
+        "cold_misses": cold.cache_delta["misses"],
+        "warm_hits": warm.cache_delta["hits"],
+        "warm_misses": warm.cache_delta["misses"],
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / max(warm_seconds, 1e-12),
+    }
+
+
+def collect_metrics(cycles: int) -> dict:
+    backends = ["python"] + (["c"] if have_c_compiler() else [])
+    with tempfile.TemporaryDirectory(prefix="repro_replay_") as work:
+        tape = random_tape(
+            os.path.join(work, "stimulus.tape"),
+            binary_counter(BITS).external_inputs, cycles, seed=90,
+        )
+        throughput = _throughput(tape, BACKEND)
+        identity = [
+            _identity_run(tape, engine, backend, work)
+            for engine in ENGINES
+            for backend in backends
+        ]
+        incremental = [_incremental(backend) for backend in backends]
+        tape.close()
+    return {
+        "bits": BITS,
+        "flipflops": BITS,
+        "cycles": cycles,
+        "backend": BACKEND,
+        "backends": backends,
+        "throughput": throughput,
+        "identity": identity,
+        "incremental": incremental,
+    }
+
+
+def validate_payload(payload: dict) -> None:
+    """Schema + hard contracts for the emitted JSON."""
+    assert set(payload) == {"figure", "backend", "metrics"}, payload.keys()
+    assert payload["figure"] == "replay"
+    metrics = payload["metrics"]
+    throughput = metrics["throughput"]
+    assert throughput["cycles"] == metrics["cycles"]
+    assert throughput["seconds"] > 0
+    assert (
+        throughput["cycles_per_second"] >= CYCLES_PER_SECOND_FLOOR
+    ), throughput
+    assert metrics["identity"], "no identity runs recorded"
+    covered = {(e["engine"], e["backend"]) for e in metrics["identity"]}
+    assert covered == {
+        (engine, backend)
+        for engine in ENGINES
+        for backend in metrics["backends"]
+    }, covered
+    for entry in metrics["identity"]:
+        # The acceptance contract: checkpoint -> restore -> continue is
+        # bit-identical to the uninterrupted replay, on every engine
+        # and backend.
+        assert entry["checksum_identical"] is True, entry
+        assert entry["toggles_identical"] is True, entry
+        assert entry["outputs_identical"] is True, entry
+    for entry in metrics["incremental"]:
+        assert entry["num_cones"] > 1
+        assert entry["cold_misses"] == entry["num_cones"]
+        # Untouched cones must be cache hits; exactly one recompiles.
+        assert entry["warm_hits"] > 0, entry
+        assert entry["warm_hits"] == entry["num_cones"] - 1, entry
+        assert entry["warm_misses"] == 1, entry
+
+
+def _assert_floor(metrics: dict) -> None:
+    """Warm-edit rebuild faster than cold — asserted on the C backend.
+
+    Python/numpy builds spend microseconds per cone in ``compile()``,
+    so the cold/warm delta there is measurement noise; the C backend
+    runs one ``cc`` per missed cone and the reuse is unmistakable.
+    """
+    for entry in metrics["incremental"]:
+        if entry["backend"] == "c":
+            assert entry["warm_seconds"] < entry["cold_seconds"], entry
+            return
+    print("[warm<cold floor skipped: no C compiler]")
+
+
+def _emit(metrics: dict) -> dict:
+    throughput = metrics["throughput"]
+    rows = [
+        [
+            f"throughput lcc/{throughput['backend']}",
+            throughput["cycles"],
+            throughput["seconds"],
+            f"{throughput['cycles_per_second']:,.0f} cyc/s",
+        ]
+    ]
+    for entry in metrics["identity"]:
+        verdict = (
+            "identical"
+            if entry["checksum_identical"]
+            and entry["toggles_identical"]
+            and entry["outputs_identical"]
+            else "MISMATCH"
+        )
+        rows.append([
+            f"restore {entry['engine']}/{entry['backend']}",
+            entry["cycles"],
+            "",
+            verdict,
+        ])
+    for entry in metrics["incremental"]:
+        rows.append([
+            f"recompile edit ({entry['backend']})",
+            entry["num_cones"],
+            entry["warm_seconds"],
+            (f"{entry['warm_hits']}/{entry['num_cones']} cones reused, "
+             f"{entry['speedup']:.1f}x vs cold"),
+        ])
+    table = format_table(
+        ["measurement", "cycles/cones", "seconds", "result"],
+        rows,
+        title=(f"Sequential replay — {BITS}-bit counter "
+               f"({metrics['flipflops']} FFs), "
+               f"{metrics['cycles']:,} cycle tape, "
+               f"backend={metrics['backend']}"),
+        float_format="{:.3f}",
+    )
+    write_report("replay", table, backend=BACKEND, metrics=metrics)
+    payload = json.loads((RESULTS_DIR / "replay.json").read_text())
+    ROOT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[snapshot written to {ROOT_JSON}]")
+    return payload
+
+
+def test_replay_report():
+    metrics = collect_metrics(CYCLES)
+    payload = _emit(metrics)
+    validate_payload(payload)
+    _assert_floor(metrics)
+
+
+def main(cycles: int | None = None) -> None:
+    metrics = collect_metrics(cycles or CYCLES)
+    payload = _emit(metrics)
+    validate_payload(payload)
+    _assert_floor(metrics)
+    print("bench-replay: schema valid, checkpoint/restore bit-identical "
+          "on every engine and backend")
+
+
+if __name__ == "__main__":
+    main()

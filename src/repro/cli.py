@@ -8,10 +8,17 @@ Subcommands::
     repro-sim bench   <circuit> [...]      quick technique comparison
     repro-sim profile <circuit> [...]      per-phase pipeline timing
     repro-sim fuzz    [...]                differential fuzzing campaign
+    repro-sim tape    <circuit> [...]      write a clocked stimulus tape
+    repro-sim replay  <circuit> [...]      stream a tape through the
+                                           clocked simulator, with
+                                           checkpoint/restore
 
 ``<circuit>`` is either a path to an ISCAS85 ``.bench`` file or the
 name of a built-in synthetic benchmark (c432..c7552, or generator
-specs like ``rca16``, ``mul8``, ``parity32``).
+specs like ``rca16``, ``mul8``, ``parity32``).  The clocked
+subcommands additionally accept ``.bench`` files with DFF lines and
+sequential generator specs (``counter16``, ``lfsr32``, ``shiftreg8``);
+a combinational spec is replayed as a zero-flip-flop clocked circuit.
 
 Every subcommand also accepts ``--profile`` (print the per-phase
 telemetry table after the normal output) and ``--metrics-out FILE``
@@ -74,6 +81,40 @@ def _generators():
 _GENERATORS = _generators()
 
 
+def _seq_generators():
+    from repro.netlist import seqgen
+
+    return {
+        "counter": seqgen.binary_counter,
+        "lfsr": seqgen.lfsr,
+        "shiftreg": seqgen.shift_register,
+    }
+
+
+_SEQ_GENERATORS = _seq_generators()
+
+
+def resolve_sequential(spec: str, scale: float = 1.0):
+    """Interpret a clocked-circuit spec.
+
+    ``.bench`` files go through ``parse_bench_sequential`` (DFF lines
+    become flip-flops); sequential generator specs (``counter16``,
+    ``lfsr32``, ``shiftreg8``) build synthetic clocked circuits; any
+    other spec resolves combinationally and is wrapped as a
+    zero-flip-flop clocked circuit.
+    """
+    from repro.netlist.bench import parse_bench_sequential
+    from repro.netlist.sequential import break_at_flipflops
+
+    path = Path(spec)
+    if path.suffix == ".bench" or path.exists():
+        return parse_bench_sequential(path.read_text(), name=path.stem)
+    for prefix, builder in _SEQ_GENERATORS.items():
+        if spec.startswith(prefix) and spec[len(prefix):].isdigit():
+            return builder(int(spec[len(prefix):]))
+    return break_at_flipflops(resolve_circuit(spec, scale), {})
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.codegen.runtime import (
         have_c_compiler,
@@ -94,10 +135,72 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     report["numpy backend"] = (
         "available" if have_numpy() is not None else "not installed"
     )
+    if args.cones:
+        report.update(_cone_report(circuit, args.backend))
     width = max(len(k) for k in report)
     for key, value in report.items():
         print(f"{key.ljust(width)}  {value}")
     return 0
+
+
+def _cone_report(circuit: Circuit, backend: str) -> dict:
+    """Incremental-recompilation stats: cold build vs. warm single-edit.
+
+    Builds the per-cone simulator twice — once from the current cache
+    state, once after a synthetic single-gate edit (the first gate's
+    type flipped) — and reports the program-cache traffic of each, so
+    the hit rate for untouched cones is visible from the CLI.
+    """
+    from repro.codegen.incremental import ConeSimulator
+    from repro.netlist.circuit import GateType
+    from repro.netlist.random_circuits import replace_gate
+
+    cold = ConeSimulator(circuit, backend=backend)
+    report = {
+        "fanin cones": (
+            f"{cold.num_cones} "
+            f"({len(set(cold.cone_keys.values()))} unique)"
+        ),
+        "cone cache (cold)": (
+            f"+{cold.cache_delta['hits']} hits, "
+            f"+{cold.cache_delta['misses']} misses"
+        ),
+    }
+    flips = {
+        GateType.AND: GateType.NAND, GateType.NAND: GateType.AND,
+        GateType.OR: GateType.NOR, GateType.NOR: GateType.OR,
+        GateType.XOR: GateType.XNOR, GateType.XNOR: GateType.XOR,
+        GateType.NOT: GateType.BUF, GateType.BUF: GateType.NOT,
+    }
+    # Edit the flippable gate that sits in the fewest cones — the
+    # best case for reuse, which is what the report is sizing.
+    membership: dict[str, int] = {}
+    for cone in cold.cones.values():
+        for cone_gate in cone.gates:
+            membership[cone_gate.name] = (
+                membership.get(cone_gate.name, 0) + 1
+            )
+    candidates = [
+        g for g in circuit.gates.values() if g.gate_type in flips
+    ]
+    if not candidates:
+        return report
+    gate = min(
+        candidates,
+        key=lambda g: membership.get(g.name, 0),
+    )
+    new_type = flips[gate.gate_type]
+    edited = replace_gate(circuit, gate.name, new_type,
+                          list(gate.inputs))
+    warm = ConeSimulator(edited, backend=backend)
+    delta = warm.cache_delta
+    total = max(1, delta["hits"] + delta["misses"])
+    report["cone cache (warm edit)"] = (
+        f"+{delta['hits']} hits, +{delta['misses']} misses "
+        f"({delta['hits'] / total:.0%} reuse after editing "
+        f"{gate.name!r})"
+    )
+    return report
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -410,6 +513,77 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_tape(args: argparse.Namespace) -> int:
+    from repro.replay import random_tape
+
+    seq = resolve_sequential(args.circuit, args.scale)
+    tape = random_tape(
+        args.output, seq.external_inputs, args.cycles, seed=args.seed
+    )
+    print(f"wrote {tape.cycles} cycles x {len(tape.inputs)} inputs "
+          f"({', '.join(tape.inputs[:6])}"
+          f"{', ...' if len(tape.inputs) > 6 else ''}) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.codegen.runtime import program_cache
+    from repro.replay import Tape, replay_tape
+    from repro.seqsim import CompiledSequentialSimulator
+
+    seq = resolve_sequential(args.circuit, args.scale)
+    tape = Tape(args.tape)
+    options = _partition_options(args)
+    options.update(_tiles_option(args))
+    cache = program_cache()
+    before = cache.stats()
+    sim = CompiledSequentialSimulator(
+        seq,
+        engine=args.engine,
+        backend=args.backend,
+        word_width=args.word_width,
+        incremental=args.incremental,
+        **options,
+    )
+    after = cache.stats()
+    result = replay_tape(
+        sim, tape,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume_from=args.resume_from,
+        chunk_cycles=args.chunk,
+        outputs_path=args.outputs,
+        limit=args.limit,
+    )
+    where = (f"cycles {result.cycle - result.cycles}..{result.cycle}"
+             if result.resumed_from is not None
+             else f"{result.cycles} cycles")
+    print(f"{seq.core.name}: replayed {where} of {tape.cycles} "
+          f"({seq.num_flipflops} FFs, engine={args.engine}, "
+          f"backend={args.backend})")
+    print(f"throughput: {result.cycles_per_second:,.0f} cycles/s "
+          f"({result.seconds:.3f}s)")
+    print(f"checksum: {result.checksum:#018x}")
+    print(f"program cache: +{after['hits'] - before['hits']} hits, "
+          f"+{after['misses'] - before['misses']} misses"
+          + (f" ({sim._sim.num_cones} cones)" if args.incremental
+             else ""))
+    if result.checkpoints:
+        print(f"checkpoints: {len(result.checkpoints)} written to "
+              f"{args.checkpoint_dir}")
+    if result.outputs_path:
+        print(f"outputs: {result.outputs_path}")
+    if args.coverage:
+        hottest = sorted(
+            result.toggles.items(), key=lambda kv: -kv[1]
+        )[:args.coverage]
+        print("toggles: " + ", ".join(
+            f"{name}={count}" for name, count in hottest
+        ))
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -465,6 +639,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--fast", action="store_true",
         help="skip the alignment analyses (large circuits)",
     )
+    p_stats.add_argument(
+        "--cones", action="store_true",
+        help="report per-fanin-cone incremental recompilation stats: "
+             "cold-build cache traffic, then the hit/miss delta of "
+             "rebuilding after a synthetic single-gate edit",
+    )
+    p_stats.add_argument("-b", "--backend", default="python",
+                         choices=["python", "c", "numpy"])
     _add_telemetry_args(p_stats)
     p_stats.set_defaults(func=_cmd_stats)
 
@@ -671,6 +853,72 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     _add_telemetry_args(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_tape = sub.add_parser(
+        "tape", help="write a seeded random clocked stimulus tape"
+    )
+    p_tape.add_argument("circuit")
+    p_tape.add_argument("-n", "--cycles", type=int, default=1000)
+    p_tape.add_argument("--seed", type=int, default=0)
+    p_tape.add_argument("-o", "--output", required=True, metavar="FILE")
+    _add_telemetry_args(p_tape)
+    p_tape.set_defaults(func=_cmd_tape)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="stream a stimulus tape through the clocked simulator, "
+             "with mid-stream checkpoint/restore",
+    )
+    p_replay.add_argument("circuit")
+    p_replay.add_argument("--tape", required=True, metavar="FILE",
+                          help="stimulus tape (see 'repro-sim tape')")
+    p_replay.add_argument("-e", "--engine", default="lcc",
+                          choices=["lcc", "parallel", "pcset"])
+    p_replay.add_argument("-b", "--backend", default="python",
+                          choices=["python", "c", "numpy"])
+    p_replay.add_argument("-w", "--word-width", type=int, default=32,
+                          choices=[8, 16, 32, 64])
+    _add_tiles_arg(p_replay)
+    _add_partition_args(p_replay)
+    p_replay.add_argument(
+        "--incremental", action="store_true",
+        help="evaluate the core through per-fanin-cone programs "
+             "(content-keyed cache: a single-gate edit recompiles "
+             "only the affected cones)",
+    )
+    p_replay.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="write a checkpoint after every N-th cycle",
+    )
+    p_replay.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="directory for checkpoint files "
+             "(required with --checkpoint-every)",
+    )
+    p_replay.add_argument(
+        "--resume-from", default=None, metavar="FILE",
+        help="resume bit-identically from a checkpoint file",
+    )
+    p_replay.add_argument(
+        "--outputs", default=None, metavar="FILE",
+        help="stream per-cycle external outputs here (tape format; "
+             "two replays compare with a byte compare)",
+    )
+    p_replay.add_argument(
+        "--chunk", type=int, default=4096, metavar="N",
+        help="cycles per apply_vectors call — the memory bound "
+             "(default 4096)",
+    )
+    p_replay.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="replay at most N cycles (default: to end of tape)",
+    )
+    p_replay.add_argument(
+        "--coverage", type=int, default=0, metavar="N",
+        help="print the N most-toggling outputs",
+    )
+    _add_telemetry_args(p_replay)
+    p_replay.set_defaults(func=_cmd_replay)
 
     args = parser.parse_args(argv)
     profile = getattr(args, "profile", False)

@@ -87,6 +87,7 @@ __all__ = [
     "program_cache",
     "clear_program_cache",
     "program_fingerprint",
+    "cache_fingerprint",
     "compile_program",
     "have_c_compiler",
     "have_numpy",
@@ -172,6 +173,24 @@ def _have_native_arch(compiler: str) -> bool:
 def program_fingerprint(source: str) -> str:
     """Content hash of a generated source text (the cache key core)."""
     return hashlib.sha256(source.encode()).hexdigest()
+
+
+def cache_fingerprint(program: "Program", source: str, tiles: int) -> str:
+    """The fingerprint half of a program-cache key.
+
+    Programs carrying a semantic ``content_key`` (e.g. per-fanin-cone
+    hashes from :mod:`repro.codegen.incremental`) are keyed on it
+    directly — the key already determines the source, so hashing the
+    text again would only slow the hit path.  Tiled lowerings change
+    the source for the same program, hence the ``-t{K}`` qualifier
+    (the backend name and opt level are separate key components).
+    """
+    content_key = getattr(program, "content_key", None)
+    if content_key is None:
+        return program_fingerprint(source)
+    if tiles != 1:
+        return f"{content_key}-t{tiles}"
+    return content_key
 
 
 class BatchCounters:
@@ -537,7 +556,8 @@ class PythonMachine(Machine):
         code = None
         key = None
         if use_cache:
-            key = (program_fingerprint(self.source), "python", "")
+            key = (cache_fingerprint(program, self.source, tiles),
+                   "python", "")
             code = _PROGRAM_CACHE.get(key)
         if code is None:
             with telemetry.span("cc", backend="python",
@@ -635,7 +655,8 @@ class NumpyMachine(PythonMachine):
         code = None
         key = None
         if use_cache:
-            key = (program_fingerprint(self.source), "numpy", "")
+            key = (cache_fingerprint(program, self.source, tiles),
+                   "numpy", "")
             code = _PROGRAM_CACHE.get(key)
         if code is None:
             with telemetry.span("cc", backend="numpy",
@@ -719,7 +740,8 @@ class CMachine(Machine):
         self._c_path = c_path
         self._so_path = so_path
         self._cleaned = False
-        key = (program_fingerprint(self.source), "c", opt_level)
+        key = (cache_fingerprint(program, self.source, self.tiles),
+               "c", opt_level)
         cached = _PROGRAM_CACHE.get(key) if use_cache else None
         if cached is not None:
             # Copy (never link): the dynamic loader dedupes by inode,

@@ -31,6 +31,7 @@ from repro.netlist.circuit import Circuit
 from repro.netlist.random_circuits import (
     layered_circuit,
     random_dag_circuit,
+    sequentialize,
 )
 
 __all__ = ["CampaignFailure", "CampaignResult", "run_campaign"]
@@ -89,23 +90,36 @@ def _draw_circuit(rng: random.Random, max_gates: int) -> Circuit:
     kind = rng.random()
     circuit_seed = rng.getrandbits(32)
     if kind < 0.5:
-        return random_dag_circuit(
+        circuit = random_dag_circuit(
             circuit_seed,
             num_inputs=rng.randint(2, 6),
             num_gates=rng.randint(4, max_gates),
             max_fan_in=rng.randint(2, 4),
             p_unary=rng.choice((0.1, 0.25, 0.4)),
         )
-    if kind < 0.8:
+    elif kind < 0.8:
         depth = rng.randint(2, 6)
-        return layered_circuit(
+        circuit = layered_circuit(
             circuit_seed,
             num_inputs=rng.randint(3, 6),
             num_gates=rng.randint(depth, max_gates),
             depth=depth,
             p_unary=rng.choice((0.0, 0.15, 0.3)),
         )
-    return _structured_circuit(rng)
+    else:
+        circuit = _structured_circuit(rng)
+    # A third of the stream gets random flip-flop feedback closed over
+    # it (the FQ/FD convention), so the clocked 'sequential' lattice
+    # axis sees circuits with real state.  Every combinational check
+    # still applies to a sequentialized circuit — the FQ pins are
+    # ordinary primary inputs of the broken core.
+    if rng.random() < 0.35:
+        circuit = sequentialize(
+            circuit,
+            rng.randint(1, 3),
+            seed=rng.getrandbits(32),
+        )
+    return circuit
 
 
 def run_campaign(

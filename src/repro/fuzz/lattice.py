@@ -30,6 +30,7 @@ from repro.netlist.circuit import Circuit
 __all__ = [
     "CHECKS",
     "HISTORY_TECHNIQUES",
+    "SEQUENTIAL_ENGINES",
     "WORD_WIDTHS",
     "FuzzConfig",
     "sample_configs",
@@ -37,7 +38,13 @@ __all__ = [
 ]
 
 #: The differential comparisons the fuzzer knows how to run.
-CHECKS = ("history", "batched", "packed", "faults", "partitioned")
+CHECKS = (
+    "history", "batched", "packed", "faults", "partitioned",
+    "sequential",
+)
+
+#: Clocked engines exercised by the ``"sequential"`` check.
+SEQUENTIAL_ENGINES = ("lcc", "parallel", "pcset")
 
 #: Unit-delay techniques with a per-net change-history protocol.
 HISTORY_TECHNIQUES = (
@@ -112,9 +119,17 @@ class FuzzConfig:
                     f"'partitioned' check needs partitions >= 2: "
                     f"{self.partitions}"
                 )
-        if self.check != "partitioned" and self.partitions != 1:
+        elif self.check == "sequential":
+            if self.technique not in SEQUENTIAL_ENGINES:
+                raise SimulationError(
+                    f"'sequential' check needs an engine from "
+                    f"{SEQUENTIAL_ENGINES}: {self.technique!r}"
+                )
+        if (self.check not in ("partitioned", "sequential")
+                and self.partitions != 1):
             raise SimulationError(
-                f"partitions applies to the 'partitioned' check only "
+                f"partitions applies to the 'partitioned' and "
+                f"'sequential' checks only "
                 f"(check={self.check!r}, partitions={self.partitions})"
             )
         if not isinstance(self.tiles, int) or self.tiles < 1:
@@ -127,12 +142,15 @@ class FuzzConfig:
             parts.append(self.technique)
         parts.append(self.backend)
         parts.append(f"w{self.word_width}")
-        if (self.check in ("batched", "packed", "partitioned")
+        if (self.check in ("batched", "packed", "partitioned",
+                           "sequential")
                 and self.batch_size):
             parts.append(f"b{self.batch_size}")
         if self.check in ("faults", "partitioned") and self.workers > 1:
             parts.append(f"j{self.workers}")
         if self.check == "partitioned":
+            parts.append(f"p{self.partitions}")
+        elif self.check == "sequential" and self.partitions > 1:
             parts.append(f"p{self.partitions}")
         if self.tiles > 1:
             parts.append(f"k{self.tiles}")
@@ -168,7 +186,8 @@ def sample_configs(
     oracle); batched, packed and — when enabled — fault-report
     identity each get a slice of every campaign.
     """
-    kinds = ["history", "history", "batched", "packed", "partitioned"]
+    kinds = ["history", "history", "batched", "packed", "partitioned",
+             "sequential"]
     if include_faults:
         kinds.append("faults")
     configs: list[FuzzConfig] = []
@@ -180,6 +199,8 @@ def sample_configs(
             technique = rng.choice(list(PACKED_TECHNIQUES))
         elif check == "partitioned":
             technique = rng.choice(list(PARTITIONED_TECHNIQUES))
+        elif check == "sequential":
+            technique = rng.choice(list(SEQUENTIAL_ENGINES))
         else:
             technique = rng.choice(list(HISTORY_TECHNIQUES))
         batch_size = rng.choice((0, 1, 2, 3, 5, 8))
@@ -189,7 +210,14 @@ def sample_configs(
             workers = rng.choice((1, 2))
         else:
             workers = 1
-        partitions = rng.choice((2, 3, 4)) if check == "partitioned" else 1
+        if check == "partitioned":
+            partitions = rng.choice((2, 3, 4))
+        elif check == "sequential" and technique == "lcc":
+            # The clocked loop threads partitions through the core's
+            # barrier engine; exercise that path on the lcc engine.
+            partitions = rng.choice((1, 1, 2))
+        else:
+            partitions = 1
         # The tile axis exercises the K-word packed/laned paths; the
         # history check steps per vector, where K never applies.
         tiles = rng.choice((1, 2, 4)) if check != "history" else 1
@@ -219,6 +247,8 @@ def run_check(
     """
     if config.check == "faults":
         return _check_faults(circuit, vectors, config)
+    if config.check == "sequential":
+        return _check_sequential(circuit, vectors, config)
     execution = {"history": "scalar", "batched": "batched",
                  "packed": "packed",
                  "partitioned": "partitioned"}[config.check]
@@ -234,6 +264,122 @@ def run_check(
         partition_workers=config.workers or None,
         tiles=config.tiles,
     )
+
+
+def _check_sequential(
+    circuit: Circuit,
+    vectors: Sequence[Sequence[int]],
+    config: FuzzConfig,
+) -> int:
+    """Clocked differential check over the ``FQ``/``FD`` convention.
+
+    The circuit's flip-flops are reconstructed by name
+    (:func:`~repro.netlist.random_circuits.derive_flipflops` — a
+    purely combinational circuit degenerates to a zero-flip-flop
+    clocked check, still valid), the vector tape's external-input
+    columns become the stimulus stream, and the compiled engine under
+    test is compared cycle by cycle against the interpreted
+    zero-delay reference driven through ``SequentialCircuit.step``:
+    per-cycle external outputs *and* the next flip-flop state must
+    match, the batched ``apply_vectors`` path must be cycle-identical
+    to stepping, and a mid-stream snapshot/restore into a *fresh*
+    simulator must continue bit-identically.
+    """
+    from repro.eventsim.zerodelay import steady_state
+    from repro.netlist.random_circuits import derive_flipflops
+    from repro.netlist.sequential import SequentialCircuit
+    from repro.seqsim import CompiledSequentialSimulator
+
+    flipflops = derive_flipflops(circuit)
+    core = circuit.copy(circuit.name)
+    for d_net in flipflops.values():
+        core.add_net(d_net, is_output=True)
+    seq = SequentialCircuit(core, flipflops)
+    external = seq.external_inputs
+    ext_slots = [
+        i for i, n in enumerate(circuit.inputs) if n in set(external)
+    ]
+    rows = [[vec[i] & 1 for i in ext_slots] for vec in vectors]
+
+    def make_sim() -> CompiledSequentialSimulator:
+        return CompiledSequentialSimulator(
+            seq,
+            engine=config.technique,
+            backend=config.backend,
+            word_width=config.word_width,
+            tiles=config.tiles,
+            partitions=config.partitions,
+        )
+
+    # Interpreted reference: the paper's clocked recipe over the
+    # event-driven zero-delay settle.
+    state = seq.initial_state()
+    ref_outputs: list[dict[str, int]] = []
+    ref_states: list[dict[str, int]] = []
+    for row in rows:
+        state, outputs = seq.step(
+            lambda core_inputs: steady_state(core, core_inputs),
+            state,
+            dict(zip(external, row)),
+        )
+        ref_outputs.append(outputs)
+        ref_states.append(dict(state))
+
+    checks = 0
+    label = f"sequential[{config.technique}]"
+
+    def compare(cycle: int, got: Mapping, want: Mapping,
+                what: str) -> None:
+        if dict(got) != dict(want):
+            bad = sorted(
+                n for n in want
+                if dict(got).get(n) != want[n]
+            )
+            raise Mismatch(
+                label, cycle, bad,
+                f"  {what} diverged at cycle {cycle}: "
+                f"{ {n: dict(got).get(n) for n in bad[:5]} } vs "
+                f"{ {n: want[n] for n in bad[:5]} }",
+            )
+
+    # 1. step-wise outputs + next state vs. the reference.
+    sim = make_sim()
+    for cycle, row in enumerate(rows):
+        outputs = sim.step(row)
+        compare(cycle, outputs, ref_outputs[cycle], "outputs")
+        compare(cycle, sim.state, ref_states[cycle], "state")
+        checks += 2
+
+    # 2. batched apply_vectors must be cycle-identical to stepping.
+    batched = make_sim()
+    chunk = config.batch_size or len(rows) or 1
+    got_outputs: list[dict[str, int]] = []
+    for start in range(0, len(rows), chunk):
+        got_outputs.extend(
+            batched.apply_vectors(rows[start:start + chunk])
+        )
+    for cycle, outputs in enumerate(got_outputs):
+        compare(cycle, outputs, ref_outputs[cycle], "batched outputs")
+        checks += 1
+    if rows:
+        compare(len(rows) - 1, batched.state, ref_states[-1],
+                "batched final state")
+        checks += 1
+
+    # 3. snapshot/restore into a fresh simulator continues identically.
+    if len(rows) >= 2:
+        half = len(rows) // 2
+        first = make_sim()
+        first.apply_vectors(rows[:half])
+        resumed = make_sim()
+        resumed.restore(first.snapshot())
+        for cycle, outputs in zip(
+            range(half, len(rows)), resumed.apply_vectors(rows[half:])
+        ):
+            compare(cycle, outputs, ref_outputs[cycle],
+                    "resumed outputs")
+            checks += 1
+    return checks
 
 
 #: Serial (event-driven, one run per fault) reference is only affordable

@@ -31,6 +31,8 @@ from repro.netlist.circuit import Circuit
 __all__ = [
     "random_dag_circuit",
     "layered_circuit",
+    "sequentialize",
+    "derive_flipflops",
     "replace_gate",
     "pin_input",
     "keep_outputs",
@@ -225,6 +227,85 @@ def layered_circuit(
 # ----------------------------------------------------------------------
 # shrink hooks (used by repro.fuzz.shrink's delta debugger)
 # ----------------------------------------------------------------------
+def sequentialize(
+    circuit: Circuit,
+    num_flipflops: int,
+    *,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Circuit:
+    """Close random feedback loops through named flip-flop pins.
+
+    Turns a combinational circuit into the *broken core* of a clocked
+    one (§1's recipe, run in reverse): the last ``num_flipflops``
+    primary inputs are renamed ``FQ{i}`` (flip-flop Q pins, still
+    pseudo primary inputs) and each is paired with a new primary
+    output ``FD{i} = BUF(<random gate output>)`` (the D pin).  The
+    ``FQ``/``FD`` naming is the *whole* contract:
+    :func:`derive_flipflops` reconstructs the pairing from names
+    alone, so the circuit round-trips through the combinational
+    ``.bench`` corpus format and survives every shrink hook (a pinned
+    ``FQ`` or a dropped ``FD`` simply removes that flip-flop).
+
+    At least one external input is always kept.  Returns the circuit
+    unchanged when it has no gates, too few inputs, or a name
+    collision with the convention.
+    """
+    if num_flipflops < 1 or not circuit.gates:
+        return circuit
+    k = min(num_flipflops, len(circuit.inputs) - 1)
+    if k < 1:
+        return circuit
+    taken = [f"FQ{i}" for i in range(k)] + [f"FD{i}" for i in range(k)]
+    if any(n in circuit.nets for n in taken):
+        return circuit
+    rng = random.Random(seed)
+    q_nets = circuit.inputs[-k:]
+    rename = {q: f"FQ{i}" for i, q in enumerate(q_nets)}
+    drivers = [g.output for g in circuit.topological_gates()]
+    rebuilt = Circuit(name if name is not None else circuit.name)
+    for net_name in circuit.inputs:
+        rebuilt.add_net(rename.get(net_name, net_name), is_input=True)
+    for gate in circuit.topological_gates():
+        rebuilt.add_gate(
+            gate.gate_type,
+            gate.output,
+            [rename.get(n, n) for n in gate.inputs],
+            name=gate.name,
+        )
+    for i in range(k):
+        rebuilt.add_gate(GateType.BUF, f"FD{i}", [rng.choice(drivers)])
+    for net_name in circuit.outputs:
+        rebuilt.add_net(net_name, is_output=True)
+    for i in range(k):
+        rebuilt.add_net(f"FD{i}", is_output=True)
+    rebuilt.validate()
+    return rebuilt
+
+
+def derive_flipflops(circuit: Circuit) -> dict[str, str]:
+    """The ``FQ{i} -> FD{i}`` pairs present in a circuit, by name.
+
+    The inverse of :func:`sequentialize`'s naming convention: an
+    ``FQ{i}`` primary input pairs with the driven net ``FD{i}`` when
+    both exist.  Robust under shrinking — a pinned ``FQ`` input or a
+    pruned ``FD`` gate silently drops that pair — and an empty result
+    just means a purely combinational circuit (a zero-flip-flop
+    clocked check is still well-defined).
+    """
+    pairs: dict[str, str] = {}
+    for input_net in circuit.inputs:
+        if not input_net.startswith("FQ"):
+            continue
+        suffix = input_net[2:]
+        if not suffix.isdigit():
+            continue
+        d_net = f"FD{suffix}"
+        if d_net in circuit.nets and circuit.net(d_net).driver is not None:
+            pairs[input_net] = d_net
+    return pairs
+
+
 def _rebuild(
     circuit: Circuit,
     keep: Optional[set[str]],

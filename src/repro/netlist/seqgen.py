@@ -1,0 +1,101 @@
+"""Parameterized synchronous sequential circuit generators.
+
+Counterparts to :mod:`repro.netlist.generators` for the clocked world:
+each returns a ready-broken :class:`SequentialCircuit` (per §1, Q pins
+as pseudo inputs, D pins as pseudo outputs) so the CLI and benchmarks
+can scale sequential workloads the same way combinational ones scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NetlistError
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.sequential import SequentialCircuit, break_at_flipflops
+
+__all__ = ["binary_counter", "lfsr", "shift_register"]
+
+
+def _check_bits(bits: int) -> None:
+    if bits < 1:
+        raise NetlistError(f"bit width must be >= 1: {bits}")
+
+
+def binary_counter(
+    bits: int, name: Optional[str] = None
+) -> SequentialCircuit:
+    """An ``bits``-bit binary up-counter with enable.
+
+    External input ``EN``; external outputs ``B0..B{bits-1}`` mirror
+    the count (LSB first).  Each cycle with ``EN=1`` increments via a
+    ripple of toggle carries: ``D_i = Q_i ^ carry_i`` with
+    ``carry_{i+1} = Q_i & carry_i`` and ``carry_0 = EN``.
+    """
+    _check_bits(bits)
+    b = CircuitBuilder(name or f"counter{bits}")
+    en = b.input("EN")
+    qs = [b.input(f"Q{i}") for i in range(bits)]
+    carry = en
+    for i in range(bits):
+        b.xor(f"D{i}", qs[i], carry)
+        if i + 1 < bits:
+            carry = b.and_(f"C{i + 1}", qs[i], carry)
+    for i in range(bits):
+        b.buf(f"B{i}", qs[i])
+    b.outputs(*[f"B{i}" for i in range(bits)])
+    return break_at_flipflops(
+        b.build(), {f"Q{i}": f"D{i}" for i in range(bits)}
+    )
+
+
+def lfsr(bits: int, name: Optional[str] = None) -> SequentialCircuit:
+    """A ``bits``-bit XOR shift register with serial injection.
+
+    External input ``IN`` is xor-ed into the feedback, so an all-zero
+    power-on state still produces activity under a random tape.
+    Feedback taps are the last stage and the middle stage.  External
+    outputs ``O0..O{bits-1}`` expose the state.
+    """
+    _check_bits(bits)
+    b = CircuitBuilder(name or f"lfsr{bits}")
+    b.input("IN")
+    qs = [b.input(f"Q{i}") for i in range(bits)]
+    tap = bits // 2
+    if bits == 1:
+        b.xor("D0", qs[0], "IN")
+    else:
+        b.xor("FB", qs[bits - 1], qs[tap])
+        b.xor("D0", "FB", "IN")
+        for i in range(1, bits):
+            b.buf(f"D{i}", qs[i - 1])
+    for i in range(bits):
+        b.buf(f"O{i}", qs[i])
+    b.outputs(*[f"O{i}" for i in range(bits)])
+    return break_at_flipflops(
+        b.build(), {f"Q{i}": f"D{i}" for i in range(bits)}
+    )
+
+
+def shift_register(
+    bits: int, name: Optional[str] = None
+) -> SequentialCircuit:
+    """A serial-in/serial-out shift register.
+
+    External input ``SI``; external outputs ``SO`` (the last stage)
+    plus the parallel view ``P0..P{bits-1}``.
+    """
+    _check_bits(bits)
+    b = CircuitBuilder(name or f"shiftreg{bits}")
+    b.input("SI")
+    qs = [b.input(f"Q{i}") for i in range(bits)]
+    b.buf("D0", "SI")
+    for i in range(1, bits):
+        b.buf(f"D{i}", qs[i - 1])
+    for i in range(bits):
+        b.buf(f"P{i}", qs[i])
+    b.buf("SO", qs[bits - 1])
+    b.outputs(*([f"P{i}" for i in range(bits)] + ["SO"]))
+    return break_at_flipflops(
+        b.build(), {f"Q{i}": f"D{i}" for i in range(bits)}
+    )

@@ -70,7 +70,12 @@ class SequentialCircuit:
         return len(self.flipflops)
 
     def initial_state(self, value: int = 0) -> dict[str, int]:
-        """An all-``value`` flip-flop state (keyed by Q net)."""
+        """An all-``value`` flip-flop state (keyed by Q net).
+
+        ``value`` is masked to a single bit, matching what
+        ``CompiledSequentialSimulator.reset`` does with explicit states.
+        """
+        value &= 1
         return {q: value for q in self.flipflops}
 
     def step(

@@ -1,0 +1,25 @@
+"""Replay-driven sequential simulation: tapes, checkpoints, harness.
+
+The scale story for clocked workloads (ROADMAP item 4): stimulus lives
+on disk as a seekable :class:`~repro.replay.tape.Tape`, the
+:func:`~repro.replay.harness.replay_tape` driver streams it through a
+:class:`~repro.seqsim.CompiledSequentialSimulator` in bounded memory,
+and :class:`~repro.replay.checkpoint.ReplayCheckpoint` makes any cycle
+boundary a resumable, bit-identical restart point.
+"""
+
+from repro.replay.checkpoint import ReplayCheckpoint, load_checkpoint
+from repro.replay.harness import ReplayResult, fold_outputs, replay_tape
+from repro.replay.tape import Tape, TapeError, random_tape, write_tape
+
+__all__ = [
+    "Tape",
+    "TapeError",
+    "write_tape",
+    "random_tape",
+    "ReplayCheckpoint",
+    "load_checkpoint",
+    "ReplayResult",
+    "replay_tape",
+    "fold_outputs",
+]

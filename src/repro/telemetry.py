@@ -375,6 +375,15 @@ def _derived_sections(counters: Mapping, cache: Mapping) -> dict:
             "timeouts": counters.get("events.shard.timeout", 0),
             "degraded": counters.get("events.shard.degraded", 0),
         },
+        "seq": {
+            # Clocked (sequential) execution — see repro.seqsim and
+            # repro.replay: cycles/batches from apply_vectors,
+            # checkpoint/restore traffic from the replay harness.
+            "cycles": counters.get("seq.cycles", 0),
+            "batches": counters.get("seq.batches", 0),
+            "checkpoints": counters.get("seq.checkpoints", 0),
+            "restores": counters.get("seq.restores", 0),
+        },
         "partition": {
             "batches": counters.get("partition.batches", 0),
             "packed_batches": counters.get(

@@ -281,3 +281,109 @@ class TestFuzzCLI:
         out = capsys.readouterr().out
         assert "injected emitter bug" in out
         assert list(corpus.glob("*.json"))
+
+
+class TestSequentialAxis:
+    """The clocked lattice axis: sequentialized circuits are checked
+    against a reference step loop, across all three engines."""
+
+    @pytest.fixture(scope="class")
+    def seq_triple(self):
+        from repro.netlist.random_circuits import sequentialize
+
+        base = random_dag_circuit(21, num_inputs=5, num_gates=16)
+        circuit = sequentialize(base, 2, seed=77)
+        return circuit, vectors_for(circuit, 6, seed=5)
+
+    def test_sequentialize_convention(self):
+        from repro.netlist.random_circuits import (
+            derive_flipflops,
+            sequentialize,
+        )
+
+        base = random_dag_circuit(21, num_inputs=5, num_gates=16)
+        circuit = sequentialize(base, 2, seed=77)
+        ffs = derive_flipflops(circuit)
+        assert len(ffs) == 2
+        for q, d in ffs.items():
+            assert q.startswith("FQ") and d == "FD" + q[len("FQ"):]
+            assert q in circuit.inputs
+            assert circuit.net(d).is_output
+        # Deterministic for a seed, and a no-op when it can't apply.
+        from repro.netlist.bench import write_bench
+
+        again = sequentialize(base, 2, seed=77)
+        assert write_bench(again) == write_bench(circuit)
+        assert sequentialize(base, 0) is base
+
+    def test_convention_survives_bench_round_trip(self, seq_triple):
+        from repro.netlist.bench import parse_bench, write_bench
+        from repro.netlist.random_circuits import derive_flipflops
+
+        circuit, _ = seq_triple
+        reparsed = parse_bench(write_bench(circuit), circuit.name)
+        assert derive_flipflops(reparsed) == derive_flipflops(circuit)
+
+    def test_config_validation(self):
+        from repro.fuzz.lattice import SEQUENTIAL_ENGINES
+
+        config = FuzzConfig(check="sequential", technique="pcset",
+                            batch_size=3)
+        assert "sequential" in config.label()
+        assert FuzzConfig.from_dict(config.as_dict()) == config
+        with pytest.raises(SimulationError):
+            FuzzConfig(check="sequential", technique="parallel-best")
+        assert set(SEQUENTIAL_ENGINES) == {"lcc", "parallel", "pcset"}
+        # lcc may fan the core out over partitions.
+        FuzzConfig(check="sequential", technique="lcc", partitions=2)
+
+    def test_sampling_draws_sequential_points(self):
+        configs = sample_configs(random.Random(5), 80)
+        seq = [c for c in configs if c.check == "sequential"]
+        assert seq
+        assert {c.technique for c in seq} <= {"lcc", "parallel", "pcset"}
+
+    @pytest.mark.parametrize("technique", ["lcc", "parallel", "pcset"])
+    def test_healthy_sequential_passes(self, seq_triple, technique):
+        circuit, vectors = seq_triple
+        config = FuzzConfig(check="sequential", technique=technique)
+        assert run_check(circuit, vectors, config) > 0
+
+    def test_combinational_circuit_trivially_passes(self):
+        # No FQ/FD pairs: the check degenerates to a clocked run with
+        # zero flip-flops, which must still agree with the reference.
+        circuit = ripple_carry_adder(2)
+        vectors = vectors_for(circuit, 3, seed=2)
+        config = FuzzConfig(check="sequential", technique="lcc")
+        assert run_check(circuit, vectors, config) > 0
+
+    def test_injected_bug_caught(self, seq_triple):
+        circuit, vectors = seq_triple
+        config = FuzzConfig(check="sequential", technique="lcc")
+        with inject_emitter_bug("nand-as-and"):
+            with pytest.raises(Exception):
+                run_check(circuit, vectors, config)
+
+    def test_corpus_round_trip_keeps_state(self, tmp_path, seq_triple):
+        from repro.netlist.random_circuits import derive_flipflops
+
+        circuit, vectors = seq_triple
+        config = FuzzConfig(check="sequential", technique="parallel")
+        entry = entry_from_failure(
+            circuit, vectors, config, seed=9,
+            error="Mismatch: synthetic", shrink_steps=[],
+        )
+        path = save_entry(entry, tmp_path)
+        loaded = load_entry(path)
+        assert loaded.config == config
+        assert derive_flipflops(loaded.circuit()) == \
+            derive_flipflops(circuit)
+
+    def test_campaign_draws_sequential_circuits(self):
+        from repro.netlist.random_circuits import derive_flipflops
+
+        result = run_campaign(seed=1990, iterations=12,
+                              backends=("python",),
+                              include_faults=False)
+        assert result.ok
+        assert result.comparisons > 0

@@ -1,0 +1,513 @@
+"""Tests for stimulus tapes, replay, checkpoints and cone recompiles."""
+
+import filecmp
+import json
+
+import pytest
+
+from repro.codegen.runtime import have_c_compiler
+from repro.errors import SimulationError
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.seqgen import binary_counter, lfsr, shift_register
+from repro.replay import (
+    ReplayCheckpoint,
+    Tape,
+    TapeError,
+    fold_outputs,
+    load_checkpoint,
+    random_tape,
+    replay_tape,
+    write_tape,
+)
+from repro.seqsim import CompiledSequentialSimulator
+
+BACKENDS = ["python"] + (["c"] if have_c_compiler() else [])
+
+
+class TestTape:
+    def test_write_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.tape")
+        rows = [[1, 0], [0, 1], [1, 1], [0, 0]]
+        assert write_tape(path, ["A", "B"], rows) == 4
+        tape = Tape(path)
+        assert tape.inputs == ["A", "B"]
+        assert tape.cycles == 4
+        assert tape.read(0, 4) == rows
+
+    def test_mapping_rows(self, tmp_path):
+        path = str(tmp_path / "t.tape")
+        write_tape(path, ["A", "B"], [{"B": 1, "A": 0}, {"A": 1, "B": 0}])
+        assert Tape(path).read(0, 2) == [[0, 1], [1, 0]]
+
+    def test_seek_mid_tape(self, tmp_path):
+        path = str(tmp_path / "t.tape")
+        rows = [[i & 1, (i >> 1) & 1, (i >> 2) & 1] for i in range(50)]
+        write_tape(path, ["A", "B", "C"], rows)
+        with Tape(path) as tape:
+            assert tape.read(17, 5) == rows[17:22]
+            assert tape.read(49, 1) == rows[49:]
+            assert tape.read(0, 1) == rows[:1]
+
+    def test_chunks_cover_tape_exactly(self, tmp_path):
+        path = str(tmp_path / "t.tape")
+        rows = [[i & 1] for i in range(10)]
+        write_tape(path, ["A"], rows)
+        tape = Tape(path)
+        seen = []
+        starts = []
+        for start, vectors in tape.chunks(3):
+            starts.append(start)
+            seen.extend(vectors)
+        assert starts == [0, 3, 6, 9]
+        assert seen == rows
+
+    def test_random_tape_deterministic(self, tmp_path):
+        a = random_tape(str(tmp_path / "a.tape"), ["X", "Y"], 64, seed=7)
+        b = random_tape(str(tmp_path / "b.tape"), ["X", "Y"], 64, seed=7)
+        c = random_tape(str(tmp_path / "c.tape"), ["X", "Y"], 64, seed=8)
+        assert a.read(0, 64) == b.read(0, 64)
+        assert a.read(0, 64) != c.read(0, 64)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.tape"
+        path.write_text("#not-a-tape\n#inputs A\n0\n")
+        with pytest.raises(TapeError, match="not a stimulus tape"):
+            Tape(str(path))
+
+    def test_missing_inputs_header(self, tmp_path):
+        path = tmp_path / "bad.tape"
+        path.write_text("#repro-tape v1\n0\n")
+        with pytest.raises(TapeError, match="#inputs"):
+            Tape(str(path))
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "bad.tape"
+        path.write_text("#repro-tape v1\n#inputs A,B\n10\n0")
+        with pytest.raises(TapeError, match="truncated"):
+            Tape(str(path))
+
+    def test_bad_character(self, tmp_path):
+        path = tmp_path / "bad.tape"
+        path.write_text("#repro-tape v1\n#inputs A,B\n10\n2x\n")
+        tape = Tape(str(path))
+        with pytest.raises(TapeError, match="bad character"):
+            tape.read(0, 2)
+
+    def test_out_of_range_read(self, tmp_path):
+        path = str(tmp_path / "t.tape")
+        write_tape(path, ["A"], [[0], [1]])
+        with pytest.raises(TapeError, match="out of range"):
+            Tape(path).read(1, 2)
+
+    def test_write_rejects_non_bits(self, tmp_path):
+        path = str(tmp_path / "t.tape")
+        with pytest.raises(TapeError, match="must be 0 or 1"):
+            write_tape(path, ["A"], [[2]])
+        with pytest.raises(TapeError, match="missing input"):
+            write_tape(path, ["A", "B"], [{"A": 1}])
+
+
+class TestCheckpoint:
+    def test_save_load_round_trip(self, tmp_path):
+        cp = ReplayCheckpoint(
+            cycle=42,
+            state={"Q0": 1, "Q1": 0},
+            checksum=0xDEADBEEF,
+            toggles={"O0": 7},
+            prev_outputs={"O0": 1},
+            tape_inputs=["EN"],
+            tape_cycles=100,
+            circuit="counter",
+            engine="lcc",
+        )
+        path = cp.save(str(tmp_path / "cp.json"))
+        loaded = load_checkpoint(path)
+        assert loaded.as_dict() == cp.as_dict()
+
+    def test_state_masked(self):
+        cp = ReplayCheckpoint(cycle=0, state={"Q0": 3, "Q1": -1})
+        assert cp.state == {"Q0": 1, "Q1": 1}
+
+    def test_format_guards(self, tmp_path):
+        with pytest.raises(SimulationError, match="not a replay"):
+            ReplayCheckpoint.from_dict({"format": "something-else"})
+        with pytest.raises(SimulationError, match="version"):
+            ReplayCheckpoint.from_dict(
+                {"format": "repro-replay-checkpoint", "version": 99}
+            )
+        path = tmp_path / "cp.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(SimulationError):
+            load_checkpoint(str(path))
+
+
+class TestFoldOutputs:
+    def test_order_sensitive(self):
+        a = fold_outputs(fold_outputs(0, [1, 0]), [0, 1])
+        b = fold_outputs(fold_outputs(0, [0, 1]), [1, 0])
+        assert a != b
+
+    def test_stays_64_bit(self):
+        checksum = 0
+        for _ in range(200):
+            checksum = fold_outputs(checksum, [1, 1, 0, 1])
+        assert 0 <= checksum < (1 << 64)
+
+
+def _replay_setup(tmp_path, *, bits=4, cycles=400, seed=11):
+    seq = binary_counter(bits)
+    tape = random_tape(
+        str(tmp_path / "stim.tape"), seq.external_inputs, cycles,
+        seed=seed,
+    )
+    return seq, tape
+
+
+class TestReplay:
+    @pytest.mark.parametrize("engine", ["lcc", "parallel", "pcset"])
+    def test_matches_manual_step_loop(self, tmp_path, engine):
+        seq, tape = _replay_setup(tmp_path, cycles=60)
+        manual = CompiledSequentialSimulator(
+            binary_counter(4), engine=engine
+        )
+        outputs = list(seq.external_outputs)
+        checksum = 0
+        toggles = {o: 0 for o in outputs}
+        prev = None
+        for row in tape.read(0, tape.cycles):
+            out = manual.step(row)
+            checksum = fold_outputs(checksum, [out[o] for o in outputs])
+            if prev is not None:
+                for o in outputs:
+                    toggles[o] += int(out[o] != prev[o])
+            prev = out
+        sim = CompiledSequentialSimulator(seq, engine=engine)
+        result = replay_tape(sim, tape, chunk_cycles=17)
+        assert result.cycles == result.cycle == 60
+        assert result.checksum == checksum
+        assert result.toggles == toggles
+
+    def test_engines_agree_on_shared_tape(self, tmp_path):
+        _, tape = _replay_setup(tmp_path, cycles=150)
+        results = {}
+        for engine in ("lcc", "parallel", "pcset"):
+            sim = CompiledSequentialSimulator(
+                binary_counter(4), engine=engine
+            )
+            results[engine] = replay_tape(sim, tape, chunk_cycles=64)
+        checksums = {r.checksum for r in results.values()}
+        toggle_sets = [r.toggles for r in results.values()]
+        assert len(checksums) == 1
+        assert toggle_sets[0] == toggle_sets[1] == toggle_sets[2]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("engine", ["lcc", "parallel", "pcset"])
+    def test_checkpoint_restore_bit_identical(
+        self, tmp_path, engine, backend
+    ):
+        seq, tape = _replay_setup(tmp_path, cycles=120)
+        full_out = str(tmp_path / f"full_{engine}_{backend}.out")
+        full = replay_tape(
+            CompiledSequentialSimulator(
+                binary_counter(4), engine=engine, backend=backend
+            ),
+            tape, chunk_cycles=50, outputs_path=full_out,
+        )
+        cpdir = tmp_path / f"cp_{engine}_{backend}"
+        cpdir.mkdir()
+        first = replay_tape(
+            CompiledSequentialSimulator(
+                binary_counter(4), engine=engine, backend=backend
+            ),
+            tape, chunk_cycles=50, checkpoint_every=48,
+            checkpoint_dir=str(cpdir), limit=70,
+        )
+        assert first.cycle == 70
+        assert len(first.checkpoints) == 1
+        # A *fresh* simulator resumes from the mid-stream checkpoint and
+        # must reproduce both the remaining cycles and the summary.
+        resumed = replay_tape(
+            CompiledSequentialSimulator(
+                binary_counter(4), engine=engine, backend=backend
+            ),
+            tape, chunk_cycles=50, resume_from=first.checkpoints[0],
+        )
+        assert resumed.resumed_from == 48
+        assert resumed.cycle == 120
+        assert resumed.checksum == full.checksum
+        assert resumed.toggles == full.toggles
+
+    def test_resumed_output_segments_concatenate(self, tmp_path):
+        seq, tape = _replay_setup(tmp_path, cycles=90)
+        full_out = str(tmp_path / "full.out")
+        replay_tape(
+            CompiledSequentialSimulator(binary_counter(4)),
+            tape, outputs_path=full_out,
+        )
+        cpdir = tmp_path / "cp"
+        cpdir.mkdir()
+        head_out = str(tmp_path / "head.out")
+        head = replay_tape(
+            CompiledSequentialSimulator(binary_counter(4)),
+            tape, checkpoint_every=30, checkpoint_dir=str(cpdir),
+            limit=30, outputs_path=head_out,
+        )
+        tail_out = str(tmp_path / "tail.out")
+        replay_tape(
+            CompiledSequentialSimulator(binary_counter(4)),
+            tape, resume_from=head.checkpoints[0],
+            outputs_path=tail_out,
+        )
+        # Output streams are tape-format files: strip the two header
+        # lines and the segments must concatenate to the full stream.
+        def body(p):
+            return open(p).read().splitlines()[2:]
+
+        assert body(head_out) + body(tail_out) == body(full_out)
+
+    def test_identical_runs_byte_compare(self, tmp_path):
+        _, tape = _replay_setup(tmp_path, cycles=80)
+        a = str(tmp_path / "a.out")
+        b = str(tmp_path / "b.out")
+        replay_tape(
+            CompiledSequentialSimulator(binary_counter(4)),
+            tape, outputs_path=a, chunk_cycles=7,
+        )
+        replay_tape(
+            CompiledSequentialSimulator(
+                binary_counter(4), engine="parallel"
+            ),
+            tape, outputs_path=b, chunk_cycles=64,
+        )
+        assert filecmp.cmp(a, b, shallow=False)
+
+    @pytest.mark.parametrize("options", [
+        {"tiles": 2},
+        {"partitions": 2},
+        {"partitions": 2, "partition_workers": 2},
+        {"incremental": True},
+        {"engine": "parallel", "tiles": 2},
+        {"engine": "pcset", "partitions": 2},
+    ])
+    def test_option_threading_bit_identical(self, tmp_path, options):
+        _, tape = _replay_setup(tmp_path, cycles=64)
+        base = replay_tape(
+            CompiledSequentialSimulator(binary_counter(4)), tape
+        )
+        tuned = replay_tape(
+            CompiledSequentialSimulator(binary_counter(4), **options),
+            tape,
+        )
+        assert tuned.checksum == base.checksum
+        assert tuned.toggles == base.toggles
+
+    def test_lfsr_and_shiftreg_generators(self, tmp_path):
+        for seq in (lfsr(5), shift_register(6)):
+            tape = random_tape(
+                str(tmp_path / f"{seq.core.name}.tape"),
+                seq.external_inputs, 40, seed=3,
+            )
+            results = [
+                replay_tape(
+                    CompiledSequentialSimulator(seq, engine=e), tape
+                ).checksum
+                for e in ("lcc", "parallel")
+            ]
+            assert results[0] == results[1]
+
+    def test_guards(self, tmp_path):
+        seq, tape = _replay_setup(tmp_path, cycles=10)
+        sim = CompiledSequentialSimulator(binary_counter(4))
+        with pytest.raises(SimulationError, match="checkpoint_dir"):
+            replay_tape(sim, tape, checkpoint_every=5)
+        with pytest.raises(SimulationError, match="chunk_cycles"):
+            replay_tape(sim, tape, chunk_cycles=0)
+        other = random_tape(
+            str(tmp_path / "other.tape"), ["X", "Y"], 10
+        )
+        with pytest.raises(SimulationError, match="do not match"):
+            replay_tape(sim, other)
+        # Checkpoint beyond the tape, or for a different tape: refused.
+        cp = ReplayCheckpoint(
+            cycle=99, state=seq.initial_state(), tape_inputs=["EN"]
+        )
+        with pytest.raises(SimulationError, match="beyond the tape"):
+            replay_tape(sim, tape, resume_from=cp)
+        cp = ReplayCheckpoint(
+            cycle=2, state=seq.initial_state(), tape_inputs=["ZZ"]
+        )
+        with pytest.raises(SimulationError, match="different"):
+            replay_tape(sim, tape, resume_from=cp)
+
+    def test_on_chunk_and_limit(self, tmp_path):
+        _, tape = _replay_setup(tmp_path, cycles=100)
+        sim = CompiledSequentialSimulator(binary_counter(4))
+        seen = []
+        result = replay_tape(
+            sim, tape, chunk_cycles=16, limit=40,
+            on_chunk=lambda cycle, total: seen.append((cycle, total)),
+        )
+        assert result.cycles == 40
+        assert seen == [(16, 40), (32, 40), (40, 40)]
+
+    def test_replay_telemetry(self, tmp_path):
+        from repro import telemetry
+
+        _, tape = _replay_setup(tmp_path, cycles=60)
+        telemetry.enable(reset_state=True)
+        try:
+            cpdir = tmp_path / "cp"
+            cpdir.mkdir()
+            first = replay_tape(
+                CompiledSequentialSimulator(binary_counter(4)),
+                tape, checkpoint_every=20, checkpoint_dir=str(cpdir),
+                limit=40,
+            )
+            replay_tape(
+                CompiledSequentialSimulator(binary_counter(4)),
+                tape, resume_from=first.checkpoints[-1],
+            )
+            snap = telemetry.snapshot()
+            assert snap["counters"]["seq.checkpoints"] == 2
+            assert snap["counters"]["seq.restores"] == 1
+            assert snap["seq"]["checkpoints"] == 2
+            assert snap["seq"]["restores"] == 1
+            assert any("seq.replay" in name for name in snap["phases"])
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+
+
+def _three_cone_circuit(flip=False):
+    """Three disjoint-top cones; ``flip`` edits only the middle one."""
+    b = CircuitBuilder("threecones")
+    a, c, d, e = b.inputs("KA", "KB", "KC", "KD")
+    m = b.and_("KM", a, c)
+    b.output(b.xor("KO0", m, d))
+    b.output((b.nor if flip else b.or_)("KO1", c, d))
+    b.output(b.xor("KO2", d, e))
+    return b.build()
+
+
+class TestConeSimulator:
+    def test_matches_monolithic_lcc(self):
+        from repro.codegen.incremental import ConeSimulator
+        from repro.lcc.zerodelay import LCCSimulator
+
+        circuit = _three_cone_circuit()
+        cones = ConeSimulator(circuit)
+        mono = LCCSimulator(circuit)
+        for value in range(16):
+            vector = [(value >> i) & 1 for i in range(4)]
+            full = mono.evaluate_all_nets(vector)
+            expected = {o: full[o] & 1 for o in circuit.outputs}
+            assert cones.evaluate(vector) == expected
+        batch = cones.apply_vectors([[0, 1, 1, 0], [1, 1, 0, 1]])
+        assert batch == [cones.evaluate([0, 1, 1, 0]),
+                         cones.evaluate([1, 1, 0, 1])]
+
+    def test_single_gate_edit_reuses_untouched_cones(self):
+        from repro.codegen.incremental import ConeSimulator
+
+        cold = ConeSimulator(_three_cone_circuit())
+        warm = ConeSimulator(_three_cone_circuit(flip=True))
+        assert cold.num_cones == warm.num_cones == 3
+        # Acceptance: after editing one gate, untouched cones hit the
+        # ProgramCache (hit rate > 0) and only the affected cone
+        # recompiles.
+        assert warm.cache_delta["hits"] == 2
+        assert warm.cache_delta["misses"] == 1
+        same = [o for o in ("KO0", "KO2")
+                if warm.cone_keys[o] == cold.cone_keys[o]]
+        assert same == ["KO0", "KO2"]
+        assert warm.cone_keys["KO1"] != cold.cone_keys["KO1"]
+
+    def test_identical_rebuild_all_hits(self):
+        from repro.codegen.incremental import ConeSimulator
+
+        ConeSimulator(_three_cone_circuit())
+        again = ConeSimulator(_three_cone_circuit())
+        assert again.cache_delta["hits"] == 3
+        assert again.cache_delta["misses"] == 0
+
+    def test_seqsim_incremental_matches_monolithic(self, tmp_path):
+        _, tape = _replay_setup(tmp_path, cycles=50)
+        mono = CompiledSequentialSimulator(binary_counter(4))
+        inc = CompiledSequentialSimulator(
+            binary_counter(4), incremental=True
+        )
+        assert inc._sim.num_cones > 0
+        rows = tape.read(0, 50)
+        assert inc.apply_vectors(rows) == mono.apply_vectors(rows)
+        assert inc.state == mono.state
+        with pytest.raises(SimulationError, match="incremental"):
+            CompiledSequentialSimulator(
+                binary_counter(4), engine="parallel", incremental=True
+            )
+
+
+class TestReplayCLI:
+    def test_tape_then_replay(self, tmp_path, capsys):
+        from repro.cli import main
+
+        tape = str(tmp_path / "cli.tape")
+        assert main(["tape", "counter4", "-n", "200", "-o", tape]) == 0
+        assert "200 cycles" in capsys.readouterr().out
+        assert main(["replay", "counter4", "--tape", tape]) == 0
+        out = capsys.readouterr().out
+        assert "checksum" in out
+        assert "cycles/s" in out
+
+    def test_cli_resume_matches_full(self, tmp_path, capsys):
+        from repro.cli import main
+
+        tape = str(tmp_path / "cli.tape")
+        main(["tape", "counter4", "-n", "100", "-o", tape])
+        capsys.readouterr()
+        full_out = str(tmp_path / "full.out")
+        main(["replay", "counter4", "--tape", tape,
+              "--outputs", full_out])
+        full_text = capsys.readouterr().out
+        cpdir = tmp_path / "cp"
+        cpdir.mkdir()
+        assert main([
+            "replay", "counter4", "--tape", tape,
+            "--checkpoint-every", "40", "--checkpoint-dir", str(cpdir),
+            "--limit", "40",
+        ]) == 0
+        capsys.readouterr()
+        cps = sorted(cpdir.glob("checkpoint_*.json"))
+        assert len(cps) == 1
+        assert main([
+            "replay", "counter4", "--tape", tape,
+            "--resume-from", str(cps[0]), "--coverage", "3",
+        ]) == 0
+        resumed_text = capsys.readouterr().out
+        def checksum_line(text):
+            return [l for l in text.splitlines() if "checksum" in l]
+        assert checksum_line(resumed_text) == checksum_line(full_text)
+
+    def test_cli_incremental_and_engines_agree(self, tmp_path, capsys):
+        from repro.cli import main
+
+        tape = str(tmp_path / "cli.tape")
+        main(["tape", "lfsr5", "-n", "80", "-o", tape])
+        capsys.readouterr()
+        sums = []
+        for extra in ([], ["-e", "parallel"], ["--incremental"]):
+            assert main(
+                ["replay", "lfsr5", "--tape", tape] + extra
+            ) == 0
+            text = capsys.readouterr().out
+            sums.append(
+                [l for l in text.splitlines() if "checksum" in l]
+            )
+        assert sums[0] == sums[1] == sums[2]
+
+    def test_stats_cones(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "rca4", "--cones"]) == 0
+        out = capsys.readouterr().out
+        assert "fanin cones" in out
+        assert "reuse" in out
