@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test fuzz-smoke bench bench-json bench-shards bench-partition bench-telemetry bench-tiled bench-replay bench-quick examples lint clean
+.PHONY: install check test fuzz-smoke bench bench-json bench-shards bench-partition bench-telemetry bench-tiled bench-replay bench-probes bench-quick examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -33,6 +33,7 @@ check:
 	$(MAKE) bench-telemetry
 	$(MAKE) bench-tiled REPRO_BENCH_SCALE=0.05
 	$(MAKE) bench-replay REPRO_BENCH_REPLAY_CYCLES=4000
+	$(MAKE) bench-probes REPRO_BENCH_VECTORS=4096
 	$(MAKE) fuzz-smoke
 	@echo "check passed"
 
@@ -102,6 +103,15 @@ bench-tiled:
 # REPRO_BENCH_REPLAY_{CYCLES,BITS} and REPRO_BENCH_BACKEND.
 bench-replay:
 	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_replay.py
+
+# Compiled-in probe overhead: refreshes
+# benchmarks/results/probes.{txt,json} and the repo-root
+# BENCH_probes.json snapshot, asserting the probes-off (<= 2%) and
+# probes-on (<= 25%) budgets on the batched C path and that the
+# instrumented fast path's ActivityReport is bit-identical to the
+# history-based scalar reference.  Knobs: REPRO_BENCH_{SCALE,VECTORS}.
+bench-probes:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_probes.py
 
 bench-quick:
 	REPRO_BENCH_SUITE=c432,c880 REPRO_BENCH_VECTORS=64 \

@@ -134,14 +134,39 @@ def collect_activity(
     ``simulator`` is any object with ``reset`` and either
     ``apply_vector_history`` (the compiled simulators) or
     ``apply_vector(..., record=True)`` (the interpreted ones).
+    Engines that keep no per-vector settling histories — the
+    zero-delay LCC paths — are rejected with a clear error; they
+    count activity with compiled-in probes (``probes=`` at
+    construction, then ``activity_report()``) instead.
     """
-    collector = ActivityCollector()
-    simulator.reset(initial)
+    engine = type(simulator).__name__
     if hasattr(simulator, "apply_vector_history"):
         step = simulator.apply_vector_history
-    else:
+    elif hasattr(simulator, "apply_vector"):
         def step(vector):
             return simulator.apply_vector(vector, record=True)
+    else:
+        raise SimulationError(
+            f"{engine} records no per-vector settling histories, so "
+            "collect_activity cannot run on it; build the simulator "
+            "with probes= and read activity_report() instead"
+        )
+    collector = ActivityCollector()
+    simulator.reset(initial)
     for vector in vectors:
-        collector.add_vector(step(vector))
+        try:
+            history = step(vector)
+        except TypeError as exc:
+            raise SimulationError(
+                f"{engine} cannot record per-vector histories "
+                f"({exc}); use a history-capable engine, or "
+                "compiled-in probes (probes=) with activity_report()"
+            ) from exc
+        if not history:
+            raise SimulationError(
+                f"{engine} returned an empty per-net history; "
+                "collect_activity needs the settling history of "
+                "every net"
+            )
+        collector.add_vector(history)
     return collector.report()

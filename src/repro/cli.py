@@ -296,21 +296,49 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Techniques whose generated programs accept compiled-in probes.
+_PROBE_TECHNIQUES = ("pcset", "parallel", "parallel-trim", "zero-lcc")
+
+
 def _cmd_activity(args: argparse.Namespace) -> int:
     from repro.activity import collect_activity
 
     circuit = resolve_circuit(args.circuit, args.scale)
     vectors = vectors_for(circuit, args.vectors, args.seed)
-    if args.technique.startswith("interp"):
-        sim = build_simulator(circuit, args.technique)
-    else:
+    zeros = [0] * len(circuit.inputs)
+    if args.probes:
+        if args.technique not in _PROBE_TECHNIQUES:
+            raise SystemExit(
+                "--probes compiles counters into the generated "
+                "program and needs a probe-capable technique "
+                f"({', '.join(_PROBE_TECHNIQUES)}), "
+                f"not {args.technique!r}"
+            )
         sim = build_simulator(
             circuit, args.technique,
             word_width=args.word_width, backend=args.backend,
+            probes=True,
         )
-    report = collect_activity(
-        sim, vectors, initial=[0] * len(circuit.inputs)
-    )
+        if args.technique == "zero-lcc":
+            sim.probe_reset(zeros)
+        else:
+            sim.reset(zeros)
+        sim.apply_vectors(vectors)
+        report = sim.activity_report()
+    else:
+        if args.technique == "zero-lcc":
+            raise SystemExit(
+                "zero-lcc records no settling histories; use --probes "
+                "for its compiled-in counters"
+            )
+        if args.technique.startswith("interp"):
+            sim = build_simulator(circuit, args.technique)
+        else:
+            sim = build_simulator(
+                circuit, args.technique,
+                word_width=args.word_width, backend=args.backend,
+            )
+        report = collect_activity(sim, vectors, initial=zeros)
     rows = [
         [net_name, count, report.functional[net_name],
          report.glitch_toggles(net_name),
@@ -323,7 +351,9 @@ def _cmd_activity(args: argparse.Namespace) -> int:
         title=(f"{circuit.name}: switching activity over "
                f"{report.vectors} vectors "
                f"(total {report.total_toggles()}, "
-               f"{report.total_glitch_toggles()} from glitches)"),
+               f"{report.total_glitch_toggles()} from glitches"
+               + (", compiled-in probes" if args.probes else "")
+               + ")"),
     ))
     return 0
 
@@ -554,6 +584,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         resume_from=args.resume_from,
         chunk_cycles=args.chunk,
         outputs_path=args.outputs,
+        vcd_path=args.vcd,
+        vcd_nets=(
+            args.probe_nets.split(",") if args.probe_nets else None
+        ),
         limit=args.limit,
     )
     where = (f"cycles {result.cycle - result.cycles}..{result.cycle}"
@@ -574,6 +608,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
               f"{args.checkpoint_dir}")
     if result.outputs_path:
         print(f"outputs: {result.outputs_path}")
+    if result.vcd_path:
+        print(f"waveform: {result.vcd_path}")
     if args.coverage:
         hottest = sorted(
             result.toggles.items(), key=lambda kv: -kv[1]
@@ -691,7 +727,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_act.add_argument("circuit")
     p_act.add_argument("-t", "--technique", default="parallel-best",
                        choices=history_techniques + ["interp2",
-                                                     "interp3"])
+                                                     "interp3",
+                                                     "zero-lcc"])
+    p_act.add_argument(
+        "--probes", action="store_true",
+        help="count toggles with probe counters compiled into the "
+             "generated program (fast batched path; bit-identical to "
+             "the history-based default) — techniques: "
+             + ", ".join(_PROBE_TECHNIQUES),
+    )
     p_act.add_argument("-n", "--vectors", type=int, default=100)
     p_act.add_argument("--seed", type=int, default=0)
     p_act.add_argument("--top", type=int, default=15,
@@ -903,6 +947,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--outputs", default=None, metavar="FILE",
         help="stream per-cycle external outputs here (tape format; "
              "two replays compare with a byte compare)",
+    )
+    p_replay.add_argument(
+        "--vcd", default=None, metavar="FILE",
+        help="stream a per-cycle waveform of the external outputs "
+             "here (incremental VCD; checkpoints carry the writer "
+             "state, so a resumed run appends byte-identically)",
+    )
+    p_replay.add_argument(
+        "--probe-nets", default=None, metavar="NETS",
+        help="comma-separated external outputs to restrict the --vcd "
+             "trace to (default: all external outputs)",
     )
     p_replay.add_argument(
         "--chunk", type=int, default=4096, metavar="N",

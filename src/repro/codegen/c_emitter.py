@@ -62,6 +62,8 @@ def render_expr_c(expr: Expr, word_type: str) -> str:
         if expr.op == "~":
             # Cast back: C integer promotion widens uint8/uint16 to int.
             return f"({word_type})~{child}"
+        if expr.op == "popcount":
+            return f"popcount_w({child})"
         return f"({word_type})(0 - {child})"
     if isinstance(expr, Bin):
         a = _child(expr.a, word_type)
@@ -70,7 +72,7 @@ def render_expr_c(expr: Expr, word_type: str) -> str:
             # One signed-shift instruction: the high-order bit
             # replicates into the vacated positions.
             return f"({word_type})((sword){a} >> {b})"
-        if expr.op in ("<<", ">>"):
+        if expr.op in ("<<", ">>", "+"):
             # Promotion again: keep sub-int widths honest.
             return f"({word_type})({a} {expr.op} {b})"
         return f"{a} {expr.op} {b}"
@@ -170,6 +172,22 @@ def emit_c(program: Program, tiles: int = 1) -> str:
         f"typedef {C_SWORD_TYPES[program.word_width]} sword;",
         "",
     ]
+    if program.stats().popcounts:
+        lines += [
+            "#if defined(__GNUC__) || defined(__clang__)",
+            "static inline word popcount_w(word x) {",
+            "    return (word)__builtin_popcountll("
+            "(unsigned long long)x);",
+            "}",
+            "#else",
+            "static inline word popcount_w(word x) {",
+            "    word n = 0;",
+            "    while (x) { x &= (word)(x - 1); n++; }",
+            "    return n;",
+            "}",
+            "#endif",
+            "",
+        ]
     for name in program.state_vars:
         init = f"{program.state_init[name]}{suffix}"
         if tiles == 1:

@@ -65,6 +65,8 @@ def render_expr_numpy(expr: Expr, tiles: int) -> str:
         child = _child(expr.a, tiles)
         if expr.op == "~":
             return f"~{child}"
+        if expr.op == "popcount":
+            return f"_popcount({child})"
         # Unsigned dtypes wrap, so 0 - x is the bit-replication idiom
         # verbatim (no Python-int sign smearing to guard against).
         return f"(0 - {child})"
@@ -121,6 +123,8 @@ def _const_value(expr: Expr, width: int):
         a = _const_value(expr.a, width)
         if a is None:
             return None
+        if expr.op == "popcount":
+            return bin(a).count("1")
         return (~a if expr.op == "~" else -a) & mask
     if isinstance(expr, Bin):
         a = _const_value(expr.a, width)
@@ -133,6 +137,8 @@ def _const_value(expr: Expr, width: int):
             return a | b
         if expr.op == "^":
             return a ^ b
+        if expr.op == "+":
+            return (a + b) & mask
         if expr.op == "<<":
             return (a << b) & mask
         if expr.op == ">>":
@@ -200,6 +206,17 @@ def emit_numpy(program: Program, tiles: int = 1) -> str:
         "    def _full(value):",
         f"        return np.full({K}, value, dtype=DT)",
     ]
+    if program.stats().popcounts:
+        lines += [
+            "    _bc = getattr(np, 'bitwise_count', None)",
+            "    if _bc is not None:",
+            "        def _popcount(a):",
+            "            return _bc(a).astype(DT)",
+            "    else:",
+            "        def _popcount(a):",
+            "            return np.array("
+            "[bin(x).count('1') for x in a.tolist()], dtype=DT)",
+        ]
     for name in program.state_vars:
         lines.append(f"    {name} = _full({program.state_init[name]})")
     lines.append("    cmd = yield None")

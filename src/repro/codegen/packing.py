@@ -126,11 +126,13 @@ def is_shift_free(program: Program) -> bool:
     """True when no operator of ``program`` crosses bit lanes.
 
     Shifts move bits between lanes by construction; unary negate does
-    too (borrow propagation).  Everything else the IR can express is
-    lane-wise.
+    too (borrow propagation), as do ``+`` (carry propagation) and
+    ``popcount`` (collapses the whole word).  Everything else the IR
+    can express is lane-wise.
     """
     stats = program.stats()
-    return stats.shifts == 0 and stats.negates == 0
+    return (stats.shifts == 0 and stats.negates == 0
+            and stats.adds == 0 and stats.popcounts == 0)
 
 
 def _reads(expr: Expr):

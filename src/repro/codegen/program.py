@@ -85,6 +85,9 @@ class Expr:
     def __neg__(self) -> "Un":
         return Un("-", self)
 
+    def __add__(self, other: "Expr") -> "Bin":
+        return Bin("+", self, other)
+
 
 class Var(Expr):
     """A reference to a state variable or a vector slot (``V[k]``)."""
@@ -123,16 +126,19 @@ class Input(Expr):
 
 
 class Un(Expr):
-    """Unary ``~`` (bit-wise NOT) or ``-`` (two's-complement negate).
+    """Unary ``~`` (NOT), ``-`` (negate) or ``popcount``.
 
     ``-x`` on a 0/1 word is the "replicate this bit through the whole
     word" idiom used by the parallel technique's initialization code.
+    ``popcount`` counts the set bits of a word — the probe-lowering
+    pass uses it to charge a whole lane word of transitions to a
+    toggle counter in one operation.
     """
 
     __slots__ = ("op", "a")
 
     def __init__(self, op: str, a: Expr) -> None:
-        if op not in ("~", "-"):
+        if op not in ("~", "-", "popcount"):
             raise CodegenError(f"bad unary operator: {op!r}")
         self.op = op
         self.a = a
@@ -142,7 +148,11 @@ class Un(Expr):
 
 
 class Bin(Expr):
-    """Binary ``&``, ``|``, ``^``, ``<<``, ``>>`` or ``sar``.
+    """Binary ``&``, ``|``, ``^``, ``+``, ``<<``, ``>>`` or ``sar``.
+
+    ``+`` is modular word addition — probe counters accumulate with
+    it; the emitters mask (or rely on fixed-width wrap) so all
+    backends agree at every word width.
 
     ``sar`` is the arithmetic (sign-replicating) right shift: vacated
     high-order positions replicate the word's top bit.  The paper's
@@ -157,7 +167,7 @@ class Bin(Expr):
     __slots__ = ("op", "a", "b")
 
     def __init__(self, op: str, a: Expr, b: Expr) -> None:
-        if op not in ("&", "|", "^", "<<", ">>", "sar"):
+        if op not in ("&", "|", "^", "+", "<<", ">>", "sar"):
             raise CodegenError(f"bad binary operator: {op!r}")
         if op in ("<<", ">>", "sar") and not isinstance(b, Const):
             raise CodegenError("shift amounts must be constant")
@@ -241,20 +251,23 @@ class ProgramStats:
     constant factors differ from a SUN 3/260's.
     """
 
-    __slots__ = ("assignments", "logic_ops", "shifts", "negates", "emits",
-                 "source_lines")
+    __slots__ = ("assignments", "logic_ops", "shifts", "negates", "adds",
+                 "popcounts", "emits", "source_lines")
 
     def __init__(self) -> None:
         self.assignments = 0
         self.logic_ops = 0
         self.shifts = 0
         self.negates = 0
+        self.adds = 0
+        self.popcounts = 0
         self.emits = 0
         self.source_lines = 0
 
     @property
     def total_ops(self) -> int:
-        return self.logic_ops + self.shifts + self.negates
+        return (self.logic_ops + self.shifts + self.negates + self.adds
+                + self.popcounts)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -262,6 +275,8 @@ class ProgramStats:
             "logic_ops": self.logic_ops,
             "shifts": self.shifts,
             "negates": self.negates,
+            "adds": self.adds,
+            "popcounts": self.popcounts,
             "emits": self.emits,
             "source_lines": self.source_lines,
         }
@@ -498,6 +513,8 @@ def _count(expr: Expr, stats: ProgramStats) -> None:
     if isinstance(expr, Bin):
         if expr.op in ("<<", ">>", "sar"):
             stats.shifts += 1
+        elif expr.op == "+":
+            stats.adds += 1
         else:
             stats.logic_ops += 1
         _count(expr.a, stats)
@@ -505,6 +522,8 @@ def _count(expr: Expr, stats: ProgramStats) -> None:
     elif isinstance(expr, Un):
         if expr.op == "~":
             stats.logic_ops += 1
+        elif expr.op == "popcount":
+            stats.popcounts += 1
         else:
             stats.negates += 1
         _count(expr.a, stats)

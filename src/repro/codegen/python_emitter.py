@@ -75,6 +75,11 @@ def render_expr_python(expr: Expr, masked: bool = False) -> str:
     if isinstance(expr, Input):
         return f"V[{expr.slot}]"
     if isinstance(expr, Un):
+        if expr.op == "popcount":
+            # Mask the argument (unbounded Python ints may carry
+            # overflow bits the C word would have dropped); the result
+            # is at most word_width, so it needs no mask of its own.
+            return f"_popcount({_child(expr.a, masked)} & MASK)"
         body = f"{expr.op}{_child(expr.a, masked)}"
         if masked:
             return f"({body}) & MASK"
@@ -225,6 +230,11 @@ def emit_python(program: Program, tiles: int = 1) -> str:
         f"    OUTMASK = {program.output_mask}",
         f"    HBIT = {1 << (program.word_width - 1)}",
     ]
+    if program.stats().popcounts:
+        lines.append(
+            "    _popcount = getattr(int, 'bit_count', None) or "
+            "(lambda x: bin(x).count('1'))"
+        )
     for name in state_names:
         lines.append(f"    {name} = {inits[name]}")
     op = OPCODES

@@ -184,13 +184,24 @@ def cache_fingerprint(program: "Program", source: str, tiles: int) -> str:
     text again would only slow the hit path.  Tiled lowerings change
     the source for the same program, hence the ``-t{K}`` qualifier
     (the backend name and opt level are separate key components).
+    Probe-instrumented programs carry a ``probe_key`` (set by
+    :mod:`repro.codegen.probes`); it qualifies the key the same way,
+    so an instrumented program never aliases its uninstrumented twin —
+    and a probes-off program keeps its historical fingerprint exactly.
     """
     content_key = getattr(program, "content_key", None)
+    probe_key = getattr(program, "probe_key", None)
     if content_key is None:
-        return program_fingerprint(source)
+        fingerprint = program_fingerprint(source)
+        if probe_key is not None:
+            return f"{fingerprint}-p{probe_key}"
+        return fingerprint
+    key = content_key
     if tiles != 1:
-        return f"{content_key}-t{tiles}"
-    return content_key
+        key = f"{key}-t{tiles}"
+    if probe_key is not None:
+        key = f"{key}-p{probe_key}"
+    return key
 
 
 class BatchCounters:

@@ -74,7 +74,7 @@ class GradingConfig:
         "circuit", "vectors", "word_width", "backend", "patterns",
         "tiles", "instrument", "initial", "drop_detected", "telemetry",
         "fail_shards", "fail_mode", "delay_shards",
-        "partitions", "partition_workers",
+        "partitions", "partition_workers", "probes",
     )
 
     def __init__(
@@ -94,6 +94,7 @@ class GradingConfig:
         delay_shards: Optional[dict] = None,
         partitions: int = 1,
         partition_workers: Optional[int] = None,
+        probes=None,
     ) -> None:
         self.circuit = circuit
         self.vectors = vectors
@@ -112,6 +113,7 @@ class GradingConfig:
         self.delay_shards = delay_shards or {}
         self.partitions = partitions
         self.partition_workers = partition_workers
+        self.probes = probes
 
     def build_simulator(self) -> ParallelFaultSimulator:
         return ParallelFaultSimulator(
@@ -123,6 +125,7 @@ class GradingConfig:
             tiles=self.tiles,
             partitions=self.partitions,
             partition_workers=self.partition_workers,
+            probes=self.probes,
         )
 
 
@@ -131,7 +134,7 @@ class ShardOutcome:
 
     __slots__ = (
         "index", "detected", "undetected", "counters", "cache",
-        "pid", "retried", "telemetry",
+        "pid", "retried", "telemetry", "activity",
     )
 
     def __init__(
@@ -154,6 +157,11 @@ class ShardOutcome:
         #: (``None`` when graded inline — the parent's own registry
         #: already holds that activity).
         self.telemetry: Optional[dict] = None
+        #: Good-machine :class:`~repro.activity.ActivityReport` when
+        #: the run was probed.  Fault-independent (every shard's copy
+        #: is identical — it is memoized per worker), so the merge
+        #: keeps the lowest-indexed one.
+        self.activity = None
 
     def __repr__(self) -> str:
         return (
@@ -330,7 +338,7 @@ def _grade_with(
     )
     after = counter_snapshot()
     cache_after = cache.stats()
-    return ShardOutcome(
+    outcome = ShardOutcome(
         index=index,
         detected=report.detected,
         undetected=report.undetected,
@@ -345,6 +353,11 @@ def _grade_with(
         },
         pid=os.getpid(),
     )
+    if sim.probes is not None:
+        outcome.activity = sim.good_activity(
+            config.vectors, config.initial
+        )
+    return outcome
 
 
 def _grade_shard(item: tuple[int, list[Fault]]) -> ShardOutcome:
@@ -398,7 +411,10 @@ def merge_shard_outcomes(
     cache_stats = {"hits": 0, "misses": 0}
     retried: list[int] = []
     pids: set[int] = set()
+    activity = None
     for outcome in sorted(outcomes, key=lambda o: o.index):
+        if activity is None and outcome.activity is not None:
+            activity = outcome.activity
         detected.update(outcome.detected)
         undetected.extend(outcome.undetected)
         counters.batches += outcome.counters["batches"]
@@ -411,7 +427,7 @@ def merge_shard_outcomes(
         pids.add(outcome.pid)
         if outcome.telemetry is not None and outcome.pid != os.getpid():
             telemetry.merge_snapshot(outcome.telemetry)
-    return ShardedFaultReport(
+    report = ShardedFaultReport(
         detected, undetected, num_vectors,
         workers=workers,
         num_shards=num_shards,
@@ -424,6 +440,8 @@ def merge_shard_outcomes(
         worker_pids=sorted(pids),
         events=events,
     )
+    report.activity = activity
+    return report
 
 
 def _resolve_start_method(mp_start: str) -> str:
@@ -455,6 +473,7 @@ def run_sharded_fault_simulation(
     shard_timeout: Optional[float] = None,
     partitions: int = 1,
     partition_workers: Optional[int] = None,
+    probes=None,
     _fail_shards: frozenset = frozenset(),
     _fail_mode: str = "raise",
     _delay_shards: Optional[dict] = None,
@@ -471,6 +490,11 @@ def run_sharded_fault_simulation(
 
     The merged report equals (``==``) the single-process
     :func:`~repro.faults.simulator.run_fault_simulation` result.
+    With ``probes`` each worker also grades fault-free switching
+    activity once (memoized across its shards); the per-net counters
+    ride the shard outcomes and the parent attaches the
+    lowest-indexed copy as ``report.activity`` — bit-identical to the
+    single-process run, including across retries and degradation.
     """
     if faults is None:
         faults = full_fault_list(circuit)
@@ -502,6 +526,7 @@ def run_sharded_fault_simulation(
         fail_shards=frozenset(_fail_shards), fail_mode=_fail_mode,
         delay_shards=_delay_shards,
         partitions=partitions, partition_workers=partition_workers,
+        probes=probes,
     )
     shard_lists = shard_faults(
         faults, shards if shards is not None else max(1, 2 * workers)

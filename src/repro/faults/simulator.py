@@ -57,6 +57,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro import telemetry
 from repro.codegen.packing import is_shift_free, pack_patterns, select_tiles
+from repro.codegen.probes import ProbeSpec
 from repro.codegen.program import Assign, Bin, Emit, Input, Program, Var
 from repro.codegen.runtime import compile_program
 from repro.errors import SimulationError
@@ -93,6 +94,10 @@ class FaultReport:
 
     #: Throughput counters; attached by the grading entry points.
     counters = None
+    #: Fault-free per-net switching activity
+    #: (:class:`~repro.activity.ActivityReport`); attached by the
+    #: grading entry points when ``probes=`` was requested.
+    activity = None
 
     def __init__(
         self,
@@ -192,6 +197,7 @@ class ParallelFaultSimulator:
         tiles: "int | str" = 1,
         partitions: int = 1,
         partition_workers: Optional[int] = None,
+        probes=None,
     ) -> None:
         if tiles != "auto":
             tiles = int(tiles)
@@ -260,6 +266,9 @@ class ParallelFaultSimulator:
         self.partitions = partitions
         self.partition_workers = partition_workers
         self._partition_settler = None
+        #: Good-machine switching probes (see :meth:`good_activity`).
+        self.probes = ProbeSpec.coerce(probes)
+        self._activity_memo = None
 
     def _steady_state(self, initial: Sequence[int]) -> Mapping[str, int]:
         """The pre-existing steady state every grading run seeds from.
@@ -320,6 +329,51 @@ class ParallelFaultSimulator:
             total.vectors += m.counters.vectors
             total.seconds += m.counters.seconds
         return total
+
+    def good_activity(
+        self,
+        vectors: Sequence[Sequence[int]],
+        initial: Optional[Sequence[int]] = None,
+    ):
+        """Fault-free per-net switching activity over ``vectors``.
+
+        Runs the *good* machine once with compiled-in toggle counters
+        (a probed PC-set simulator seeded from the ``initial`` steady
+        state) and returns its
+        :class:`~repro.activity.ActivityReport`.  The counters are
+        fault-independent — exactly like the packed good pre-pass —
+        so the report is memoized per simulator: sharded grading pays
+        one probed pass per worker regardless of shard count, and the
+        outcome merged from any shard is bit-identical to the
+        single-process run.
+        """
+        if self.probes is None:
+            raise SimulationError(
+                "fault simulator was built without probes=; no "
+                "good-machine activity to report"
+            )
+        if initial is None:
+            initial = [0] * len(self.circuit.inputs)
+        key = (
+            tuple(tuple(v & 1 for v in vector) for vector in vectors),
+            tuple(v & 1 for v in initial),
+        )
+        if self._activity_memo is not None and self._activity_memo[0] == key:
+            return self._activity_memo[1]
+        from repro.pcset.simulator import PCSetSimulator
+
+        with telemetry.span("fault.activity"):
+            sim = PCSetSimulator(
+                self.circuit,
+                word_width=self.word_width,
+                backend=self.backend,
+                probes=self.probes,
+            )
+            sim.reset(list(initial))
+            sim.apply_vectors([list(vector) for vector in vectors])
+            report = sim.activity_report()
+        self._activity_memo = (key, report)
+        return report
 
     def _packed_tiles(self, num_groups: int) -> int:
         """Tile count for packed screens over ``num_groups`` groups.
@@ -804,6 +858,7 @@ def run_fault_simulation(
     shard_timeout: Optional[float] = None,
     partitions: int = 1,
     partition_workers: Optional[int] = None,
+    probes=None,
 ) -> FaultReport:
     """Convenience wrapper around :class:`ParallelFaultSimulator`.
 
@@ -822,6 +877,13 @@ def run_fault_simulation(
     no simulator is built, no program compiled, no pool spun up (the
     sharded path likewise returns its empty merged report inline, so
     the ``workers > 1`` report type stays :class:`ShardedFaultReport`).
+
+    ``probes`` additionally grades *switching activity*: the fault-free
+    machine runs once with compiled-in toggle counters and the report
+    gains an ``activity`` attribute
+    (:class:`~repro.activity.ActivityReport`) — in sharded mode the
+    per-net counters ride the shard outcomes and the parent keeps the
+    lowest-indexed copy, bit-identical to the single-process run.
     """
     if faults is not None:
         faults = list(faults)
@@ -836,12 +898,16 @@ def run_fault_simulation(
             patterns=patterns, tiles=tiles, workers=workers, shards=shards,
             mp_start=mp_start, shard_timeout=shard_timeout,
             partitions=partitions, partition_workers=partition_workers,
+            probes=probes,
         )
     simulator = ParallelFaultSimulator(
         circuit, word_width=word_width, backend=backend, patterns=patterns,
         tiles=tiles,
         partitions=partitions, partition_workers=partition_workers,
+        probes=probes,
     )
     report = simulator.run(vectors, faults, initial=initial)
     report.counters = simulator.batch_counters()
+    if simulator.probes is not None:
+        report.activity = simulator.good_activity(vectors, initial)
     return report

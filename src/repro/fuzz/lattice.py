@@ -30,6 +30,7 @@ from repro.netlist.circuit import Circuit
 __all__ = [
     "CHECKS",
     "HISTORY_TECHNIQUES",
+    "PROBE_TECHNIQUES",
     "SEQUENTIAL_ENGINES",
     "WORD_WIDTHS",
     "FuzzConfig",
@@ -58,6 +59,17 @@ HISTORY_TECHNIQUES = (
 
 WORD_WIDTHS = (8, 16, 32, 64)
 
+#: Techniques whose compiled fast path accepts ``probes=`` per check.
+#: An empty tuple means the check threads probes regardless of its
+#: technique axis (the faults check grades the good machine itself).
+PROBE_TECHNIQUES = {
+    "history": ("pcset", "parallel", "parallel-trim"),
+    "batched": ("pcset", "parallel", "parallel-trim"),
+    "packed": PACKED_TECHNIQUES,
+    "partitioned": PARTITIONED_TECHNIQUES,
+    "faults": (),
+}
+
 
 @dataclass(frozen=True)
 class FuzzConfig:
@@ -72,7 +84,11 @@ class FuzzConfig:
     under test as a K-tile machine (``word_width * K`` pattern lanes
     per packed pass, or K shift-program lanes on the batched path —
     see :mod:`repro.codegen.packing`); every check's identity contract
-    must hold unchanged at any K.
+    must hold unchanged at any K.  ``probes`` additionally builds the
+    technique under test with compiled-in activity counters and
+    compares them differentially against the history-derived reference
+    (or, for the faults check, asserts good-machine activity identity
+    across the scalar/packed/sharded report shapes).
     """
 
     check: str = "history"
@@ -83,6 +99,7 @@ class FuzzConfig:
     workers: int = 1
     partitions: int = 1
     tiles: int = 1
+    probes: bool = False
 
     def __post_init__(self) -> None:
         if self.check not in CHECKS:
@@ -134,6 +151,24 @@ class FuzzConfig:
             )
         if not isinstance(self.tiles, int) or self.tiles < 1:
             raise SimulationError(f"tiles must be >= 1: {self.tiles!r}")
+        if self.probes:
+            allowed = PROBE_TECHNIQUES.get(self.check)
+            if allowed is None:
+                raise SimulationError(
+                    f"probes apply to checks "
+                    f"{tuple(PROBE_TECHNIQUES)} only "
+                    f"(check={self.check!r})"
+                )
+            if allowed and self.technique not in allowed:
+                raise SimulationError(
+                    f"{self.check!r} check supports probes on "
+                    f"techniques {allowed} only: {self.technique!r}"
+                )
+            if self.tiles != 1 and self.check != "faults":
+                raise SimulationError(
+                    "compiled-in probes pin the instrumented machine "
+                    f"to one tile (tiles={self.tiles})"
+                )
 
     def label(self) -> str:
         """Compact human-readable identity (corpus entries, logs)."""
@@ -154,6 +189,8 @@ class FuzzConfig:
             parts.append(f"p{self.partitions}")
         if self.tiles > 1:
             parts.append(f"k{self.tiles}")
+        if self.probes:
+            parts.append("pr")
         return "/".join(parts)
 
     def as_dict(self) -> dict:
@@ -165,6 +202,8 @@ class FuzzConfig:
             del data["partitions"]
         if data["tiles"] == 1:
             del data["tiles"]
+        if not data["probes"]:
+            del data["probes"]
         return data
 
     @classmethod
@@ -221,6 +260,13 @@ def sample_configs(
         # The tile axis exercises the K-word packed/laned paths; the
         # history check steps per vector, where K never applies.
         tiles = rng.choice((1, 2, 4)) if check != "history" else 1
+        allowed = PROBE_TECHNIQUES.get(check)
+        probes = (
+            allowed is not None
+            and (not allowed or technique in allowed)
+            and (tiles == 1 or check == "faults")
+            and rng.choice((False, False, True))
+        )
         configs.append(FuzzConfig(
             check=check,
             technique=technique,
@@ -230,6 +276,7 @@ def sample_configs(
             workers=workers,
             partitions=partitions,
             tiles=tiles,
+            probes=probes,
         ))
     return configs
 
@@ -252,7 +299,7 @@ def run_check(
     execution = {"history": "scalar", "batched": "batched",
                  "packed": "packed",
                  "partitioned": "partitioned"}[config.check]
-    return cross_validate(
+    checks = cross_validate(
         circuit,
         vectors,
         techniques=(config.technique,),
@@ -264,6 +311,86 @@ def run_check(
         partition_workers=config.workers or None,
         tiles=config.tiles,
     )
+    if config.probes:
+        checks += _check_probes(circuit, vectors, config)
+    return checks
+
+
+def _check_probes(
+    circuit: Circuit,
+    vectors: Sequence[Sequence[int]],
+    config: FuzzConfig,
+) -> int:
+    """Compiled-in probe counters vs. the history-derived reference.
+
+    The instrumented fast path must reproduce exactly what the
+    event-driven reference derives from full settling histories: full
+    toggle counts for the unit-delay techniques, zero-delay functional
+    counts for the LCC path.  The LCC counters additionally track
+    primary inputs (vector-to-vector transitions), which the history
+    reference does not model — those are reconstructed in plain code.
+    """
+    from repro.activity import collect_activity
+    from repro.eventsim.simulator import EventDrivenSimulator
+    from repro.harness.runner import build_simulator
+
+    ref = collect_activity(EventDrivenSimulator(circuit), vectors)
+    rows = [list(vector) for vector in vectors]
+    options = dict(
+        word_width=config.word_width,
+        backend=config.backend,
+        probes=True,
+    )
+    if config.check == "partitioned":
+        options["partitions"] = config.partitions
+        if config.workers > 1:
+            options["partition_workers"] = config.workers
+    sim = build_simulator(circuit, config.technique, **options)
+    zero_delay = config.technique == "zero-lcc"
+    if zero_delay:
+        sim.probe_reset()
+    else:
+        sim.reset([0] * len(circuit.inputs))
+    chunk = config.batch_size or len(rows) or 1
+    for start in range(0, len(rows), chunk):
+        sim.apply_vectors(rows[start:start + chunk])
+    got = sim.activity_report()
+
+    want_toggles = dict(ref.functional if zero_delay else ref.toggles)
+    want_functional = dict(ref.functional)
+    if zero_delay:
+        prev = [0] * len(circuit.inputs)
+        for row in rows:
+            for net, before, after in zip(circuit.inputs, prev, row):
+                if (before ^ after) & 1:
+                    want_toggles[net] += 1
+            prev = row
+        want_functional = dict(want_toggles)
+
+    label = f"probes[{config.technique}]"
+    if got.vectors != len(rows):
+        raise Mismatch(
+            label, -1, [],
+            f"  probe vector count diverged: {got.vectors} != "
+            f"{len(rows)}",
+        )
+    for what, got_map, want_map in (
+        ("toggle", dict(got.toggles), want_toggles),
+        ("functional", dict(got.functional), want_functional),
+    ):
+        if got_map != want_map:
+            bad = sorted(
+                net for net in set(got_map) | set(want_map)
+                if got_map.get(net) != want_map.get(net)
+            )
+            raise Mismatch(
+                label, -1, bad,
+                f"  probe {what} counts diverged from the history "
+                f"reference: "
+                f"{ {n: got_map.get(n) for n in bad[:5]} } vs "
+                f"{ {n: want_map.get(n) for n in bad[:5]} }",
+            )
+    return 2 * len(want_toggles) + 1
 
 
 def _check_sequential(
@@ -398,7 +525,10 @@ def _check_faults(
 
     Every report must be equal — same detected map (fault -> first
     detecting vector) and same undetected list.  On small instances the
-    brute-force event-driven reference is compared too.
+    brute-force event-driven reference is compared too.  With
+    ``config.probes`` every grading additionally carries good-machine
+    activity, which must be identical across all report shapes and —
+    on small instances — match the event-driven history reference.
     """
     from repro.faults.simulator import (
         run_fault_simulation,
@@ -406,9 +536,31 @@ def _check_faults(
     )
 
     def options():
-        return dict(
+        opts = dict(
             word_width=config.word_width, backend=config.backend
         )
+        if config.probes:
+            opts["probes"] = True
+        return opts
+
+    def check_activity(what: str, report) -> int:
+        """Good-machine activity identity against the scalar baseline."""
+        if not config.probes:
+            return 0
+        got = report.activity
+        want = scalar.activity
+        if (
+            got is None
+            or got.toggles != want.toggles
+            or got.functional != want.functional
+            or got.vectors != want.vectors
+        ):
+            raise Mismatch(
+                f"faults[activity {what}]", -1, [],
+                f"  good-machine activity diverged from the scalar "
+                f"grading: {got!r} vs {want!r}",
+            )
+        return len(want.toggles)
 
     scalar = run_fault_simulation(
         circuit, vectors, patterns="scalar", **options()
@@ -423,7 +575,7 @@ def _check_faults(
             f"  packed-pattern report diverged from scalar: "
             f"{packed!r} vs {scalar!r}",
         )
-    checks += packed.num_faults
+    checks += packed.num_faults + check_activity("packed", packed)
     if config.tiles > 1:
         tiled = run_fault_simulation(
             circuit, vectors, patterns="auto", tiles=config.tiles,
@@ -435,7 +587,7 @@ def _check_faults(
                 f"  tiled packed report diverged from scalar: "
                 f"{tiled!r} vs {scalar!r}",
             )
-        checks += tiled.num_faults
+        checks += tiled.num_faults + check_activity("tiled", tiled)
     if config.workers > 1:
         sharded = run_fault_simulation(
             circuit, vectors, workers=config.workers,
@@ -447,7 +599,7 @@ def _check_faults(
                 f"  sharded report diverged from inline: "
                 f"{sharded!r} vs {scalar!r}",
             )
-        checks += sharded.num_faults
+        checks += sharded.num_faults + check_activity("sharded", sharded)
     if (circuit.num_gates <= _SERIAL_MAX_GATES
             and len(vectors) <= _SERIAL_MAX_VECTORS):
         serial = serial_fault_simulation(circuit, vectors)
@@ -458,4 +610,23 @@ def _check_faults(
                 f"reference: {scalar!r} vs {serial!r}",
             )
         checks += serial.num_faults
+        if config.probes:
+            from repro.activity import collect_activity
+            from repro.eventsim.simulator import EventDrivenSimulator
+
+            ref = collect_activity(
+                EventDrivenSimulator(circuit), vectors
+            )
+            got = scalar.activity
+            if (
+                got.toggles != ref.toggles
+                or got.functional != ref.functional
+                or got.vectors != ref.vectors
+            ):
+                raise Mismatch(
+                    "faults[activity serial]", -1, [],
+                    f"  good-machine activity diverged from the "
+                    f"event-driven reference: {got!r} vs {ref!r}",
+                )
+            checks += len(ref.toggles)
     return checks

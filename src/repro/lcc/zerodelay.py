@@ -27,6 +27,11 @@ from repro.codegen.packing import (
     tile_groups,
     validate_packed_words,
 )
+from repro.codegen.probes import (
+    ProbeRuntime,
+    ProbeSpec,
+    instrument_lcc_program,
+)
 from repro.codegen.program import Assign, Emit, Input, Program, Var
 from repro.codegen.runtime import CMachine, Machine, compile_program
 from repro.errors import SimulationError
@@ -123,6 +128,17 @@ class LCCSimulator:
     timing APIs (``prepare_batch``/``prepare_packed``/``run_prepared``)
     always drive the monolithic machine: they exist to time one
     compiled program's inner loop.
+
+    Probes: ``probes=`` compiles per-net toggle counters into the
+    generated pass (see :mod:`repro.codegen.probes`).  A pseudo-input
+    carries the lane-occupancy mask, so packed batches count all
+    ``word_width`` lanes with one popcount per net per pass.  Seed the
+    baseline with :meth:`probe_reset`, run batches, then read
+    :meth:`activity_report`.  Probed batches require plain 0/1
+    vectors (the counters chain consecutive lanes as consecutive
+    vectors), and tiled execution is unavailable — tiles interleave
+    the packed group sequence, which would break the previous-value
+    chain.
     """
 
     def __init__(
@@ -135,6 +151,7 @@ class LCCSimulator:
         partitions: int = 1,
         partition_workers: Optional[int] = None,
         tiles: "int | str" = 1,
+        probes=None,
     ) -> None:
         if packed not in (True, False, "auto"):
             raise SimulationError(
@@ -144,17 +161,39 @@ class LCCSimulator:
             tiles = int(tiles)
             if tiles < 1:
                 raise SimulationError(f"tiles must be >= 1: {tiles}")
+        spec = ProbeSpec.coerce(probes)
+        if spec is not None:
+            if tiles not in (1, "auto"):
+                raise SimulationError(
+                    "probes chain consecutive packed groups through the "
+                    "per-net previous-value bit; tiled execution "
+                    "interleaves the group order, so tiles > 1 is "
+                    "unavailable with probes"
+                )
+            tiles = 1
         self.circuit = circuit
         self.program = generate_lcc_program(circuit, word_width=word_width)
+        #: ``"full"`` for every LCC program; kept as an attribute so the
+        #: auto-pack decision reads as policy, not as an LCC special
+        #: case.  Recorded *before* probe instrumentation — the probe
+        #: statements use shifts and popcounts, which are lane-safe
+        #: here by construction but would classify the program
+        #: ``"none"``.
+        self.packing_mode = packing_mode(self.program)
+        self.probe_plan = (
+            instrument_lcc_program(self.program, circuit, spec)
+            if spec is not None else None
+        )
         self.backend = backend
         self.machine: Machine = compile_program(self.program, backend)
+        self._probe_runtime = (
+            ProbeRuntime(self.probe_plan, self.program)
+            if self.probe_plan is not None else None
+        )
         self.word_width = word_width
         self.packed = packed
         self.tiles = tiles
         self._tiled_machines: dict[int, Machine] = {}
-        #: ``"full"`` for every LCC program; kept as an attribute so the
-        #: auto-pack decision reads as policy, not as an LCC special case.
-        self.packing_mode = packing_mode(self.program)
         self._inputs = circuit.inputs
         self._outputs = circuit.outputs
         self.partitioned = None
@@ -171,6 +210,7 @@ class LCCSimulator:
                 word_width=word_width,
                 packed=packed,
                 tiles=tiles,
+                probes=spec,
             )
 
     # ------------------------------------------------------------------
@@ -227,6 +267,18 @@ class LCCSimulator:
             )
         return eligible
 
+    def _probe_words(self, words: list[list[int]]) -> list[list[int]]:
+        """Validate 0/1 vectors; append the ``__probe_en`` occupancy 1."""
+        for word in words:
+            for value in word:
+                if value not in (0, 1):
+                    raise SimulationError(
+                        "probed runs take plain 0/1 vectors; the "
+                        "counters chain lanes as consecutive vectors, "
+                        "so pre-packed multi-bit words are not countable"
+                    )
+        return [word + [1] for word in words]
+
     def evaluate(
         self, vector: Mapping[str, int] | Sequence[int]
     ) -> dict[str, int]:
@@ -234,7 +286,11 @@ class LCCSimulator:
         if self.partitioned is not None:
             return self.partitioned.evaluate(vector)
         values = self._vector_list(vector)
+        if self._probe_runtime is not None:
+            [values] = self._probe_words([values])
         out = self.machine.step(values)
+        if self._probe_runtime is not None:
+            self._probe_runtime.note_vectors(self.machine, 1)
         return {name: value & 1 for name, value in zip(self._outputs, out)}
 
     def evaluate_packed(
@@ -248,6 +304,12 @@ class LCCSimulator:
         an oversized word would be truncated by the C backend (and not
         by the Python one), silently corrupting whole lanes.
         """
+        if self._probe_runtime is not None:
+            raise SimulationError(
+                "evaluate_packed carries word_width unrelated vectors "
+                "per call; probe counting chains lanes as consecutive "
+                "vectors — use apply_vectors with 0/1 vectors instead"
+            )
         words = self._vector_list(vector)
         validate_packed_words(
             words, self.word_width, context="packed input word"
@@ -261,9 +323,15 @@ class LCCSimulator:
         """Settle and return every net's value (from machine state)."""
         if self.partitioned is not None:
             return self.partitioned.evaluate_all_nets(vector)
-        self.machine.step(self._vector_list(vector))
+        values = self._vector_list(vector)
+        if self._probe_runtime is not None:
+            [values] = self._probe_words([values])
+        self.machine.step(values)
+        if self._probe_runtime is not None:
+            self._probe_runtime.note_vectors(self.machine, 1)
         state = self.machine.state_dict()
-        # State variable order matches circuit.nets insertion order.
+        # State variable order matches circuit.nets insertion order
+        # (probe state is declared after every net variable).
         return {
             net_name: state[var] & 1
             for net_name, var in zip(self.circuit.nets, state)
@@ -299,11 +367,42 @@ class LCCSimulator:
         if self.partitioned is not None:
             return self.partitioned.apply_vectors(vectors)
         words = [self._vector_list(vector) for vector in vectors]
+        if self._probe_runtime is not None:
+            return self._probed_batch(words)
         if self._packable(words):
             telemetry.counter("packing.packed_batches")
             return packed_apply(self._packed_machine(len(words)), words)
         telemetry.counter("packing.fallback.scalar")
         return self.machine.step_many(words)
+
+    def _probed_batch(self, words: list[list[int]]) -> list[list[int]]:
+        """Run a 0/1 batch with toggle counting, chunked wrap-free.
+
+        Packed when eligible (the occupancy input rides along as one
+        extra column and the exact scalar words are reconstructed),
+        scalar otherwise; either way the batch is split so no compiled
+        counter can wrap between drains, and the counters observe
+        every vector exactly once.
+        """
+        runtime = self._probe_runtime
+        assert runtime is not None
+        if not words:
+            return []
+        packable = self._packable(words)
+        en_words = self._probe_words(words)
+        telemetry.counter(
+            "packing.packed_batches" if packable
+            else "packing.fallback.scalar"
+        )
+        out: list[list[int]] = []
+        for start, length in runtime.chunk_vectors(len(words)):
+            chunk = en_words[start:start + length]
+            if packable:
+                out.extend(packed_apply(self.machine, chunk))
+            else:
+                out.extend(self.machine.step_many(chunk))
+            runtime.note_vectors(self.machine, length)
+        return out
 
     # ------------------------------------------------------------------
     # checksum folding
@@ -336,7 +435,9 @@ class LCCSimulator:
         if self.partitioned is not None:
             return self.partitioned.run_batch(vectors)
         words = [self._vector_list(vector) for vector in vectors]
-        if self._packable(words):
+        if self._probe_runtime is not None:
+            rows = self._probed_batch(words)
+        elif self._packable(words):
             telemetry.counter("packing.packed_batches")
             # packed_bits drives scalar or tiled machines uniformly and
             # returns exactly the bit-0 values the fold consumes.
@@ -364,6 +465,13 @@ class LCCSimulator:
         """
         with telemetry.span("pack"):
             words = [self._vector_list(vector) for vector in vectors]
+            if self._probe_runtime is not None:
+                rows = self._probe_words(words)
+                return (
+                    "probe",
+                    self._probe_parts(rows, represented=None),
+                    False,
+                )
             if isinstance(self.machine, CMachine):
                 return (
                     "c", self.machine.pack_block(words), len(words), None
@@ -371,6 +479,33 @@ class LCCSimulator:
             mask = self.program.word_mask
             masked = [[value & mask for value in word] for word in words]
             return ("py", masked, len(words), None)
+
+    def _probe_parts(self, rows, *, represented, group_lanes: int = 1):
+        """Split pre-marshalled pass rows into wrap-free probe parts.
+
+        ``group_lanes`` is the vectors-per-row factor (``word_width``
+        for pattern-packed groups, 1 for scalar rows);
+        ``represented=None`` marks scalar parts.  Each part is
+        ``(payload, rows, vectors)`` with payload pre-packed on the C
+        backend.
+        """
+        runtime = self._probe_runtime
+        assert runtime is not None
+        row_chunk = max(1, runtime.chunk // group_lanes)
+        parts = []
+        for i in range(0, len(rows), row_chunk):
+            part = rows[i:i + row_chunk]
+            if represented is None:
+                vectors = len(part)
+            else:
+                vectors = min(represented - i * group_lanes,
+                              len(part) * group_lanes)
+            payload = (
+                self.machine.pack_block(part)
+                if isinstance(self.machine, CMachine) else part
+            )
+            parts.append((payload, len(part), vectors))
+        return parts
 
     def prepare_packed(self, vectors: Sequence[Sequence[int]]):
         """Transpose + marshal a pattern batch outside the timed region.
@@ -385,6 +520,24 @@ class LCCSimulator:
             raise SimulationError(
                 f"program {self.program.name!r} is not pattern-packable "
                 f"(mode {self.packing_mode!r})"
+            )
+        if self._probe_runtime is not None:
+            # The occupancy column packs into exactly the lane mask
+            # (a partial last group gets 0 for the unoccupied lanes),
+            # and the previous-value chain carries across parts
+            # through the machine state.
+            en_words = self._probe_words(words)
+            groups, _lane_counts = pack_patterns(
+                en_words, self.word_width
+            )
+            return (
+                "probe",
+                self._probe_parts(
+                    groups,
+                    represented=len(words),
+                    group_lanes=self.word_width,
+                ),
+                True,
             )
         groups, _lane_counts = pack_patterns(words, self.word_width)
         machine = self._packed_machine(len(words))
@@ -405,6 +558,27 @@ class LCCSimulator:
         Outputs are discarded — this is the timing fast path; the
         throughput counters record scalar vectors simulated either way.
         """
+        if prepared[0] == "probe":
+            runtime = self._probe_runtime
+            assert runtime is not None
+            # Start from zeroed counters so each pre-marshalled part
+            # has the full wrap-free budget.
+            runtime.drain(self.machine)
+            _kind, parts, packed_groups = prepared
+            for payload, count, vectors in parts:
+                represented = vectors if packed_groups else None
+                if isinstance(self.machine, CMachine):
+                    self.machine.run_packed(
+                        payload, count, vectors_represented=represented
+                    )
+                elif packed_groups:
+                    self.machine.run_packed_block(
+                        payload, vectors_represented=represented
+                    )
+                else:
+                    self.machine.run_block(payload, masked=True)
+                runtime.note_vectors(self.machine, vectors)
+            return
         kind, payload, count, represented = prepared[:4]
         machine = prepared[4] if len(prepared) > 4 else self.machine
         if kind == "c":
@@ -417,3 +591,51 @@ class LCCSimulator:
             machine.run_packed_block(
                 payload, vectors_represented=represented
             )
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    @property
+    def probe_runtime(self) -> Optional[ProbeRuntime]:
+        return self._probe_runtime
+
+    def probe_reset(
+        self, vector: Mapping[str, int] | Sequence[int] | None = None
+    ) -> None:
+        """Seed the toggle baseline from one settled (uncounted) vector.
+
+        Settles ``vector`` (default all zeros), keeps the resulting
+        per-net values as the previous-value bits, and zeroes the
+        counters — the next batch's first vector toggles relative to
+        this baseline, exactly like a zero-delay reference that starts
+        from the same vector.
+        """
+        if self.partitioned is not None:
+            self.partitioned.probe_reset(vector)
+            return
+        if self._probe_runtime is None:
+            raise SimulationError(
+                "simulator was built without probes=; nothing to seed"
+            )
+        if vector is None:
+            vector = [0] * len(self._inputs)
+        [values] = self._probe_words([self._vector_list(vector)])
+        self.machine.step(values)
+        self._probe_runtime.discard(self.machine)
+
+    def activity_report(self):
+        """Drain the compiled-in probe counters into an ActivityReport.
+
+        Zero-delay simulation sees at most one transition per net per
+        vector, so functional toggles equal total toggles and the
+        glitch excess is zero by construction.
+        """
+        if self.partitioned is not None:
+            return self.partitioned.activity_report()
+        if self._probe_runtime is None:
+            raise SimulationError(
+                "simulator was built without probes=; no activity "
+                "counters to report"
+            )
+        self._probe_runtime.drain(self.machine)
+        return self._probe_runtime.report()

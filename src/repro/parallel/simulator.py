@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
+from repro.codegen.packing import packing_mode
+from repro.codegen.probes import ProbeSpec, instrument_parallel_program
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.parallel.codegen import generate_parallel_program
@@ -40,6 +42,14 @@ class ParallelSimulator(CompiledSimulator):
         ``"python"`` or ``"c"``.
     word_width:
         Bits per machine word (8, 16, 32 or 64; the paper used 32).
+    probes:
+        Compile per-net toggle counters into the generated pass
+        (``True`` for every net, an iterable of net names, or a
+        :class:`~repro.codegen.probes.ProbeSpec`); read them with the
+        inherited ``activity_report()``.  A net's bit-field *is* its
+        settling history, so counting is a popcount of adjacent-bit
+        differences — available on the time-aligned layouts
+        (optimization ``"none"`` or ``"trim"``) only.
 
     Multi-vector traffic should go through the inherited batch API —
     ``apply_vectors`` for outputs, ``run_batch``/``prepare_batch`` +
@@ -59,6 +69,7 @@ class ParallelSimulator(CompiledSimulator):
         monitored: Optional[list[str]] = None,
         with_outputs: bool = True,
         comments: bool = False,
+        probes=None,
         **backend_kwargs,
     ) -> None:
         if optimization not in OPTIMIZATIONS:
@@ -103,11 +114,29 @@ class ParallelSimulator(CompiledSimulator):
             list(monitored) if monitored is not None else circuit.outputs
         )
         self.depth = layout.levels.depth
+        spec = ProbeSpec.coerce(probes)
+        plan = None
+        base_mode = None
+        if spec is not None:
+            if optimization not in ("none", "trim"):
+                raise SimulationError(
+                    "probes require the time-aligned field layout "
+                    "(optimization 'none' or 'trim'), not "
+                    f"{optimization!r}"
+                )
+            base_mode = packing_mode(
+                program if with_outputs else program.without_output()
+            )
+            plan = instrument_parallel_program(
+                program, layout, circuit, spec
+            )
         super().__init__(
             circuit,
             program,
             backend=backend,
             with_outputs=with_outputs,
+            probe_plan=plan,
+            packing_override=base_mode,
             **backend_kwargs,
         )
 

@@ -21,9 +21,12 @@ on either backend.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import telemetry
 from repro.codegen.gates import gate_expression
 from repro.codegen.naming import NameAllocator
+from repro.codegen.probes import ProbeSpec, instrument_lcc_program
 from repro.codegen.program import Assign, Emit, Input, Program, Var
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
@@ -39,10 +42,13 @@ class SegmentProgram:
     ``exports`` the emitted nets in output order.  ``machine`` is
     filled in by the executor after compilation; ``tiled_machines``
     holds the executor's lazily compiled K-tile variants, keyed by K.
+    ``probe_plan`` is the segment's toggle-counter lowering when the
+    plan was generated with ``probes=`` and the segment drives at
+    least one counted net (``None`` otherwise).
     """
 
     __slots__ = ("band", "worker", "program", "inputs", "exports",
-                 "num_gates", "machine", "tiled_machines")
+                 "num_gates", "machine", "tiled_machines", "probe_plan")
 
     def __init__(
         self,
@@ -61,6 +67,7 @@ class SegmentProgram:
         self.num_gates = num_gates
         self.machine = None
         self.tiled_machines = None
+        self.probe_plan = None
 
     def __repr__(self) -> str:
         return (
@@ -107,6 +114,7 @@ def generate_partition_programs(
     *,
     word_width: int = 32,
     observe: str = "cut",
+    probes: Optional[ProbeSpec] = None,
 ) -> PartitionPlan:
     """Generate one program per non-empty segment of ``partitioning``.
 
@@ -114,6 +122,12 @@ def generate_partition_programs(
     nets) or reach the caller (primary outputs); ``observe="all"``
     exports every driven net, so the merged exchange table holds the
     settled value of the entire circuit.
+
+    ``probes`` compiles per-net toggle counters into every segment
+    that drives a counted net (each driven net belongs to exactly one
+    segment, so segment-local counters sum to the monolithic ones);
+    primary-input nets are driven by no segment and are counted by
+    the executor host-side.
     """
     if observe not in ("cut", "all"):
         raise SimulationError(
@@ -122,7 +136,8 @@ def generate_partition_programs(
     with telemetry.span(
         "emit", technique="partition", circuit=circuit.name
     ):
-        return _generate(circuit, partitioning, word_width, observe)
+        return _generate(circuit, partitioning, word_width, observe,
+                         probes)
 
 
 def _generate(
@@ -130,9 +145,11 @@ def _generate(
     partitioning: Partitioning,
     word_width: int,
     observe: str,
+    probes: Optional[ProbeSpec],
 ) -> PartitionPlan:
     assignment = partitioning.assignment
     cut = set(partitioning.cut_nets)
+    probed = set(probes.resolve(circuit)) if probes is not None else set()
     outputs = set(circuit.outputs)
     segments: list[SegmentProgram] = []
     for (band, worker), gate_names in partitioning.segments.items():
@@ -172,9 +189,20 @@ def _generate(
                 Emit(Var(names.get(net_name)), (net_name,))
             )
         program.validate()
-        segments.append(SegmentProgram(
+        segment = SegmentProgram(
             band, worker, program, external, exports, len(gates)
-        ))
+        )
+        seg_nets = [n for n in circuit.nets if n in driven and n in probed]
+        if probes is not None and seg_nets:
+            segment.probe_plan = instrument_lcc_program(
+                program, circuit, probes,
+                nets=seg_nets,
+                net_vars={n: names.get(n) for n in seg_nets},
+            )
+            # Keep the gather list aligned with the program's new
+            # occupancy input; the executor fills this table column.
+            segment.inputs = external + ["__probe_en"]
+        segments.append(segment)
     return PartitionPlan(
         circuit, partitioning, segments,
         word_width=word_width, observe=observe,

@@ -46,6 +46,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro import telemetry
 from repro.codegen.packing import pack_patterns, select_tiles
+from repro.codegen.probes import ProbeRuntime, ProbeSpec
 from repro.codegen.runtime import compile_program
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
@@ -60,6 +61,71 @@ from repro.partition.codegen import (
 )
 
 __all__ = ["PartitionedSimulator"]
+
+
+def _popcount(value: int) -> int:
+    return bin(value).count("1")
+
+
+class _PIProbeCounter:
+    """Host-side toggle counting for probed primary inputs.
+
+    Primary inputs are driven by no segment, so no compiled counter
+    observes them; the executor counts them from the very lane words
+    it feeds the exchange table, with the same previous-value chain
+    the compiled counters use.  Zero-delay inputs cannot glitch, so
+    functional toggles equal total toggles here too.
+    """
+
+    def __init__(self, nets: Sequence[str], inputs: Sequence[str]) -> None:
+        self.slots = [(net, inputs.index(net)) for net in nets]
+        self.counts = {net: 0 for net in nets}
+        self._pv = {net: 0 for net in nets}
+        self._reported = {net: 0 for net in nets}
+
+    def add_scalar(self, words: Sequence[Sequence[int]]) -> None:
+        for net, k in self.slots:
+            pv = self._pv[net]
+            count = 0
+            for word in words:
+                value = word[k] & 1
+                count += value ^ pv
+                pv = value
+            self._pv[net] = pv
+            self.counts[net] += count
+
+    def add_groups(
+        self, groups: Sequence[Sequence[int]], lane_counts: Sequence[int]
+    ) -> None:
+        for net, k in self.slots:
+            pv = self._pv[net]
+            count = 0
+            for g, lanes in enumerate(lane_counts):
+                if not lanes:
+                    continue
+                word = groups[g][k]
+                en = (1 << lanes) - 1
+                count += _popcount((word ^ ((word << 1) | pv)) & en)
+                pv = (word >> (lanes - 1)) & 1
+            self._pv[net] = pv
+            self.counts[net] += count
+
+    def seed(self, word: Sequence[int]) -> None:
+        for net, k in self.slots:
+            self._pv[net] = word[k] & 1
+            self.counts[net] = 0
+            self._reported[net] = 0
+
+    def drain_telemetry(self) -> int:
+        """Emit per-net deltas; return the total new toggles."""
+        total = 0
+        for net, _k in self.slots:
+            delta = self.counts[net] - self._reported[net]
+            if delta:
+                telemetry.counter(f"activity.net.{net}.toggles", delta)
+                self._reported[net] = self.counts[net]
+                total += delta
+        return total
 
 
 class PartitionedSimulator:
@@ -86,6 +152,7 @@ class PartitionedSimulator:
         band_levels: int = DEFAULT_BAND_LEVELS,
         packed: bool | str = "auto",
         tiles: "int | str" = 1,
+        probes=None,
     ) -> None:
         if packed not in (True, False, "auto"):
             raise SimulationError(
@@ -95,6 +162,16 @@ class PartitionedSimulator:
             tiles = int(tiles)
             if tiles < 1:
                 raise SimulationError(f"tiles must be >= 1: {tiles}")
+        self.probe_spec = ProbeSpec.coerce(probes)
+        if self.probe_spec is not None:
+            if tiles not in (1, "auto"):
+                raise SimulationError(
+                    "probes chain consecutive packed groups through the "
+                    "per-net previous-value bit; tiled execution "
+                    "interleaves the group order, so tiles > 1 is "
+                    "unavailable with probes"
+                )
+            tiles = 1
         self.circuit = circuit
         self.backend = backend
         self.word_width = word_width
@@ -116,9 +193,33 @@ class PartitionedSimulator:
         )
         self.plan = generate_partition_programs(
             circuit, self.partitioning, word_width=word_width,
-            observe="cut",
+            observe="cut", probes=self.probe_spec,
         )
         self._compile(self.plan)
+        self._probe_runtimes: Optional[list] = None
+        self._pi_probes: Optional[_PIProbeCounter] = None
+        self._probe_vectors = 0
+        self._probe_vectors_reported = 0
+        if self.probe_spec is not None:
+            self._probe_runtimes = [
+                (
+                    segment,
+                    ProbeRuntime(
+                        segment.probe_plan, segment.program,
+                        emit_vectors=False,
+                    ),
+                )
+                for segment in self.plan.segments
+                if segment.probe_plan is not None
+            ]
+            input_set = set(circuit.inputs)
+            self._pi_probes = _PIProbeCounter(
+                [
+                    net for net in self.probe_spec.resolve(circuit)
+                    if net in input_set
+                ],
+                circuit.inputs,
+            )
         #: Monolithic fast path: a single segment needs no barriers, no
         #: exchanges and no pool — the flag is the edge-case tests' probe.
         self.monolithic = len(self.plan.segments) <= 1
@@ -414,15 +515,47 @@ class PartitionedSimulator:
         words = [self._vector_list(vector) for vector in vectors]
         if not words:
             return []
-        if self._packable(words):
-            telemetry.counter("partition.packed_batches")
-            return self._apply_packed(words)
-        telemetry.counter("partition.fallback.scalar")
-        return self._apply_scalar(words)
+        packable = self._packable(words)
+        telemetry.counter(
+            "partition.packed_batches" if packable
+            else "partition.fallback.scalar"
+        )
+        runner = self._apply_packed if packable else self._apply_scalar
+        if self._probe_runtimes:
+            # Chunked so no segment's compiled counter can wrap
+            # between drains (every runtime shares the same cadence).
+            out: list[list[int]] = []
+            reference = self._probe_runtimes[0][1]
+            for start, length in reference.chunk_vectors(len(words)):
+                out.extend(runner(words[start:start + length]))
+            return out
+        return runner(words)
+
+    def _note_probes(self, count: int) -> None:
+        """Tally ``count`` vectors on every segment's probe runtime."""
+        assert self._probe_runtimes is not None
+        for segment, runtime in self._probe_runtimes:
+            runtime.note_vectors(segment.machine, count)
+        self._probe_vectors += count
 
     def _apply_scalar(self, words: list[list[int]]) -> list[list[int]]:
         table = self._input_table(words)
+        if self._probe_runtimes is not None:
+            for word in words:
+                for value in word:
+                    if value not in (0, 1):
+                        raise SimulationError(
+                            "probed runs take plain 0/1 vectors; the "
+                            "counters chain lanes as consecutive "
+                            "vectors, so pre-packed multi-bit words "
+                            "are not countable"
+                        )
+            table["__probe_en"] = [1] * len(words)
         self._sweep(self.plan, table, len(words))
+        if self._probe_runtimes is not None:
+            assert self._pi_probes is not None
+            self._pi_probes.add_scalar(words)
+            self._note_probes(len(words))
         columns = [table[name] for name in self._outputs]
         return [
             [column[j] for column in columns]
@@ -451,7 +584,18 @@ class PartitionedSimulator:
         groups, lane_counts = pack_patterns(words, self.word_width)
         groups.append([0] * len(self._inputs))
         tiles = self._packed_tiles(len(groups))
-        if tiles > 1:
+        if self._probe_runtimes is not None:
+            # tiles is forced to 1 under probes (constructor), so the
+            # tiled branch below never runs with an EN column pending.
+            table = self._input_table(groups)
+            table["__probe_en"] = [
+                (1 << lanes) - 1 for lanes in lane_counts
+            ] + [0]
+            self._sweep(self.plan, table, len(groups))
+            assert self._pi_probes is not None
+            self._pi_probes.add_groups(groups, lane_counts)
+            self._note_probes(len(words))
+        elif tiles > 1:
             # Pad to whole passes with all-zeros groups; they emit the
             # same words as the fill group, so column[-1] stays the fill.
             while len(groups) % tiles:
@@ -500,3 +644,72 @@ class PartitionedSimulator:
                 folded = self._fold(folded, value & 1)
             checksum ^= folded
         return checksum
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    def probe_reset(
+        self, vector: Mapping[str, int] | Sequence[int] | None = None
+    ) -> None:
+        """Seed the toggle baseline from one settled (uncounted) vector.
+
+        Mirrors :meth:`repro.lcc.zerodelay.LCCSimulator.probe_reset`:
+        settles ``vector`` (default all zeros) through every segment,
+        keeps the resulting per-net values as the previous-value bits,
+        and zeroes the counters.
+        """
+        if self._probe_runtimes is None:
+            raise SimulationError(
+                "simulator was built without probes=; nothing to seed"
+            )
+        if vector is None:
+            vector = [0] * len(self._inputs)
+        word = self._vector_list(vector)
+        self._apply_scalar([word])
+        for segment, runtime in self._probe_runtimes:
+            runtime.discard(segment.machine)
+        assert self._pi_probes is not None
+        self._pi_probes.seed(word)
+        self._probe_vectors = 0
+        self._probe_vectors_reported = 0
+
+    def activity_report(self):
+        """Merge per-segment counters into one ActivityReport.
+
+        Each driven net belongs to exactly one segment, so the
+        segment-local counters are disjoint; primary inputs come from
+        the executor's host-side chain.  Bit-identical to the
+        monolithic instrumented engine over the same vectors.  (Whole
+        -state observation via ``evaluate_all_nets`` runs an
+        uninstrumented plan and is not counted.)
+        """
+        from repro.activity import ActivityReport
+
+        if self._probe_runtimes is None:
+            raise SimulationError(
+                "simulator was built without probes=; no activity "
+                "counters to report"
+            )
+        merged: dict[str, int] = {}
+        for segment, runtime in self._probe_runtimes:
+            runtime.drain(segment.machine)
+            merged.update(runtime.toggles)
+        assert self._pi_probes is not None
+        merged.update(self._pi_probes.counts)
+        if telemetry.enabled():
+            pi_delta = self._pi_probes.drain_telemetry()
+            if pi_delta:
+                telemetry.counter("activity.toggles", pi_delta)
+                telemetry.counter("activity.functional", pi_delta)
+            vectors_delta = (
+                self._probe_vectors - self._probe_vectors_reported
+            )
+            if vectors_delta:
+                telemetry.counter("activity.vectors", vectors_delta)
+                self._probe_vectors_reported = self._probe_vectors
+        assert self.probe_spec is not None
+        toggles = {
+            net: merged[net]
+            for net in self.probe_spec.resolve(self.circuit)
+        }
+        return ActivityReport(toggles, dict(toggles), self._probe_vectors)

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
-from repro.codegen.packing import packed_bits
+from repro.codegen.packing import packed_bits, packing_mode
+from repro.codegen.probes import ProbeSpec, instrument_pcset_program
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.pcset.codegen import generate_pcset_program
@@ -31,6 +32,12 @@ class PCSetSimulator(CompiledSimulator):
     ``backend="c"`` compiles the generated code with the system C
     compiler instead of running it as Python.
 
+    ``probes=`` compiles per-net toggle counters into the generated
+    pass (``True`` for every net, or an iterable of net names / a
+    :class:`~repro.codegen.probes.ProbeSpec`); read them with the
+    inherited ``activity_report()``.  Probe counting observes lane 0
+    only, so probed batches run on the scalar path.
+
     Multi-vector traffic should use the inherited batch API
     (``apply_vectors``, ``run_batch``, ``prepare_batch`` +
     ``run_prepared``): one dispatch drives the whole batch through the
@@ -48,6 +55,7 @@ class PCSetSimulator(CompiledSimulator):
         monitored: Optional[list[str]] = None,
         with_outputs: bool = True,
         comments: bool = False,
+        probes=None,
         **backend_kwargs,
     ) -> None:
         program, variables = generate_pcset_program(
@@ -62,12 +70,24 @@ class PCSetSimulator(CompiledSimulator):
         self.monitored = (
             list(monitored) if monitored is not None else circuit.outputs
         )
+        spec = ProbeSpec.coerce(probes)
+        plan = None
+        base_mode = None
+        if spec is not None:
+            # Record the uninstrumented program's packing eligibility;
+            # the probe statements would classify it "none".
+            base_mode = packing_mode(
+                program if with_outputs else program.without_output()
+            )
+            plan = instrument_pcset_program(program, variables, spec)
         super().__init__(
             circuit,
             program,
             backend=backend,
             with_outputs=with_outputs,
             checksum_mask=1,
+            probe_plan=plan,
+            packing_override=base_mode,
             **backend_kwargs,
         )
 
@@ -166,12 +186,15 @@ class PCSetSimulator(CompiledSimulator):
             if time == final_time
         ]
         words = [self._vector_words(vector) for vector in vectors]
-        if self.packing_mode in ("full", "settled") and self._inputs:
+        if (self.packing_mode in ("full", "settled") and self._inputs
+                and self.probe_plan is None):
             rows = packed_bits(self.machine, words)
         else:
             if not self._settled:
                 raise SimulationError("call reset() before settled_outputs()")
-            rows = self.machine.step_many(words, masked=True)
+            # The scalar batch path: under probes it also chunks the
+            # run and drains the toggle counters.
+            rows = self.apply_vectors(words)
         return [
             {net_name: row[index] & 1 for net_name, index in slots}
             for row in rows

@@ -31,7 +31,7 @@ class ReplayCheckpoint:
 
     __slots__ = (
         "cycle", "state", "checksum", "toggles", "prev_outputs",
-        "tape_inputs", "tape_cycles", "circuit", "engine",
+        "tape_inputs", "tape_cycles", "circuit", "engine", "vcd",
     )
 
     def __init__(
@@ -46,6 +46,7 @@ class ReplayCheckpoint:
         tape_cycles: int = 0,
         circuit: str = "",
         engine: str = "",
+        vcd: Optional[Mapping] = None,
     ) -> None:
         self.cycle = int(cycle)
         self.state = {q: v & 1 for q, v in state.items()}
@@ -58,6 +59,12 @@ class ReplayCheckpoint:
         self.tape_cycles = int(tape_cycles)
         self.circuit = circuit
         self.engine = engine
+        #: :meth:`repro.waveform.VCDWriter.state` snapshot when the
+        #: replay was streaming a waveform (``None`` otherwise) — the
+        #: resumed run's writer restores it and appends byte-for-byte.
+        #: Optional key: checkpoints written before waveform streaming
+        #: existed load fine, and old readers ignore it.
+        self.vcd = dict(vcd) if vcd is not None else None
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
@@ -75,6 +82,7 @@ class ReplayCheckpoint:
                 "inputs": self.tape_inputs,
                 "cycles": self.tape_cycles,
             },
+            "vcd": self.vcd,
         }
 
     @classmethod
@@ -100,6 +108,7 @@ class ReplayCheckpoint:
             tape_cycles=tape.get("cycles", 0),
             circuit=payload.get("circuit", ""),
             engine=payload.get("engine", ""),
+            vcd=payload.get("vcd"),
         )
 
     # ------------------------------------------------------------------

@@ -48,7 +48,7 @@ class ReplayResult:
 
     __slots__ = (
         "cycles", "cycle", "checksum", "toggles", "seconds",
-        "checkpoints", "resumed_from", "outputs_path",
+        "checkpoints", "resumed_from", "outputs_path", "vcd_path",
     )
 
     def __init__(
@@ -62,6 +62,7 @@ class ReplayResult:
         checkpoints: list[str],
         resumed_from: Optional[int],
         outputs_path: Optional[str],
+        vcd_path: Optional[str] = None,
     ) -> None:
         self.cycles = cycles          # cycles executed by this call
         self.cycle = cycle            # final cycle count (tape offset)
@@ -71,6 +72,7 @@ class ReplayResult:
         self.checkpoints = checkpoints
         self.resumed_from = resumed_from
         self.outputs_path = outputs_path
+        self.vcd_path = vcd_path
 
     @property
     def cycles_per_second(self) -> float:
@@ -89,6 +91,7 @@ class ReplayResult:
             "checkpoints": list(self.checkpoints),
             "resumed_from": self.resumed_from,
             "outputs_path": self.outputs_path,
+            "vcd_path": self.vcd_path,
         }
 
     def __repr__(self) -> str:
@@ -108,6 +111,8 @@ def replay_tape(
     resume_from: "Optional[str | ReplayCheckpoint]" = None,
     chunk_cycles: int = 4096,
     outputs_path: Optional[str] = None,
+    vcd_path: Optional[str] = None,
+    vcd_nets: Optional[list[str]] = None,
     limit: Optional[int] = None,
     on_chunk: Optional[Callable[[int, int], None]] = None,
 ) -> ReplayResult:
@@ -131,6 +136,15 @@ def replay_tape(
         Stream per-cycle external outputs here, in tape line format
         (header names the output columns).  A resumed run writes only
         its own segment.
+    vcd_path:
+        Stream a waveform of per-cycle external outputs here (one VCD
+        tick per cycle, incremental — nothing accumulates in memory).
+        ``vcd_nets`` restricts the trace to a subset of the external
+        outputs.  Checkpoints carry the writer's dedup state, so a
+        resumed run *appends* its segment to the same file and the
+        result is byte-identical to the uninterrupted run; the closing
+        time marker is written only when the replay reaches the end of
+        the tape.
     limit:
         Replay at most this many cycles (default: to the end of tape).
     on_chunk:
@@ -154,6 +168,21 @@ def replay_tape(
         raise SimulationError("chunk_cycles must be >= 1")
 
     outputs = list(seq.external_outputs)
+    vcd_columns: Optional[list[str]] = None
+    if vcd_path is not None:
+        vcd_columns = (
+            list(vcd_nets) if vcd_nets is not None else list(outputs)
+        )
+        unknown = [n for n in vcd_columns if n not in set(outputs)]
+        if unknown:
+            raise SimulationError(
+                "replay waveforms trace external outputs only; "
+                f"unknown nets: {unknown[:5]}"
+            )
+        if not vcd_columns:
+            raise SimulationError("vcd_nets must name at least one net")
+    elif vcd_nets is not None:
+        raise SimulationError("vcd_nets requires vcd_path")
     if resume_from is not None:
         cp = (
             resume_from
@@ -188,12 +217,41 @@ def replay_tape(
     end = tape.cycles if limit is None else min(start + limit, tape.cycles)
     checkpoints: list[str] = []
     out_stream = None
+    vcd_stream = None
+    vcd_writer = None
     t0 = time.perf_counter()
     try:
         if outputs_path is not None:
             out_stream = open(outputs_path, "w")
             out_stream.write(f"{TAPE_MAGIC}\n")
             out_stream.write(f"#inputs {','.join(outputs)}\n")
+        if vcd_path is not None:
+            from repro.waveform import VCDWriter
+
+            if resume_from is not None:
+                saved = cp.vcd
+                if saved is None:
+                    raise SimulationError(
+                        "checkpoint carries no waveform writer state; "
+                        "the checkpointing run must pass vcd_path too"
+                    )
+                if saved.get("nets") != vcd_columns:
+                    raise SimulationError(
+                        "vcd_nets do not match the checkpointed "
+                        f"waveform ({saved.get('nets')} != "
+                        f"{vcd_columns})"
+                    )
+                # Append this segment to the existing document.
+                vcd_stream = open(vcd_path, "a")
+                vcd_writer = VCDWriter(
+                    0, vcd_columns, stream=vcd_stream
+                )
+                vcd_writer.restore_state(saved)
+            else:
+                vcd_stream = open(vcd_path, "w")
+                vcd_writer = VCDWriter(
+                    0, vcd_columns, stream=vcd_stream
+                )
         with telemetry.span("seq.replay", engine=sim.engine):
             cursor = start
             while cursor < end:
@@ -218,6 +276,10 @@ def replay_tape(
                             "".join("1" if b else "0" for b in bits)
                         )
                         out_stream.write("\n")
+                    if vcd_writer is not None:
+                        vcd_writer.add_vector({
+                            o: ((0, out[o]),) for o in vcd_columns
+                        })
                 cursor += n
                 if (
                     checkpoint_every
@@ -233,6 +295,10 @@ def replay_tape(
                         tape_cycles=tape.cycles,
                         circuit=seq.core.name,
                         engine=sim.engine,
+                        vcd=(
+                            vcd_writer.state()
+                            if vcd_writer is not None else None
+                        ),
                     )
                     path = os.path.join(
                         checkpoint_dir,
@@ -242,9 +308,21 @@ def replay_tape(
                     telemetry.counter("seq.checkpoints")
                 if on_chunk is not None:
                     on_chunk(cursor, end)
+        if (
+            vcd_writer is not None
+            and sim.cycle == tape.cycles
+            and sim.cycle > start
+            and vcd_writer.num_vectors > 0
+        ):
+            # End of tape on this segment: close the document.  An
+            # interrupted (limit=) segment leaves the file open-ended
+            # so a resumed run can append byte-identically.
+            vcd_writer.finalize()
     finally:
         if out_stream is not None:
             out_stream.close()
+        if vcd_stream is not None:
+            vcd_stream.close()
     return ReplayResult(
         cycles=sim.cycle - start,
         cycle=sim.cycle,
@@ -254,4 +332,5 @@ def replay_tape(
         checkpoints=checkpoints,
         resumed_from=resumed_from,
         outputs_path=outputs_path,
+        vcd_path=vcd_path,
     )

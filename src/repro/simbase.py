@@ -20,6 +20,7 @@ from repro.codegen.packing import (
     select_lanes,
     select_tiles,
 )
+from repro.codegen.probes import ProbePlan, ProbeRuntime
 from repro.codegen.program import Program
 from repro.codegen.runtime import (
     BatchCounters,
@@ -83,6 +84,8 @@ class CompiledSimulator:
         partitions: int = 1,
         partition_workers: Optional[int] = None,
         tiles: "int | str" = 1,
+        probe_plan: Optional[ProbePlan] = None,
+        packing_override: Optional[str] = None,
         **backend_kwargs,
     ) -> None:
         self.circuit = circuit
@@ -111,7 +114,19 @@ class CompiledSimulator:
         #: ``"none"`` and always run scalar; the PC-set method is
         #: ``"settled"`` (its zero-element moves read previous-vector
         #: finals), so only settled-value observers may pack it.
-        self.packing_mode = packing_mode(compiled)
+        #: Probe-instrumented programs pass the *uninstrumented*
+        #: program's mode via ``packing_override`` — the probe
+        #: statements use popcounts and shifts that are lane-safe by
+        #: construction but would classify the program ``"none"``.
+        self.packing_mode = (
+            packing_override if packing_override is not None
+            else packing_mode(compiled)
+        )
+        self.probe_plan = probe_plan
+        self._probe_runtime = (
+            ProbeRuntime(probe_plan, program)
+            if probe_plan is not None else None
+        )
         self._inputs = circuit.inputs
         self._settled = False
         if partitions < 1:
@@ -139,7 +154,14 @@ class CompiledSimulator:
                 settled = self._settle_partitioned(vector)
             else:
                 settled = steady_state(self.circuit, vector)
-            self.machine.load_state(self._encode_state(settled))
+            state = self._encode_state(settled)
+            if self.probe_plan is not None:
+                if self._settled and self._probe_runtime is not None:
+                    # Keep whatever the counters accumulated so far;
+                    # the reload below would silently discard it.
+                    self._probe_runtime.drain(self.machine)
+                state = state + [0] * self.probe_plan.state_pad
+            self.machine.load_state(state)
         self._settled = True
 
     def _settle_partitioned(self, vector) -> Mapping[str, int]:
@@ -192,7 +214,10 @@ class CompiledSimulator:
         """Simulate one vector; returns the raw emitted output words."""
         if not self._settled:
             raise SimulationError("call reset() before apply_vector()")
-        return self.machine.step(self._vector_words(vector))
+        out = self.machine.step(self._vector_words(vector))
+        if self._probe_runtime is not None:
+            self._probe_runtime.note_vectors(self.machine, 1)
+        return out
 
     def apply_vectors(
         self, vectors: Sequence[Mapping[str, int] | Sequence[int]]
@@ -222,7 +247,8 @@ class CompiledSimulator:
             # partitioned engine already did its work in reset().
             telemetry.counter(f"partition.fallback.{self.packing_mode}")
         words = [self._vector_words(vector) for vector in vectors]
-        if self.packing_mode == "full" and self._inputs:
+        if (self.packing_mode == "full" and self._inputs
+                and self.probe_plan is None):
             telemetry.counter("packing.packed_batches")
             return packed_apply(self._packed_machine(len(words)), words)
         lanes = self._batch_lanes(len(words))
@@ -230,6 +256,17 @@ class CompiledSimulator:
             telemetry.counter("packing.laned_batches")
             return self._run_laned(words, lanes, collect=True)
         telemetry.counter(f"packing.fallback.{self.packing_mode}")
+        if self._probe_runtime is not None and words:
+            # Chunked so no compiled counter can wrap between drains.
+            out: list[list[int]] = []
+            for start, length in self._probe_runtime.chunk_vectors(
+                len(words)
+            ):
+                out.extend(self.machine.step_many(
+                    words[start:start + length], masked=True
+                ))
+                self._probe_runtime.note_vectors(self.machine, length)
+            return out
         return self.machine.step_many(words, masked=True)
 
     # ------------------------------------------------------------------
@@ -270,6 +307,10 @@ class CompiledSimulator:
     def _batch_lanes(self, num_vectors: int) -> int:
         """Lane count for a shift-program batch (1 = scalar loop)."""
         if self.program.state_carry != "finals" or not self._inputs:
+            return 1
+        if self.probe_plan is not None:
+            # The lane handoff keeps only the last lane's state, which
+            # would discard every other lane's probe counters.
             return 1
         if self.tiles == "auto":
             lanes = select_lanes(num_vectors, backend=self.backend)
@@ -386,6 +427,18 @@ class CompiledSimulator:
                     )
                 return ("lane-py", machine, rows, len(words), seeds)
             if isinstance(self.machine, CMachine):
+                if self._probe_runtime is not None and words:
+                    # Pre-pack in wrap-free chunks (one chunk at any
+                    # realistic word width; tiny widths get several).
+                    chunk = self._probe_runtime.chunk
+                    parts = [
+                        (
+                            self.machine.pack_block(words[i:i + chunk]),
+                            min(chunk, len(words) - i),
+                        )
+                        for i in range(0, len(words), chunk)
+                    ]
+                    return ("c-probe", parts)
                 return ("c", self.machine.pack_block(words), len(words))
             return ("py", words)
 
@@ -396,6 +449,16 @@ class CompiledSimulator:
         kind = prepared[0]
         if kind == "c":
             self.machine.run_packed(prepared[1], prepared[2])
+            self._note_probe_vectors(prepared[2])
+            return
+        if kind == "c-probe":
+            assert self._probe_runtime is not None
+            # Start from zeroed counters so each pre-packed chunk has
+            # the full wrap-free budget.
+            self._probe_runtime.drain(self.machine)
+            for packed, count in prepared[1]:
+                self.machine.run_packed(packed, count)
+                self._probe_runtime.note_vectors(self.machine, count)
             return
         if kind == "lane-c":
             _, machine, packed, passes, num_vectors, seeds = prepared
@@ -418,7 +481,17 @@ class CompiledSimulator:
             machine.counters.vectors += num_vectors - len(rows)
             self._handoff_lanes(machine, num_state)
             return
-        self.machine.run_block(prepared[1], masked=True)
+        rows = prepared[1]
+        if self._probe_runtime is not None and rows:
+            for start, length in self._probe_runtime.chunk_vectors(len(rows)):
+                self.machine.run_block(rows[start:start + length], masked=True)
+                self._probe_runtime.note_vectors(self.machine, length)
+            return
+        self.machine.run_block(rows, masked=True)
+
+    def _note_probe_vectors(self, count: int) -> None:
+        if self._probe_runtime is not None and count:
+            self._probe_runtime.note_vectors(self.machine, count)
 
     def run_batch(self, vectors: Sequence[Sequence[int]]) -> None:
         """Simulate many vectors back to back (the timing fast path)."""
@@ -444,6 +517,52 @@ class CompiledSimulator:
                 folded ^= value & mask
             checksum ^= folded
         return checksum
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    @property
+    def probe_runtime(self) -> Optional[ProbeRuntime]:
+        return self._probe_runtime
+
+    def activity_report(self):
+        """Drain the compiled-in probe counters into an ActivityReport.
+
+        Requires the simulator to have been built with ``probes=``.
+        The report is cumulative since construction (or the last
+        checkpoint restore) and bit-identical to the history-based
+        :func:`repro.activity.collect_activity` over the same vectors.
+        """
+        if self._probe_runtime is None:
+            raise SimulationError(
+                "simulator was built without probes=; no activity "
+                "counters to report"
+            )
+        self._probe_runtime.drain(self.machine)
+        return self._probe_runtime.report()
+
+    def capture_trace(
+        self,
+        vectors: Sequence[Mapping[str, int] | Sequence[int]],
+        writer,
+        nets: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Stream selected nets' settling histories into a VCD writer.
+
+        One vector at a time: each history is decoded and handed to
+        ``writer.add_vector`` immediately, so the batch's histories
+        are never materialized together.  ``nets`` defaults to the
+        probe spec's ``trace_nets`` (every net when unset).
+        """
+        if nets is None:
+            if (self.probe_plan is not None
+                    and self.probe_plan.spec.trace_nets):
+                nets = self.probe_plan.spec.trace_nets
+            else:
+                nets = list(self.circuit.nets)
+        for vector in vectors:
+            history = self.apply_vector_history(vector)
+            writer.add_vector({n: history[n] for n in nets})
 
     # ------------------------------------------------------------------
     @property

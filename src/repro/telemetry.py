@@ -384,6 +384,15 @@ def _derived_sections(counters: Mapping, cache: Mapping) -> dict:
             "checkpoints": counters.get("seq.checkpoints", 0),
             "restores": counters.get("seq.restores", 0),
         },
+        "activity": {
+            # Compiled-in probe counters — see repro.codegen.probes.
+            # All four are summed counters, so the derived section
+            # merges associatively exactly like seq/pack/partition.
+            "vectors": counters.get("activity.vectors", 0),
+            "toggles": counters.get("activity.toggles", 0),
+            "functional": counters.get("activity.functional", 0),
+            "glitches": counters.get("activity.glitches", 0),
+        },
         "partition": {
             "batches": counters.get("partition.batches", 0),
             "packed_batches": counters.get(

@@ -12,6 +12,18 @@ one-tick separator, so consecutive vectors line up back to back::
     writer.add_vector(history_1)
     writer.add_vector(history_2)
     writer.write(open("trace.vcd", "w"))
+
+Rendering is *incremental*: each added vector is rendered to text at
+``add_vector`` time and either streamed straight to an attached output
+(``stream=``, the trace-capture fast path — nothing accumulates in
+memory) or kept as a per-vector chunk that :meth:`write` replays
+piece by piece.  :meth:`render` assembles the full document as one
+string for tests and small traces.
+
+A streaming writer is resumable: :meth:`state` captures the few words
+of dedup state the next vector depends on, and a fresh writer given
+that state via :meth:`restore_state` continues the document byte for
+byte — the replay harness checkpoints exactly this.
 """
 
 from __future__ import annotations
@@ -56,6 +68,12 @@ class VCDWriter:
         "whatever the first added vector contains", sorted.
     timescale / module:
         Cosmetics for the VCD header.
+    stream:
+        When given, every vector's value changes are written to this
+        stream as they arrive (header first, at the first vector) and
+        nothing is buffered — bounded-memory trace capture.  Without
+        a stream, rendered chunks are kept for :meth:`write` /
+        :meth:`render`.
     """
 
     def __init__(
@@ -65,6 +83,7 @@ class VCDWriter:
         *,
         timescale: str = "1ns",
         module: str = "repro",
+        stream: Optional[TextIO] = None,
     ) -> None:
         if circuit_depth < 0:
             raise SimulationError("circuit_depth must be >= 0")
@@ -74,11 +93,60 @@ class VCDWriter:
         self._nets: Optional[list[str]] = (
             list(nets) if nets is not None else None
         )
-        self._vectors: list[History] = []
+        self._stream = stream
+        self._chunks: list[str] = []
+        self._last_value: dict[str, Optional[int]] = {}
+        self._num_vectors = 0
+        self._header_done = False
+
+    # ------------------------------------------------------------------
+    def _header_text(self) -> str:
+        assert self._nets is not None
+        out = io.StringIO()
+        out.write("$date repro unit-delay trace $end\n")
+        out.write(f"$timescale {self.timescale} $end\n")
+        out.write(f"$scope module {self.module} $end\n")
+        for index, net_name in enumerate(self._nets):
+            out.write(
+                f"$var wire 1 {_identifier(index)} {net_name} $end\n"
+            )
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        return out.getvalue()
+
+    def _render_vector(self, history: History) -> str:
+        assert self._nets is not None
+        span = self.depth + 2  # one idle tick between vectors
+        base = self._num_vectors * span
+        last_value = self._last_value
+        # Group changes by absolute time.
+        by_time: dict[int, list[tuple[int, int]]] = {}
+        for index, net_name in enumerate(self._nets):
+            for time, value in history[net_name]:
+                if last_value.get(net_name) == value and time == 0:
+                    continue  # unchanged across the vector boundary
+                by_time.setdefault(base + time, []).append((index, value))
+                last_value[net_name] = value
+        out = io.StringIO()
+        for time in sorted(by_time):
+            out.write(f"#{time}\n")
+            for index, value in by_time[time]:
+                out.write(f"{value & 1}{_identifier(index)}\n")
+        return out.getvalue()
+
+    def _emit(self, text: str) -> None:
+        if self._stream is not None:
+            self._stream.write(text)
+        else:
+            self._chunks.append(text)
 
     # ------------------------------------------------------------------
     def add_vector(self, history: History) -> None:
-        """Append one vector's change history (simulator output)."""
+        """Append one vector's change history (simulator output).
+
+        The vector is rendered immediately — streamed out when the
+        writer is attached to a stream, kept as one text chunk
+        otherwise.  Full histories are never retained.
+        """
         if self._nets is None:
             self._nets = sorted(history)
         missing = [n for n in self._nets if n not in history]
@@ -86,52 +154,76 @@ class VCDWriter:
             raise SimulationError(
                 f"history is missing nets: {missing[:5]}"
             )
-        self._vectors.append(history)
+        if self._stream is not None and not self._header_done:
+            self._stream.write(self._header_text())
+            self._header_done = True
+        self._emit(self._render_vector(history))
+        self._num_vectors += 1
 
     @property
     def num_vectors(self) -> int:
-        return len(self._vectors)
+        return self._num_vectors
+
+    # ------------------------------------------------------------------
+    # resumable streaming (replay checkpoints)
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """The dedup state the next vector's rendering depends on.
+
+        JSON-able; hand it to :meth:`restore_state` on a fresh writer
+        (appending to the same stream) and the document continues byte
+        for byte — including the vector-boundary change suppression.
+        """
+        return {
+            "nets": None if self._nets is None else list(self._nets),
+            "last_value": dict(self._last_value),
+            "num_vectors": self._num_vectors,
+            "header_done": self._header_done,
+        }
+
+    def restore_state(self, saved: Mapping) -> None:
+        nets = saved.get("nets")
+        if nets is not None:
+            self._nets = list(nets)
+        self._last_value = dict(saved.get("last_value", {}))
+        self._num_vectors = saved.get("num_vectors", 0)
+        self._header_done = saved.get("header_done", False)
+
+    def finalize(self) -> None:
+        """Write the closing time marker (attached-stream mode)."""
+        if self._num_vectors == 0:
+            raise SimulationError("no vectors added")
+        self._emit(f"#{self._num_vectors * (self.depth + 2)}\n")
 
     # ------------------------------------------------------------------
     def render(self) -> str:
-        """The complete VCD text."""
-        if self._nets is None or not self._vectors:
+        """The complete VCD text (buffered writers only)."""
+        if self._stream is not None:
+            raise SimulationError(
+                "render() is unavailable on a streaming writer; "
+                "the text already went to its stream"
+            )
+        if self._nets is None or self._num_vectors == 0:
             raise SimulationError("no vectors added")
-        out = io.StringIO()
-        out.write("$date repro unit-delay trace $end\n")
-        out.write(f"$timescale {self.timescale} $end\n")
-        out.write(f"$scope module {self.module} $end\n")
-        ids = {}
-        for index, net_name in enumerate(self._nets):
-            ids[net_name] = _identifier(index)
-            out.write(f"$var wire 1 {ids[net_name]} {net_name} $end\n")
-        out.write("$upscope $end\n$enddefinitions $end\n")
-
-        span = self.depth + 2  # one idle tick between vectors
-        last_value: dict[str, Optional[int]] = {
-            n: None for n in self._nets
-        }
-        for vector_index, history in enumerate(self._vectors):
-            base = vector_index * span
-            # Group changes by absolute time.
-            by_time: dict[int, list[tuple[str, int]]] = {}
-            for net_name in self._nets:
-                for time, value in history[net_name]:
-                    if last_value[net_name] == value and time == 0:
-                        continue  # unchanged across the vector boundary
-                    by_time.setdefault(base + time, []).append(
-                        (net_name, value)
-                    )
-                    last_value[net_name] = value
-            for time in sorted(by_time):
-                out.write(f"#{time}\n")
-                for net_name, value in by_time[time]:
-                    out.write(f"{value & 1}{ids[net_name]}\n")
-        out.write(f"#{self.num_vectors * span}\n")
-        return out.getvalue()
+        return (
+            self._header_text()
+            + "".join(self._chunks)
+            + f"#{self._num_vectors * (self.depth + 2)}\n"
+        )
 
     def write(self, stream: TextIO) -> None:
-        stream.write(self.render())
+        """Stream the document chunk by chunk (no full-text build)."""
+        if self._stream is not None:
+            raise SimulationError(
+                "write() is unavailable on a streaming writer; "
+                "the text already went to its stream"
+            )
+        if self._nets is None or self._num_vectors == 0:
+            raise SimulationError("no vectors added")
+        stream.write(self._header_text())
+        for chunk in self._chunks:
+            stream.write(chunk)
+        stream.write(f"#{self._num_vectors * (self.depth + 2)}\n")
 
 
 def write_vcd(
@@ -141,8 +233,12 @@ def write_vcd(
     *,
     nets: Optional[Iterable[str]] = None,
 ) -> None:
-    """One-shot convenience: render ``histories`` to ``stream``."""
-    writer = VCDWriter(circuit_depth, nets)
+    """One-shot convenience: stream ``histories`` to ``stream``.
+
+    Each history is rendered and written as it is consumed; the full
+    document never exists in memory.
+    """
+    writer = VCDWriter(circuit_depth, nets, stream=stream)
     for history in histories:
         writer.add_vector(history)
-    writer.write(stream)
+    writer.finalize()

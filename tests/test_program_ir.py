@@ -36,9 +36,15 @@ class TestExpressions:
 
     def test_bad_operators_rejected(self):
         with pytest.raises(CodegenError):
-            Bin("+", v("a"), v("b"))
+            Bin("*", v("a"), v("b"))
         with pytest.raises(CodegenError):
             Un("!", v("a"))
+
+    def test_probe_operators_accepted(self):
+        # The probe-lowering pass accumulates counters with ``+`` and
+        # ``popcount``; both are first-class IR operators.
+        assert Bin("+", v("a"), v("b")).op == "+"
+        assert Un("popcount", v("a")).op == "popcount"
 
     def test_shift_amount_must_be_constant(self):
         with pytest.raises(CodegenError, match="constant"):

@@ -374,3 +374,99 @@ class TestShardedTelemetry:
         assert report.sharding_stats()["events"]["degraded"] == 1
         assert telemetry.registry().counters["events.shard.degraded"] == 1
         assert telemetry.snapshot()["sharding"]["degraded"] == 1
+
+
+class TestActivityTelemetry:
+    """The derived ``activity`` section fed by compiled-in probes."""
+
+    def test_activity_section_always_present(self):
+        section = telemetry.snapshot()["activity"]
+        assert set(section) == {
+            "vectors", "toggles", "functional", "glitches",
+        }
+        assert all(value == 0 for value in section.values())
+
+    def test_probed_run_populates_section(self):
+        from repro.pcset.simulator import PCSetSimulator
+
+        telemetry.enable()
+        circuit = ripple_carry_adder(3)
+        vectors = vectors_for(circuit, 20, seed=5)
+        sim = PCSetSimulator(circuit, word_width=16, probes=True)
+        sim.reset([0] * len(circuit.inputs))
+        sim.apply_vectors([list(v) for v in vectors])
+        report = sim.activity_report()
+        section = telemetry.snapshot()["activity"]
+        assert section["vectors"] == report.vectors == len(vectors)
+        assert section["toggles"] == report.total_toggles()
+        assert section["functional"] == sum(report.functional.values())
+        assert section["glitches"] == report.total_glitch_toggles()
+
+    def test_activity_merge_associative(self):
+        def snap(n):
+            return {
+                "enabled": True,
+                "counters": {
+                    "activity.vectors": n,
+                    "activity.toggles": 3 * n,
+                    "activity.functional": 2 * n,
+                    "activity.glitches": n,
+                },
+                "gauges": {},
+                "phases": {},
+            }
+
+        a, b, c = snap(1), snap(2), snap(4)
+        left = telemetry.merge_snapshots(
+            telemetry.merge_snapshots(a, b), c
+        )
+        right = telemetry.merge_snapshots(
+            a, telemetry.merge_snapshots(b, c)
+        )
+        assert left == right
+        assert left["activity"] == {
+            "vectors": 7, "toggles": 21, "functional": 14, "glitches": 7,
+        }
+
+    def test_activity_cross_process_round_trip(self):
+        """Probe counters survive snapshot -> diff -> merge intact."""
+        from repro.pcset.simulator import PCSetSimulator
+
+        telemetry.enable()
+        circuit = ripple_carry_adder(2)
+        warm = vectors_for(circuit, 6, seed=1)
+        work = vectors_for(circuit, 9, seed=2)
+
+        def probed_run(vectors):
+            sim = PCSetSimulator(circuit, word_width=8, probes=True)
+            sim.reset([0] * len(circuit.inputs))
+            sim.apply_vectors([list(v) for v in vectors])
+            return sim.activity_report()
+
+        probed_run(warm)  # pre-existing parent-side counts
+        before = telemetry.snapshot()
+        report = probed_run(work)  # "the worker's extra work"
+        delta = telemetry.diff_snapshots(telemetry.snapshot(), before)
+        assert delta["activity"]["vectors"] == len(work)
+        assert delta["activity"]["toggles"] == report.total_toggles()
+
+        telemetry.reset()
+        telemetry.merge_snapshot(delta)
+        merged = telemetry.snapshot()["activity"]
+        assert merged == delta["activity"]
+
+    def test_sharded_probe_counters_merge_into_parent(self):
+        telemetry.enable()
+        circuit = ripple_carry_adder(3)
+        vectors = vectors_for(circuit, 8, seed=3)
+        report = run_sharded_fault_simulation(
+            circuit, vectors, workers=2, word_width=16,
+            mp_start="fork", probes=True,
+        )
+        assert report.activity is not None
+        assert report.activity.vectors == len(vectors)
+        section = telemetry.snapshot()["activity"]
+        # Every worker grades its own good machine, so the merged
+        # totals are at least one full instrumented pass.
+        assert section["vectors"] >= report.activity.vectors
+        assert section["toggles"] >= report.activity.total_toggles()
