@@ -27,9 +27,12 @@ import os
 from pathlib import Path
 
 from repro.codegen.runtime import have_c_compiler
+from repro.fuzz.oracles import BENCH_FIGURES, validate_bench
+from repro.fuzz.oracles import load_bench as _oracle_load_bench
 from repro.netlist.iscas85 import ISCAS85_SPECS, make_circuit
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 NUM_VECTORS = int(os.environ.get("REPRO_BENCH_VECTORS", "256"))
@@ -102,3 +105,33 @@ def write_report(
         "metrics": jsonable(metrics) if metrics is not None else {},
     }, indent=2, sort_keys=True) + "\n")
     print(f"\n{text}\n[written to {path} and {json_path}]")
+
+
+def load_bench(name: str) -> dict | None:
+    """Load + schema-validate a committed ``BENCH_<name>.json``.
+
+    The single loader every bench and the perf-oracle layer share
+    (:mod:`repro.fuzz.oracles`) — ``None`` when the snapshot does not
+    exist yet, :class:`~repro.errors.SimulationError` on drift.
+    """
+    return _oracle_load_bench(name, root=REPO_ROOT)
+
+
+def write_snapshot(name: str) -> dict:
+    """Round-trip ``results/<figure>.json`` into ``BENCH_<name>.json``.
+
+    Reads back the results JSON :func:`write_report` just produced,
+    validates it against the shared bench schema, and only then copies
+    it to the repo-root snapshot — so a bench whose payload drifts
+    from the schema fails at emit time, not when the oracle layer
+    later tries to read the committed floor.
+    """
+    figure = BENCH_FIGURES[name]
+    payload = json.loads((RESULTS_DIR / f"{figure}.json").read_text())
+    validate_bench(payload, name)
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"[snapshot written to {path}]")
+    return payload

@@ -20,17 +20,13 @@ the C backend at width 64.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
-from _common import NUM_VECTORS, RESULTS_DIR, circuit, write_report
+from _common import NUM_VECTORS, circuit, write_report, write_snapshot
 from repro.codegen.runtime import have_c_compiler
 from repro.harness.tables import format_table
 from repro.harness.vectors import vectors_for
 from repro.lcc.zerodelay import LCCSimulator
-
-ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_packed.json"
 
 CIRCUIT = "c880"
 WIDTHS = (8, 32, 64)
@@ -132,11 +128,7 @@ def _emit(metrics: dict) -> dict:
         "packed_throughput", table,
         backend="+".join(backends), metrics=metrics,
     )
-    payload = json.loads(
-        (RESULTS_DIR / "packed_throughput.json").read_text()
-    )
-    ROOT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"[snapshot written to {ROOT_JSON}]")
+    payload = write_snapshot("packed")
     return payload
 
 

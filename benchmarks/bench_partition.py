@@ -29,18 +29,14 @@ Environment knobs beyond the ``_common`` set:
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
-from _common import BACKEND, NUM_VECTORS, RESULTS_DIR, SCALE, circuit, write_report
+from _common import BACKEND, NUM_VECTORS, SCALE, circuit, write_report, write_snapshot
 from repro.harness.tables import format_table
 from repro.harness.vectors import vectors_for
 from repro.lcc.zerodelay import LCCSimulator
 from repro.partition import PartitionedSimulator, partition_circuit
-
-ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_partition.json"
 
 CIRCUIT = os.environ.get("REPRO_BENCH_PARTITION_CIRCUIT", "c6288")
 WORD_WIDTH = 64
@@ -168,9 +164,7 @@ def _emit(metrics: dict) -> dict:
         float_format="{:.3f}",
     )
     write_report("partition", table, backend=BACKEND, metrics=metrics)
-    payload = json.loads((RESULTS_DIR / "partition.json").read_text())
-    ROOT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"[snapshot written to {ROOT_JSON}]")
+    payload = write_snapshot("partition")
     return payload
 
 

@@ -23,11 +23,9 @@ JSON under ``benchmarks/results/probes.{txt,json}`` and a repo-root
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
-from _common import NUM_VECTORS, RESULTS_DIR, circuit, write_report
+from _common import NUM_VECTORS, circuit, write_report, write_snapshot
 from repro.activity import collect_activity
 from repro.codegen.runtime import have_c_compiler
 from repro.errors import SimulationError
@@ -36,8 +34,6 @@ from repro.harness.timing import TimingResult
 from repro.harness.vectors import vectors_for
 from repro.pcset.simulator import PCSetSimulator
 from repro.simbase import CompiledSimulator
-
-ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_probes.json"
 
 CIRCUIT = "c880"
 WORD_WIDTH = 64
@@ -248,11 +244,7 @@ def _emit(metrics: dict) -> dict:
     write_report(
         "probes", table, backend=metrics["backend"], metrics=metrics,
     )
-    payload = json.loads((RESULTS_DIR / "probes.json").read_text())
-    ROOT_JSON.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
-    print(f"[snapshot written to {ROOT_JSON}]")
+    payload = write_snapshot("probes")
     return payload
 
 

@@ -37,13 +37,11 @@ Environment knobs beyond the ``_common`` set:
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 import time
-from pathlib import Path
 
-from _common import BACKEND, RESULTS_DIR, write_report
+from _common import BACKEND, write_report, write_snapshot
 from repro.codegen.incremental import ConeSimulator
 from repro.codegen.runtime import have_c_compiler
 from repro.harness.tables import format_table
@@ -52,8 +50,6 @@ from repro.netlist.random_circuits import replace_gate
 from repro.netlist.seqgen import binary_counter
 from repro.replay import random_tape, replay_tape
 from repro.seqsim import CompiledSequentialSimulator
-
-ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
 
 CYCLES = int(os.environ.get("REPRO_BENCH_REPLAY_CYCLES", "20000"))
 BITS = int(os.environ.get("REPRO_BENCH_REPLAY_BITS", "12"))
@@ -280,9 +276,7 @@ def _emit(metrics: dict) -> dict:
         float_format="{:.3f}",
     )
     write_report("replay", table, backend=BACKEND, metrics=metrics)
-    payload = json.loads((RESULTS_DIR / "replay.json").read_text())
-    ROOT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"[snapshot written to {ROOT_JSON}]")
+    payload = write_snapshot("replay")
     return payload
 
 

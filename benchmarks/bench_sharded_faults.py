@@ -33,19 +33,15 @@ Environment knobs beyond the ``_common`` set:
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
-from _common import NUM_VECTORS, RESULTS_DIR, SCALE, circuit, write_report
+from _common import NUM_VECTORS, SCALE, circuit, write_report, write_snapshot
 from repro.faults.model import full_fault_list
 from repro.faults.sharding import run_sharded_fault_simulation
 from repro.faults.simulator import run_fault_simulation
 from repro.harness.tables import format_table
 from repro.harness.vectors import vectors_for
-
-ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_shards.json"
 
 CIRCUIT = "c7552"
 BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "python")
@@ -164,11 +160,7 @@ def _emit(metrics: dict) -> dict:
     write_report(
         "sharded_faults", table, backend=BACKEND, metrics=metrics,
     )
-    payload = json.loads(
-        (RESULTS_DIR / "sharded_faults.json").read_text()
-    )
-    ROOT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"[snapshot written to {ROOT_JSON}]")
+    payload = write_snapshot("shards")
     return payload
 
 

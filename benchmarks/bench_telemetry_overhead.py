@@ -21,19 +21,15 @@ repo-root ``BENCH_telemetry.json`` snapshot.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
-from _common import NUM_VECTORS, RESULTS_DIR, full_circuit, write_report
+from _common import NUM_VECTORS, full_circuit, write_report, write_snapshot
 from repro import telemetry
 from repro.codegen.runtime import Machine, have_c_compiler
 from repro.harness.tables import format_table
 from repro.harness.timing import TimingResult
 from repro.harness.vectors import vectors_for
 from repro.lcc.zerodelay import LCCSimulator
-
-ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
 
 CIRCUIT = "c880"
 WORD_WIDTH = 64
@@ -204,11 +200,7 @@ def _emit(metrics: dict) -> dict:
         "telemetry_overhead", table,
         backend=metrics["backend"], metrics=metrics,
     )
-    payload = json.loads(
-        (RESULTS_DIR / "telemetry_overhead.json").read_text()
-    )
-    ROOT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"[snapshot written to {ROOT_JSON}]")
+    payload = write_snapshot("telemetry")
     return payload
 
 

@@ -21,19 +21,15 @@ every backend measured.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
-from _common import NUM_VECTORS, RESULTS_DIR, circuit, write_report
+from _common import NUM_VECTORS, circuit, write_report, write_snapshot
 from repro.codegen.packing import MAX_TILES
 from repro.codegen.runtime import have_c_compiler
 from repro.harness.tables import format_table
 from repro.harness.vectors import vectors_for
 from repro.lcc.zerodelay import LCCSimulator
 from repro.parallel.simulator import ParallelSimulator
-
-ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_tiled.json"
 
 CIRCUIT = "c880"
 #: Narrow words leave the most headroom for tiles: at width 8 a
@@ -177,11 +173,7 @@ def _emit(metrics: dict) -> dict:
         "tiled_throughput", table,
         backend="+".join(backends), metrics=metrics,
     )
-    payload = json.loads(
-        (RESULTS_DIR / "tiled_throughput.json").read_text()
-    )
-    ROOT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"[snapshot written to {ROOT_JSON}]")
+    payload = write_snapshot("tiled")
     return payload
 
 

@@ -505,8 +505,30 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.fuzz import inject_emitter_bug, run_campaign
+def _fuzz_injection(name: str):
+    """Resolve an ``--inject-bug`` value to its context manager."""
+    from repro.fuzz import (
+        MUTATIONS,
+        inject_emitter_bug,
+        inject_partition_bug,
+        inject_tile_bug,
+    )
+
+    if name in MUTATIONS:
+        return inject_emitter_bug(name)
+    if name == "partition-exchange":
+        return inject_partition_bug()
+    if name == "tile-boundary":
+        return inject_tile_bug()
+    choices = sorted(MUTATIONS) + ["partition-exchange",
+                                   "tile-boundary"]
+    raise SystemExit(
+        f"unknown --inject-bug {name!r}; choose from {choices}"
+    )
+
+
+def _cmd_fuzz_campaign(args: argparse.Namespace) -> int:
+    from repro.fuzz import SURFACES, run_campaign
 
     kwargs = dict(
         seed=args.seed,
@@ -518,10 +540,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_gates=args.max_gates,
         include_faults=not args.no_faults,
         progress=print,
+        perf=args.perf,
+        envelope_path=args.envelope,
+        perf_artifacts=args.perf_artifacts,
     )
     if args.inject_bug:
-        with inject_emitter_bug(args.inject_bug) as description:
-            print(f"injected emitter bug: {description}")
+        with _fuzz_injection(args.inject_bug) as description:
+            print(f"injected bug: {description}")
             result = run_campaign(**kwargs)
     else:
         result = run_campaign(**kwargs)
@@ -532,6 +557,14 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         f"{len(result.failures)} failures in {result.seconds:.1f}s "
         f"(stopped by {result.stopped_by})"
     )
+    covered = result.surface_coverage
+    print("lattice coverage: " + " ".join(
+        f"{surface}={covered.get(surface, 0)}"
+        for surface in SURFACES
+    ))
+    missing = [s for s in SURFACES if not covered.get(s)]
+    if missing:
+        print(f"WARNING: surfaces never drawn: {', '.join(missing)}")
     if result.failures:
         print(f"shrinking took {result.shrink_steps} accepted steps")
         for failure in result.failures:
@@ -540,7 +573,92 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"  [{failure.config.label()}] {failure.error}"
                   f" ({failure.num_gates} gates, "
                   f"{failure.num_vectors} vectors){where}")
+    flags = result.perf_flags
+    if result.perf is not None:
+        mode = "observe" if result.perf.observe_only else "enforce"
+        print(f"perf oracle ({mode}): "
+              f"{len(result.perf.samples)} points measured, "
+              f"{len(flags)} flagged")
+        for flag in flags:
+            where = f" -> {flag.artifact}" if flag.artifact else ""
+            print(f"  PERF {flag.describe()}{where}")
+            print(f"       replay: {flag.replay}")
+    passed = result.configs_checked - len(result.failures)
+    print(f"campaign summary: {passed} pass, {len(flags)} flagged, "
+          f"{len(result.failures)} failed")
     return 0 if result.ok else 1
+
+
+def _cmd_fuzz_distill(args: argparse.Namespace) -> int:
+    from repro.fuzz import distill_corpus
+
+    result = distill_corpus(
+        args.corpus, apply=args.apply, check=not args.no_check
+    )
+    print(result.summary())
+    for path, entry in result.kept:
+        print(f"  keep {path.name}  {entry.config.lattice_key()}")
+    for path, entry in result.dropped:
+        verb = "dropped" if result.applied else "would drop"
+        print(f"  {verb} {path.name}  {entry.config.lattice_key()}")
+    return 0 if result.lossless else 1
+
+
+def _cmd_fuzz_perf(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.fuzz import (
+        PerfEnvelope,
+        PerfPoint,
+        calibrate_envelope,
+        run_perf_phase,
+    )
+
+    points = (
+        [PerfPoint.from_key(key) for key in args.point]
+        if args.point else None
+    )
+    if (args.envelope and os.path.isfile(args.envelope)
+            and not args.recalibrate):
+        envelope = PerfEnvelope.load(args.envelope)
+        if points is not None:
+            wanted = {p.key() for p in points}
+            envelope.floors = {
+                key: row for key, row in envelope.floors.items()
+                if key in wanted
+            }
+            absent = wanted - set(envelope.floors)
+            for key in sorted(absent):
+                print(f"point {key} not in envelope; calibrating")
+            if absent:
+                fresh = calibrate_envelope(
+                    [PerfPoint.from_key(k) for k in sorted(absent)],
+                    margin=envelope.margin, vectors=envelope.vectors,
+                )
+                envelope.floors.update(fresh.floors)
+    else:
+        envelope = calibrate_envelope(
+            points, margin=args.margin, vectors=args.vectors
+        )
+        if args.envelope:
+            envelope.save(args.envelope)
+            print(f"calibrated envelope -> {args.envelope}")
+    report = run_perf_phase(
+        envelope,
+        observe_only=args.observe,
+        artifacts_dir=args.artifacts,
+    )
+    for key, sample in sorted(report.samples.items()):
+        floor = envelope.floors[key]["floor_vectors_per_s"]
+        print(f"  {key}: {sample.vectors_per_s:,.0f} vectors/s "
+              f"(floor {floor:,.0f}), "
+              f"compile {sample.compile_seconds:.3f}s")
+    for flag in report.flags:
+        print(f"  PERF {flag.describe()}")
+    print(f"perf: {len(report.samples)} points, "
+          f"{len(report.flags)} flagged"
+          f"{' (observe-only)' if report.observe_only else ''}")
+    return 0 if report.ok else 1
 
 
 def _cmd_tape(args: argparse.Namespace) -> int:
@@ -857,46 +975,130 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing of the compiled techniques against "
-             "the event-driven reference",
+             "the event-driven reference, with performance oracles",
     )
-    p_fuzz.add_argument("--seed", type=int, default=0)
-    p_fuzz.add_argument(
+    fuzz_sub = p_fuzz.add_subparsers(dest="fuzz_command",
+                                     required=True)
+
+    p_fc = fuzz_sub.add_parser(
+        "campaign",
+        help="run a seeded differential campaign over the "
+             "configuration lattice (the bare 'fuzz' default)",
+    )
+    p_fc.add_argument("--seed", type=int, default=0)
+    p_fc.add_argument(
         "-n", "--iterations", type=int, default=None,
         help="circuits to fuzz (default 50 when no time budget)",
     )
-    p_fuzz.add_argument(
+    p_fc.add_argument(
         "--budget-seconds", type=float, default=None,
         help="stop after this much wall time",
     )
-    p_fuzz.add_argument(
+    p_fc.add_argument(
         "--corpus", default=None, metavar="DIR",
         help="save shrunk reproducers to this corpus directory",
     )
-    p_fuzz.add_argument(
+    p_fc.add_argument(
         "--backends", default=None,
-        help="comma-separated backends (default: python, plus c when "
-             "a compiler is available)",
+        help="comma-separated backends (default: every usable one — "
+             "python, plus c with a compiler, plus numpy when "
+             "importable)",
     )
-    p_fuzz.add_argument(
+    p_fc.add_argument(
         "--configs-per-circuit", type=int, default=4,
         help="lattice points sampled per circuit (default 4)",
     )
-    p_fuzz.add_argument(
+    p_fc.add_argument(
         "--max-gates", type=int, default=24,
         help="largest random circuit drawn (default 24 gates)",
     )
-    p_fuzz.add_argument(
+    p_fc.add_argument(
         "--no-faults", action="store_true",
         help="skip the fault-report identity checks",
     )
-    p_fuzz.add_argument(
+    p_fc.add_argument(
         "--inject-bug", default=None, metavar="MUTATION",
-        help="self-test: corrupt one gate type's emitted code "
-             "(nor-as-or, xnor-as-xor, nand-as-and, not-as-buf) and "
-             "verify the campaign catches it",
+        help="self-test: inject a known bug (nor-as-or, xnor-as-xor, "
+             "nand-as-and, not-as-buf, partition-exchange, "
+             "tile-boundary) and verify the campaign catches it",
     )
-    _add_telemetry_args(p_fuzz)
-    p_fuzz.set_defaults(func=_cmd_fuzz)
+    p_fc.add_argument(
+        "--perf", default="off",
+        choices=["off", "observe", "enforce", "auto"],
+        help="performance oracles: observe measures and reports, "
+             "enforce fails the campaign on below-envelope points, "
+             "auto enforces except under CI=1 or <4 CPUs "
+             "(default off)",
+    )
+    p_fc.add_argument(
+        "--envelope", default=None, metavar="FILE",
+        help="persist/load the calibrated perf envelope (an existing "
+             "file is loaded instead of recalibrating)",
+    )
+    p_fc.add_argument(
+        "--perf-artifacts", default=None, metavar="DIR",
+        help="write replayable JSON artifacts for perf flags here",
+    )
+    _add_telemetry_args(p_fc)
+    p_fc.set_defaults(func=_cmd_fuzz_campaign)
+
+    p_fd = fuzz_sub.add_parser(
+        "distill",
+        help="greedily minimize the corpus preserving lattice "
+             "coverage (dry run unless --apply)",
+    )
+    p_fd.add_argument(
+        "--corpus", default="fuzz-corpus", metavar="DIR",
+        help="corpus directory to distill (default fuzz-corpus)",
+    )
+    p_fd.add_argument(
+        "--apply", action="store_true",
+        help="delete the subsumed entries (default: dry run)",
+    )
+    p_fd.add_argument(
+        "--no-check", action="store_true",
+        help="skip replaying kept entries against current code",
+    )
+    _add_telemetry_args(p_fd)
+    p_fd.set_defaults(func=_cmd_fuzz_distill)
+
+    p_fp = fuzz_sub.add_parser(
+        "perf",
+        help="measure perf points against the calibrated envelope "
+             "(the replay command named in perf artifacts)",
+    )
+    p_fp.add_argument(
+        "--point", action="append", default=None, metavar="KEY",
+        help="measure only this point (repeatable; e.g. "
+             "packed:zero-lcc:c:w32)",
+    )
+    p_fp.add_argument(
+        "--envelope", default=None, metavar="FILE",
+        help="load floors from this envelope file (calibrate and "
+             "save when absent)",
+    )
+    p_fp.add_argument(
+        "--recalibrate", action="store_true",
+        help="ignore an existing envelope file and recalibrate",
+    )
+    p_fp.add_argument(
+        "--margin", type=float, default=0.6,
+        help="floor = margin x calibrated throughput (default 0.6)",
+    )
+    p_fp.add_argument(
+        "--vectors", type=int, default=1024,
+        help="vectors per measurement (default 1024)",
+    )
+    p_fp.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="write replayable JSON artifacts for flags here",
+    )
+    p_fp.add_argument(
+        "--observe", action="store_true",
+        help="report flags without a failing exit status",
+    )
+    _add_telemetry_args(p_fp)
+    p_fp.set_defaults(func=_cmd_fuzz_perf)
 
     p_tape = sub.add_parser(
         "tape", help="write a seeded random clocked stimulus tape"
@@ -975,6 +1177,22 @@ def main(argv: Optional[list[str]] = None) -> int:
     _add_telemetry_args(p_replay)
     p_replay.set_defaults(func=_cmd_replay)
 
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Back-compat: ``repro-sim fuzz --seed ...`` predates the verb
+    # split (campaign/distill/perf); a bare ``fuzz`` means campaign.
+    for index, token in enumerate(argv):
+        if token in sub.choices:
+            if token == "fuzz":
+                following = (
+                    argv[index + 1] if index + 1 < len(argv) else None
+                )
+                if following not in fuzz_sub.choices and (
+                    following not in ("-h", "--help")
+                ):
+                    argv.insert(index + 1, "campaign")
+            break
     args = parser.parse_args(argv)
     profile = getattr(args, "profile", False)
     metrics_out = getattr(args, "metrics_out", None)

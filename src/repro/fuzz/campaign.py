@@ -16,15 +16,28 @@ decides how far along the stream the run gets).
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro import telemetry
-from repro.codegen.runtime import have_c_compiler
+from repro.errors import SimulationError
 from repro.fuzz.corpus import entry_from_failure, save_entry
-from repro.fuzz.lattice import FuzzConfig, run_check, sample_configs
+from repro.fuzz.lattice import (
+    FuzzConfig,
+    coverage_configs,
+    run_check,
+    sample_configs,
+)
+from repro.fuzz.oracles import (
+    PerfEnvelope,
+    PerfReport,
+    available_backends,
+    calibrate_envelope,
+    run_perf_phase,
+)
 from repro.fuzz.shrink import shrink
 from repro.harness.vectors import vectors_for
 from repro.netlist.circuit import Circuit
@@ -34,7 +47,14 @@ from repro.netlist.random_circuits import (
     sequentialize,
 )
 
-__all__ = ["CampaignFailure", "CampaignResult", "run_campaign"]
+__all__ = [
+    "CampaignFailure",
+    "CampaignResult",
+    "PERF_MODES",
+    "run_campaign",
+]
+
+PERF_MODES = ("off", "observe", "enforce", "auto")
 
 
 @dataclass
@@ -62,10 +82,26 @@ class CampaignResult:
     seconds: float = 0.0
     stopped_by: str = "iterations"
     failures: list[CampaignFailure] = field(default_factory=list)
+    #: execution surface -> number of drawn configs touching it.
+    surface_coverage: dict = field(default_factory=dict)
+    #: the perf-oracle phase, when one ran (``perf != "off"``).
+    perf: Optional[PerfReport] = None
+
+    @property
+    def perf_flags(self) -> list:
+        return [] if self.perf is None else list(self.perf.flags)
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        if self.failures:
+            return False
+        return self.perf is None or self.perf.ok
+
+    def note_config(self, config: FuzzConfig) -> None:
+        for surface in config.surfaces():
+            self.surface_coverage[surface] = (
+                self.surface_coverage.get(surface, 0) + 1
+            )
 
 
 def _structured_circuit(rng: random.Random) -> Circuit:
@@ -122,6 +158,89 @@ def _draw_circuit(rng: random.Random, max_gates: int) -> Circuit:
     return circuit
 
 
+def _resolve_perf_mode(perf: str) -> tuple[bool, bool]:
+    """``perf`` mode -> (run a perf phase at all, observe-only).
+
+    ``auto`` enforces floors only on machines where throughput
+    measurement is trustworthy: not under CI (``CI=1``) and with at
+    least 4 CPUs — a loaded single-core box measures its own
+    contention, not the code.  Observe-only still measures and prints
+    flags; it just never fails the campaign on them.
+    """
+    if perf not in PERF_MODES:
+        raise SimulationError(
+            f"unknown perf mode {perf!r}; choose from {PERF_MODES}"
+        )
+    if perf == "off":
+        return False, True
+    if perf == "auto":
+        constrained = (
+            os.environ.get("CI") == "1" or (os.cpu_count() or 1) < 4
+        )
+        return True, constrained
+    return True, perf == "observe"
+
+
+def _coverage_tape(
+    circuit: Circuit, config: FuzzConfig, rng: random.Random,
+    max_vectors: int,
+) -> list:
+    """A tape long enough that the config's surfaces actually execute.
+
+    Tiled passes only exist when the batch spans more than one packed
+    group (``_packed_machine`` clamps tiles to the work), so tiled
+    configs get ``2 x width x K`` vectors; everything else uses the
+    campaign's normal tape length.
+    """
+    count = max_vectors
+    if config.tiles > 1:
+        count = max(count, 2 * config.word_width * config.tiles)
+    return vectors_for(circuit, count, seed=rng.getrandbits(32))
+
+
+def _run_coverage_preamble(
+    result: CampaignResult,
+    rng: random.Random,
+    backends: Sequence[str],
+    *,
+    seed: int,
+    corpus_dir: Optional[str],
+    max_vectors: int,
+    shrink_attempts: int,
+    check: Callable,
+    progress: Optional[Callable[[str], None]],
+) -> None:
+    """Deterministically draw every execution surface once.
+
+    Random lattice sampling can miss a surface inside a small budget;
+    the preamble pins coverage by running :func:`coverage_configs`
+    against one deterministic sequential circuit before the random
+    stream starts.  Failures are shrunk and persisted exactly like
+    random-stream failures.
+    """
+    core = random_dag_circuit(
+        rng.getrandbits(32), num_inputs=4, num_gates=14
+    )
+    circuit = sequentialize(core, 2, seed=rng.getrandbits(32))
+    result.circuits += 1
+    telemetry.counter("fuzz.circuits")
+    for config in coverage_configs(backends):
+        vectors = _coverage_tape(circuit, config, rng, max_vectors)
+        result.configs_checked += 1
+        result.note_config(config)
+        telemetry.counter("fuzz.configs")
+        try:
+            with telemetry.span("fuzz.check", config=config.label()):
+                result.comparisons += check(circuit, vectors, config)
+        except Exception as failure:
+            _handle_failure(
+                result, circuit, vectors, config, failure,
+                seed=seed, corpus_dir=corpus_dir,
+                shrink_attempts=shrink_attempts,
+                check=check, progress=progress,
+            )
+
+
 def run_campaign(
     *,
     seed: int = 0,
@@ -136,21 +255,42 @@ def run_campaign(
     shrink_attempts: int = 2000,
     check: Callable = run_check,
     progress: Optional[Callable[[str], None]] = None,
+    perf: str = "off",
+    envelope_path: Optional[str] = None,
+    perf_artifacts: Optional[str] = None,
 ) -> CampaignResult:
     """Run a seeded fuzz campaign over the configuration lattice.
 
     Stops at ``iterations`` circuits or after ``budget_seconds``,
     whichever comes first (default: 50 iterations when neither is
-    given).  ``backends=None`` probes for a C compiler and fuzzes both
-    backends when one is available.  ``check`` is the differential
-    predicate — overridable for testing the campaign machinery itself.
+    given).  ``backends=None`` probes the machine and fuzzes every
+    usable backend (C when a compiler is present, numpy when
+    importable).  ``check`` is the differential predicate —
+    overridable for testing the campaign machinery itself.
+
+    ``perf`` turns on the performance oracles (:mod:`~repro.fuzz.
+    oracles`): ``observe`` measures and reports flags without failing
+    the campaign, ``enforce`` fails it, ``auto`` picks by machine
+    (observe under CI or <4 CPUs).  ``envelope_path`` persists the
+    calibrated envelope between runs — an existing file is loaded
+    instead of recalibrating, which is what lets a regression that
+    predates the *current* process still flag (calibrate on healthy
+    code, measure forever after).
     """
     if iterations is None and budget_seconds is None:
         iterations = 50
     if backends is None:
-        backends = (
-            ("python", "c") if have_c_compiler() else ("python",)
-        )
+        backends = available_backends()
+    perf_enabled, observe_only = _resolve_perf_mode(perf)
+    envelope: Optional[PerfEnvelope] = None
+    if perf_enabled:
+        if envelope_path is not None and os.path.isfile(envelope_path):
+            envelope = PerfEnvelope.load(envelope_path)
+        else:
+            with telemetry.span("fuzz.perf.calibrate"):
+                envelope = calibrate_envelope(vectors=1024)
+            if envelope_path is not None:
+                envelope.save(envelope_path)
     rng = random.Random(seed)
     result = CampaignResult(seed=seed)
     start = time.monotonic()
@@ -167,6 +307,13 @@ def run_campaign(
         return False
 
     with telemetry.span("fuzz.campaign"):
+        _run_coverage_preamble(
+            result, rng, backends,
+            seed=seed, corpus_dir=corpus_dir,
+            max_vectors=max_vectors,
+            shrink_attempts=shrink_attempts,
+            check=check, progress=progress,
+        )
         while not out_of_budget():
             with telemetry.span("fuzz.generate"):
                 circuit = _draw_circuit(rng, max_gates)
@@ -186,6 +333,7 @@ def run_campaign(
                 ):
                     break
                 result.configs_checked += 1
+                result.note_config(config)
                 telemetry.counter("fuzz.configs")
                 try:
                     with telemetry.span("fuzz.check",
@@ -209,6 +357,16 @@ def run_campaign(
                     f"{result.configs_checked} configs, "
                     f"{result.comparisons} comparisons, "
                     f"{len(result.failures)} failures"
+                )
+        if perf_enabled and envelope is not None:
+            # Perf runs after the functional sweep: the differential
+            # checks warm every backend, so the oracle measurements
+            # see steady-state code paths, not cold caches.
+            with telemetry.span("fuzz.perf"):
+                result.perf = run_perf_phase(
+                    envelope,
+                    observe_only=observe_only,
+                    artifacts_dir=perf_artifacts,
                 )
     result.seconds = time.monotonic() - start
     return result

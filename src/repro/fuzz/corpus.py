@@ -52,9 +52,19 @@ class CorpusEntry:
 
     @property
     def entry_id(self) -> str:
-        """Content hash of the reproducer (filename stem)."""
+        """Content hash of the reproducer (filename stem).
+
+        The config's ``schema`` marker is metadata, not identity — the
+        same (circuit, tape, lattice point) keeps its id across schema
+        bumps, so committed corpus filenames stay stable.
+        """
+        config = {
+            key: value
+            for key, value in self.config.as_dict().items()
+            if key != "schema"
+        }
         payload = json.dumps(
-            [self.bench, self._tape_strings(), self.config.as_dict()],
+            [self.bench, self._tape_strings(), config],
             sort_keys=True,
         )
         return hashlib.sha256(payload.encode()).hexdigest()[:16]

@@ -29,12 +29,16 @@ from repro.netlist.circuit import Circuit
 
 __all__ = [
     "CHECKS",
+    "CONFIG_SCHEMA",
+    "BACKENDS",
     "HISTORY_TECHNIQUES",
     "PROBE_TECHNIQUES",
     "SEQUENTIAL_ENGINES",
+    "SURFACES",
     "WORD_WIDTHS",
     "FuzzConfig",
     "sample_configs",
+    "coverage_configs",
     "run_check",
 ]
 
@@ -42,6 +46,28 @@ __all__ = [
 CHECKS = (
     "history", "batched", "packed", "faults", "partitioned",
     "sequential",
+)
+
+#: Version of the serialized :class:`FuzzConfig` shape.  Corpus entries
+#: record it so a build can tell "written by an older library — refill
+#: the late-added defaults" (an upgrade shim runs) apart from "written
+#: by a *newer* library" (a clean error instead of silently dropping
+#: axes it does not understand).
+CONFIG_SCHEMA = 2
+
+#: Compiled backends the lattice can draw.  ``numpy`` is optional at
+#: runtime (:func:`repro.codegen.runtime.have_numpy`); configuration
+#: validation accepts it unconditionally so corpus entries always load.
+BACKENDS = ("python", "c", "numpy")
+
+#: The execution surfaces a campaign is expected to cover — the
+#: printed lattice-coverage summary counts drawn configs per surface.
+#: ``replay-restore`` is the clocked check (its third shape resumes a
+#: fresh simulator from a mid-stream checkpoint); ``laned-shift`` is
+#: the K-lane execution of shift programs on the batched path.
+SURFACES = (
+    "scalar", "batched", "packed", "tiled", "laned-shift",
+    "partitioned", "replay-restore", "probed", "faults",
 )
 
 #: Clocked engines exercised by the ``"sequential"`` check.
@@ -106,7 +132,7 @@ class FuzzConfig:
             raise SimulationError(
                 f"check must be one of {CHECKS}: {self.check!r}"
             )
-        if self.backend not in ("python", "c"):
+        if self.backend not in BACKENDS:
             raise SimulationError(f"unknown backend {self.backend!r}")
         if self.word_width not in WORD_WIDTHS:
             raise SimulationError(
@@ -193,23 +219,128 @@ class FuzzConfig:
             parts.append("pr")
         return "/".join(parts)
 
+    def surfaces(self) -> frozenset:
+        """The execution surfaces this lattice point exercises.
+
+        The mapping is by construction of :func:`run_check`: the
+        history check steps per vector (scalar), the batched check
+        drives ``apply_vectors`` (and, at K > 1, the laned execution of
+        shift programs), the packed check drives the pattern-lane
+        observation paths (tiled at K > 1), the sequential check always
+        includes its mid-stream checkpoint/restore shape, and probes
+        ride along on any check that accepts them.
+        """
+        primary = {
+            "history": "scalar",
+            "batched": "batched",
+            "packed": "packed",
+            "partitioned": "partitioned",
+            "sequential": "replay-restore",
+            "faults": "faults",
+        }[self.check]
+        covered = {primary}
+        if self.tiles > 1:
+            covered.add("tiled")
+            if self.check in ("batched", "sequential"):
+                # Shift programs execute K independent lanes here;
+                # shift-free ones take the tiled packed path either way.
+                covered.add("laned-shift")
+        if self.probes:
+            covered.add("probed")
+        return frozenset(covered)
+
+    def lattice_key(self) -> str:
+        """Coarse lattice-point identity used by corpus distillation.
+
+        Two configs with the same key exercise the same code paths:
+        the exact chunk size and worker count are sampling noise, so
+        they collapse to chunked/whole and solo/multi buckets — an
+        entry is subsumed by a *smaller* entry with an equal key.
+        """
+        parts = [self.check]
+        if self.check != "faults":
+            parts.append(self.technique)
+        parts.append(self.backend)
+        parts.append(f"w{self.word_width}")
+        parts.append("chunked" if self.batch_size else "whole")
+        if self.workers > 1:
+            parts.append("multi")
+        if self.partitions > 1:
+            parts.append(f"p{self.partitions}")
+        if self.tiles > 1:
+            parts.append(f"k{self.tiles}")
+        if self.probes:
+            parts.append("pr")
+        return "/".join(parts)
+
     def as_dict(self) -> dict:
         data = asdict(self)
         # Late-added lattice axes serialize only when non-default, so
         # pre-existing corpus entries keep their content-addressed ids
-        # (``from_dict`` refills the default on load).
+        # (``from_dict`` refills the default on load).  The ``schema``
+        # field is likewise excluded from content addressing
+        # (:meth:`repro.fuzz.corpus.CorpusEntry.entry_id`).
         if data["partitions"] == 1:
             del data["partitions"]
         if data["tiles"] == 1:
             del data["tiles"]
         if not data["probes"]:
             del data["probes"]
+        data["schema"] = CONFIG_SCHEMA
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "FuzzConfig":
-        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
-        return cls(**known)
+        """Deserialize a config dict, strictly.
+
+        Dicts written before the ``schema`` field existed load as
+        schema 1 and pass through the upgrade shims; dicts claiming a
+        *newer* schema raise (a newer library wrote them — replaying a
+        silently truncated config would test the wrong lattice point).
+        After upgrading, any key that is not a config field raises
+        instead of being ignored: a corpus entry that drifted from the
+        code is a corrupt reproducer, not a best-effort one.
+        """
+        data = dict(data)
+        schema = data.pop("schema", 1)
+        if not isinstance(schema, int) or schema < 1:
+            raise SimulationError(
+                f"config schema must be a positive int: {schema!r}"
+            )
+        if schema > CONFIG_SCHEMA:
+            raise SimulationError(
+                f"config schema {schema} is newer than this library "
+                f"understands ({CONFIG_SCHEMA}); upgrade the library "
+                f"to replay this corpus entry"
+            )
+        while schema < CONFIG_SCHEMA:
+            data = _CONFIG_UPGRADES[schema](data)
+            schema += 1
+        unknown = sorted(set(data) - set(cls.__dataclass_fields__))
+        if unknown:
+            raise SimulationError(
+                f"unknown FuzzConfig fields {unknown}; corpus entries "
+                f"written by a newer library declare a newer schema — "
+                f"this dict claims schema {CONFIG_SCHEMA}, so these "
+                f"keys are corruption, not new axes"
+            )
+        return cls(**data)
+
+
+def _upgrade_config_v1(data: dict) -> dict:
+    """Schema 1 -> 2: the pre-``schema`` shape.
+
+    Schema 1 dicts predate the explicit version field; every axis they
+    can carry is still a field today, and axes added since (partitions,
+    tiles, probes, the numpy backend) serialize only when non-default —
+    the dataclass defaults refill them.  The shim is therefore a
+    rename-free pass-through; it exists so future shape changes have an
+    established place to rewrite old keys.
+    """
+    return data
+
+
+_CONFIG_UPGRADES = {1: _upgrade_config_v1}
 
 
 def sample_configs(
@@ -277,6 +408,58 @@ def sample_configs(
             partitions=partitions,
             tiles=tiles,
             probes=probes,
+        ))
+    return configs
+
+
+def coverage_configs(
+    backends: Sequence[str] = ("python",),
+) -> list[FuzzConfig]:
+    """A deterministic config set touching every execution surface.
+
+    The campaign runs these against its first circuit before random
+    sampling takes over, so a bounded run still *draws* scalar,
+    batched, packed, tiled, laned-shift, partitioned, sequential
+    replay-with-restore, and probed configurations — random sampling
+    alone can miss a surface inside a small budget.  The preferred
+    backend is ``c`` when fuzzed (the production path), else the first
+    one given.
+    """
+    backend = "c" if "c" in backends else backends[0]
+    configs = [
+        # scalar
+        FuzzConfig(check="history", technique="parallel-best",
+                   backend=backend, word_width=16),
+        # batched
+        FuzzConfig(check="batched", technique="parallel-trim",
+                   backend=backend, word_width=32, batch_size=3),
+        # packed
+        FuzzConfig(check="packed", technique="zero-lcc",
+                   backend=backend, word_width=8),
+        # tiled (K-word packed pass)
+        FuzzConfig(check="packed", technique="zero-lcc",
+                   backend=backend, word_width=8, tiles=2),
+        # laned-shift (plain parallel retains shifts most often)
+        FuzzConfig(check="batched", technique="parallel",
+                   backend=backend, word_width=16, batch_size=4,
+                   tiles=2),
+        # partitioned barrier engine
+        FuzzConfig(check="partitioned", technique="zero-lcc",
+                   backend=backend, word_width=16, partitions=2),
+        # sequential replay with mid-stream checkpoint/restore
+        FuzzConfig(check="sequential", technique="lcc",
+                   backend=backend, word_width=16, batch_size=2),
+        # compiled-in probes
+        FuzzConfig(check="history", technique="pcset",
+                   backend=backend, word_width=8, probes=True),
+        # fault-report identity
+        FuzzConfig(check="faults", technique="parallel-best",
+                   backend=backend, word_width=16, workers=2),
+    ]
+    if "numpy" in backends:
+        configs.append(FuzzConfig(
+            check="packed", technique="zero-lcc", backend="numpy",
+            word_width=32, tiles=2,
         ))
     return configs
 
@@ -493,13 +676,36 @@ def _check_sequential(
                 "batched final state")
         checks += 1
 
-    # 3. snapshot/restore into a fresh simulator continues identically.
+    # 3. checkpoint/restore into a fresh simulator continues
+    # identically.  The snapshot rides through the replay layer's
+    # JSON checkpoint document (PR 8's on-disk format) rather than the
+    # in-memory dict, so the serialization path is differentially
+    # checked too.
     if len(rows) >= 2:
+        import json
+
+        from repro.replay.checkpoint import ReplayCheckpoint
+
         half = len(rows) // 2
         first = make_sim()
         first.apply_vectors(rows[:half])
+        snap = first.snapshot()
+        document = json.dumps(ReplayCheckpoint(
+            cycle=snap["cycle"], state=snap["state"],
+            circuit=circuit.name, engine=config.technique,
+        ).as_dict())
+        restored = ReplayCheckpoint.from_dict(json.loads(document))
+        if restored.state != {q: v & 1 for q, v in snap["state"].items()}:
+            raise Mismatch(
+                label, half - 1, sorted(snap["state"]),
+                "  checkpoint JSON round-trip corrupted the state: "
+                f"{restored.state!r} vs {snap['state']!r}",
+            )
+        checks += 1
         resumed = make_sim()
-        resumed.restore(first.snapshot())
+        resumed.restore(
+            {"state": restored.state, "cycle": restored.cycle}
+        )
         for cycle, outputs in zip(
             range(half, len(rows)), resumed.apply_vectors(rows[half:])
         ):

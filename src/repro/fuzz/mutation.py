@@ -26,7 +26,13 @@ from repro.codegen.program import Expr, Un
 from repro.errors import SimulationError
 from repro.logic import GateType
 
-__all__ = ["MUTATIONS", "inject_emitter_bug"]
+__all__ = [
+    "MUTATIONS",
+    "inject_emitter_bug",
+    "inject_partition_bug",
+    "inject_tile_bug",
+    "inject_slowdown",
+]
 
 #: Mutation name -> (gate type whose emission is corrupted, description).
 MUTATIONS = {
@@ -57,6 +63,151 @@ def _buggy(kind: str):
         return expr
 
     return gate_expression
+
+
+@contextmanager
+def inject_partition_bug():
+    """Context manager: corrupt the barrier engine's cut-net exchange.
+
+    The first word of the first exported column a segment hands to the
+    exchange table gets its low bit flipped — the classic
+    "one partition published a stale/garbled cut value" bug.  The
+    monolithic (single-segment) fast path is left untouched, so the
+    partitioned differential check's reference side stays honest and
+    the campaign must catch the raw-word divergence.  Self-test only.
+    """
+    from repro.partition.executor import PartitionedSimulator
+
+    # ``_run_segment`` is a staticmethod — grab the descriptor so the
+    # restore puts back a staticmethod, not an instance method.
+    descriptor = PartitionedSimulator.__dict__["_run_segment"]
+    original = descriptor.__func__
+
+    def corrupted(self, segment, table, count):
+        # The replacement is a plain function, so it binds as an
+        # instance method — which is exactly what lets the bug consult
+        # ``self.monolithic`` and spare the single-segment fast path.
+        rows = original(segment, table, count)
+        if not self.monolithic and segment.exports and rows:
+            rows = [list(row) for row in rows]
+            rows[0][0] ^= 1
+        return rows
+
+    PartitionedSimulator._run_segment = corrupted
+    try:
+        yield "partition exchange flips bit 0 of the first cut word"
+    finally:
+        PartitionedSimulator._run_segment = descriptor
+
+
+#: Modules that bind ``tile_groups`` by name at import time.
+_TILE_PATCH_SITES = ("repro.codegen.packing", "repro.lcc.zerodelay")
+
+
+@contextmanager
+def inject_tile_bug():
+    """Context manager: corrupt the K-tile slot-major input layout.
+
+    A machine compiled with ``tiles=K`` consumes pass rows with input
+    slot ``s`` tile ``t`` at index ``s*K + t``; the injected bug
+    interleaves them group-major (``t*num_inputs + s``) instead — the
+    classic tile-boundary transposition.  Any tiled pass over a
+    circuit with more than one input computes with the wrong words, so
+    the campaign's tiled packed checks must disagree with the untiled
+    reference.  Self-test only.
+    """
+    import importlib
+
+    from repro.codegen.packing import tile_groups as real_tile_groups
+
+    def buggy_tile_groups(groups, num_inputs, tiles):
+        rows = []
+        for base in range(0, len(groups), tiles):
+            chunk = list(groups[base:base + tiles])
+            while len(chunk) < tiles:
+                chunk.append([0] * num_inputs)
+            rows.append([
+                chunk[t][k]
+                for t in range(tiles)
+                for k in range(num_inputs)
+            ])
+        return rows
+
+    modules = [
+        importlib.import_module(name) for name in _TILE_PATCH_SITES
+    ]
+    saved = [module.tile_groups for module in modules]
+    for module in modules:
+        module.tile_groups = buggy_tile_groups
+    try:
+        yield "tile_groups emits group-major rows (transposed layout)"
+    finally:
+        for module, original in zip(modules, saved):
+            module.tile_groups = original
+
+
+#: ``inject_slowdown`` patch points: (backend, path) -> machine methods.
+#: The C packed fast path has two entries — ``run_packed`` (marshalled
+#: buffers, the prepared-program timing path) and ``run_packed_block``
+#: (group rows) — so both are wrapped together.
+_SLOWDOWN_SITES = {
+    ("c", "packed"): (
+        ("CMachine", "run_packed"),
+        ("CMachine", "run_packed_block"),
+    ),
+    ("c", "block"): (("CMachine", "run_block"),),
+    ("python", "packed"): (("PythonMachine", "run_packed_block"),),
+    ("python", "block"): (("PythonMachine", "run_block"),),
+}
+
+
+@contextmanager
+def inject_slowdown(factor: float = 2.0, *, backend: str = "c",
+                    path: str = "packed"):
+    """Context manager: slow one machine entry point by ``factor``.
+
+    Wraps the chosen backend's batch entry so every call sleeps for
+    ``(factor - 1)`` times its own elapsed time — a clean synthetic
+    throughput regression with no functional change, used to prove the
+    perf oracle flags what the differential checks cannot see.
+    ``NumpyMachine`` subclasses ``PythonMachine``, so the python sites
+    cover the numpy backend too.  Self-test only.
+    """
+    import time as _time
+
+    from repro.codegen import runtime
+
+    if factor < 1.0:
+        raise SimulationError(
+            f"slowdown factor must be >= 1.0: {factor}"
+        )
+    try:
+        sites = _SLOWDOWN_SITES[(backend, path)]
+    except KeyError:
+        raise SimulationError(
+            f"unknown slowdown site {(backend, path)!r}; choose from "
+            f"{sorted(_SLOWDOWN_SITES)}"
+        ) from None
+
+    def _slow(original):
+        def slowed(self, *args, **kwargs):
+            start = _time.perf_counter()
+            result = original(self, *args, **kwargs)
+            _time.sleep((_time.perf_counter() - start) * (factor - 1.0))
+            return result
+        return slowed
+
+    saved = []
+    for cls_name, method in sites:
+        cls = getattr(runtime, cls_name)
+        original = getattr(cls, method)
+        saved.append((cls, method, original))
+        setattr(cls, method, _slow(original))
+    try:
+        yield f"{backend} {path} path slowed {factor:g}x"
+    finally:
+        for cls, method, original in saved:
+            setattr(cls, method, original)
 
 
 @contextmanager

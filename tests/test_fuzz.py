@@ -14,10 +14,15 @@ import pytest
 from repro.errors import SimulationError
 from repro.fuzz import (
     CHECKS,
+    CONFIG_SCHEMA,
     MUTATIONS,
+    SURFACES,
     FuzzConfig,
+    coverage_configs,
     entry_from_failure,
     inject_emitter_bug,
+    inject_partition_bug,
+    inject_tile_bug,
     load_corpus,
     load_entry,
     replay_entry,
@@ -77,16 +82,78 @@ class TestFuzzConfig:
         with pytest.raises(SimulationError):
             FuzzConfig(check="history", partitions=2)
 
-    def test_from_dict_ignores_unknown_and_missing_fields(self):
+    def test_from_dict_upgrades_pre_schema_dicts(self):
         # Corpus entries written before the partitioned axis carry no
-        # ``partitions`` key; newer entries may carry keys this build
-        # does not know.  Both must load.
+        # ``partitions`` key and no ``schema`` field; those load as
+        # schema 1 through the upgrade shims and refill defaults.
         old = {"check": "packed", "technique": "zero-lcc",
                "backend": "python", "word_width": 16,
                "batch_size": 0, "workers": 1}
-        assert FuzzConfig.from_dict(old).partitions == 1
-        new = dict(old, future_knob=7)
-        assert FuzzConfig.from_dict(new) == FuzzConfig.from_dict(old)
+        config = FuzzConfig.from_dict(old)
+        assert config.partitions == 1
+        assert config.as_dict()["schema"] == CONFIG_SCHEMA
+        assert FuzzConfig.from_dict(config.as_dict()) == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        # Silently ignoring unknown keys made corpus replay fragile: a
+        # drifted entry would replay the wrong lattice point and pass.
+        old = {"check": "packed", "technique": "zero-lcc",
+               "backend": "python", "word_width": 16,
+               "batch_size": 0, "workers": 1}
+        with pytest.raises(SimulationError, match="unknown"):
+            FuzzConfig.from_dict(dict(old, future_knob=7))
+
+    def test_from_dict_rejects_newer_schema(self):
+        data = FuzzConfig(check="history",
+                          technique="parallel-best").as_dict()
+        data["schema"] = CONFIG_SCHEMA + 1
+        with pytest.raises(SimulationError, match="newer"):
+            FuzzConfig.from_dict(data)
+        data["schema"] = 0
+        with pytest.raises(SimulationError, match="positive"):
+            FuzzConfig.from_dict(data)
+
+    def test_schema_field_does_not_change_entry_ids(self):
+        # Committed corpus filenames are content hashes; the schema
+        # marker is metadata and must stay out of the identity.
+        circuit = random_dag_circuit(5, num_inputs=2, num_gates=4)
+        config = FuzzConfig(check="history", technique="parallel-best")
+        entry = entry_from_failure(
+            circuit, [[0, 1]], config, error="x"
+        )
+        assert "schema" in entry.as_dict()["config"]
+        stripped = {k: v for k, v in config.as_dict().items()
+                    if k != "schema"}
+        import hashlib
+        import json as json_mod
+        payload = json_mod.dumps(
+            [entry.bench, ["01"], stripped], sort_keys=True
+        )
+        expected = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        assert entry.entry_id == expected
+
+    def test_surfaces_projection(self):
+        assert FuzzConfig(
+            check="history", technique="parallel-best"
+        ).surfaces() == {"scalar"}
+        assert FuzzConfig(
+            check="packed", technique="zero-lcc", tiles=2
+        ).surfaces() == {"packed", "tiled"}
+        assert FuzzConfig(
+            check="batched", technique="parallel", tiles=2
+        ).surfaces() == {"batched", "tiled", "laned-shift"}
+        assert FuzzConfig(
+            check="sequential", technique="lcc"
+        ).surfaces() == {"replay-restore"}
+        assert FuzzConfig(
+            check="history", technique="pcset", probes=True
+        ).surfaces() == {"scalar", "probed"}
+
+    def test_coverage_configs_span_every_surface(self):
+        covered = set()
+        for config in coverage_configs(("python", "numpy")):
+            covered |= config.surfaces()
+        assert covered == set(SURFACES)
 
     def test_sampling_draws_partitioned_points(self):
         configs = sample_configs(random.Random(7), 60)
@@ -186,6 +253,61 @@ class TestMutationIsCaught:
                 with pytest.raises(AssertionError):
                     replay_entry(entry)
 
+    def test_partition_exchange_bug_caught_directly(self):
+        circuit = random_dag_circuit(11, num_inputs=4, num_gates=14)
+        vectors = vectors_for(circuit, 8, seed=3)
+        config = FuzzConfig(check="partitioned", technique="zero-lcc",
+                            partitions=2, word_width=8)
+        assert run_check(circuit, vectors, config) > 0
+        with inject_partition_bug():
+            with pytest.raises(AssertionError):
+                run_check(circuit, vectors, config)
+        # Restored on exit (including the staticmethod binding).
+        assert run_check(circuit, vectors, config) > 0
+
+    def test_tile_boundary_bug_caught_directly(self):
+        circuit = random_dag_circuit(11, num_inputs=4, num_gates=14)
+        # Tiles are clamped to ceil(vectors/width): more than one
+        # packed group is required for a tiled pass to exist.
+        vectors = vectors_for(circuit, 20, seed=3)
+        config = FuzzConfig(check="packed", technique="zero-lcc",
+                            tiles=2, word_width=8)
+        assert run_check(circuit, vectors, config) > 0
+        with inject_tile_bug():
+            with pytest.raises(AssertionError):
+                run_check(circuit, vectors, config)
+        assert run_check(circuit, vectors, config) > 0
+
+    @pytest.mark.parametrize("inject,surface", [
+        (inject_partition_bug, "partitioned"),
+        (inject_tile_bug, "tiled"),
+    ], ids=["partition-exchange", "tile-boundary"])
+    def test_extended_campaign_catches_surface_bug(
+        self, inject, surface
+    ):
+        # The coverage preamble draws every surface deterministically,
+        # so one iteration suffices for the campaign to hit the bug.
+        with inject():
+            result = run_campaign(
+                seed=5, iterations=1, backends=("python",),
+                include_faults=False, shrink_attempts=60,
+            )
+        assert not result.ok
+        assert any(
+            surface in failure.config.surfaces()
+            for failure in result.failures
+        )
+
+    def test_campaign_preamble_covers_every_surface(self):
+        result = run_campaign(
+            seed=3, iterations=1, backends=("python",),
+        )
+        assert set(result.surface_coverage) == set(SURFACES)
+        assert all(
+            count > 0 for count in result.surface_coverage.values()
+        )
+        assert result.ok
+
     def test_campaign_is_deterministic(self):
         kwargs = dict(seed=19, iterations=5, backends=("python",),
                       include_faults=False)
@@ -279,7 +401,7 @@ class TestFuzzCLI:
         ])
         assert status == 1
         out = capsys.readouterr().out
-        assert "injected emitter bug" in out
+        assert "injected bug" in out
         assert list(corpus.glob("*.json"))
 
 
